@@ -1,0 +1,90 @@
+//! Whole-simulation benchmarks: short versions of each figure's
+//! configuration, measuring simulator wall time (and implicitly events/s).
+//! The actual figure series come from the `fig*` binaries; these benches
+//! track the cost of regenerating them.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dbmodel::RelationId;
+use lb_core::{DegreePolicy, SelectPolicy, Strategy};
+use simkit::SimDur;
+use snsim::SimConfig;
+use workload::{NodeFilter, WorkloadSpec};
+
+fn short(cfg: SimConfig) -> SimConfig {
+    cfg.with_sim_time(SimDur::from_secs(5), SimDur::from_secs(1))
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig5_point_20pe_static", |b| {
+        b.iter(|| {
+            let cfg = short(SimConfig::paper_default(
+                20,
+                WorkloadSpec::homogeneous_join(0.01, 0.25),
+                Strategy::Isolated {
+                    degree: DegreePolicy::SuOpt,
+                    select: SelectPolicy::Random,
+                },
+            ));
+            black_box(snsim::run_one(cfg).events)
+        })
+    });
+
+    g.bench_function("fig6_point_20pe_optiocpu", |b| {
+        b.iter(|| {
+            let cfg = short(SimConfig::paper_default(
+                20,
+                WorkloadSpec::homogeneous_join(0.01, 0.25),
+                Strategy::OptIoCpu,
+            ));
+            black_box(snsim::run_one(cfg).events)
+        })
+    });
+
+    g.bench_function("fig7_point_20pe_membound", |b| {
+        b.iter(|| {
+            let cfg = short(
+                SimConfig::paper_default(
+                    20,
+                    WorkloadSpec::homogeneous_join(0.01, 0.05),
+                    Strategy::MinIoSuopt,
+                )
+                .with_buffer_pages(5)
+                .with_disks(1),
+            );
+            black_box(snsim::run_one(cfg).events)
+        })
+    });
+
+    g.bench_function("fig8_point_small_join", |b| {
+        b.iter(|| {
+            let cfg = short(SimConfig::paper_default(
+                20,
+                WorkloadSpec::homogeneous_join(0.001, 1.0),
+                Strategy::OptIoCpu,
+            ));
+            black_box(snsim::run_one(cfg).events)
+        })
+    });
+
+    g.bench_function("fig9_point_20pe_mixed", |b| {
+        b.iter(|| {
+            let cfg = short(
+                SimConfig::paper_default(
+                    20,
+                    WorkloadSpec::mixed(0.01, 0.075, RelationId(2), 100.0, NodeFilter::BNodes),
+                    Strategy::OptIoCpu,
+                )
+                .with_disks(5),
+            );
+            black_box(snsim::run_one(cfg).events)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerate every figure in sequence (`--full` for the long runs).
+//!
+//! Run: `cargo run --release -p bench --bin all_figs [--full]`
+
+use std::process::Command;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for fig in ["fig1", "fig5", "fig6", "fig7", "fig8", "fig9"] {
+        println!("================ {fig} ================");
+        let mut cmd = Command::new(exe_dir.join(fig));
+        if full {
+            cmd.arg("--full");
+        }
+        let status = cmd.status().unwrap_or_else(|e| {
+            panic!("failed to launch {fig} (build bench binaries first): {e}")
+        });
+        assert!(status.success(), "{fig} failed");
+    }
+    println!("all figures regenerated; see results/*.json");
+}

@@ -1,0 +1,136 @@
+//! Fig. 1 — "Parallel join processing in single- and multi-user mode:
+//! basic response time development and optimal number of join processors".
+//!
+//! Sweeps the degree of join parallelism p = 1..n with a *fixed* degree
+//! strategy under three regimes:
+//!   (a) single-user mode — the classic U-curve with optimum p_su-opt;
+//!   (b) CPU bottleneck (high arrival rate) — the optimum shifts LEFT;
+//!   (c) memory bottleneck (buffer/10, 1 disk) — the optimum shifts RIGHT.
+//!
+//! Also prints the analytic cost model's curve for comparison with the
+//! simulated single-user curve.
+//!
+//! Run: `cargo run --release -p bench --bin fig1 [--full]`
+
+use bench::{check, with_mode, write_results_json, Mode};
+use lb_core::costmodel::{paper_join_profile, CostModel};
+use lb_core::{DegreePolicy, SelectPolicy, Strategy};
+use snsim::{format_table, run_parallel, SimConfig};
+use workload::WorkloadSpec;
+
+const N: u32 = 40;
+const DEGREES: [u32; 8] = [1, 2, 4, 8, 15, 22, 30, 40];
+
+fn sweep(mode: Mode, wl: WorkloadSpec, buffer: Option<u32>, disks: Option<u32>) -> Vec<snsim::Summary> {
+    let cfgs: Vec<SimConfig> = DEGREES
+        .iter()
+        .map(|&p| {
+            let strat = Strategy::Isolated {
+                degree: DegreePolicy::Fixed(p),
+                select: SelectPolicy::Random,
+            };
+            let mut cfg = SimConfig::paper_default(N, wl.clone(), strat);
+            if let Some(b) = buffer {
+                cfg = cfg.with_buffer_pages(b);
+            }
+            if let Some(d) = disks {
+                cfg = cfg.with_disks(d);
+            }
+            with_mode(cfg, mode)
+        })
+        .collect();
+    run_parallel(cfgs)
+}
+
+fn argmin(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+fn main() {
+    let mode = Mode::from_args();
+
+    let su = sweep(mode, WorkloadSpec::single_user_join(0.01), None, None);
+    let cpu = sweep(mode, WorkloadSpec::homogeneous_join(0.01, 0.3), None, None);
+    let mem = sweep(
+        mode,
+        WorkloadSpec::homogeneous_join(0.01, 0.05),
+        Some(5),
+        Some(1),
+    );
+
+    let model = CostModel::new(
+        SimConfig::paper_default(N, WorkloadSpec::single_user_join(0.01), Strategy::MinIo)
+            .cost_params(),
+    );
+    let profile = paper_join_profile(N, 0.01);
+    let analytic: Vec<f64> = DEGREES
+        .iter()
+        .map(|&p| model.rt_single_user(p, &profile))
+        .collect();
+
+    let series: Vec<(String, Vec<f64>)> = vec![
+        ("(a) single-user".into(), su.iter().map(|s| s.join_resp_ms()).collect()),
+        ("(b) CPU-bound mu".into(), cpu.iter().map(|s| s.join_resp_ms()).collect()),
+        ("(c) memory-bound mu".into(), mem.iter().map(|s| s.join_resp_ms()).collect()),
+        ("analytic model (su)".into(), analytic.clone()),
+    ];
+    let xs: Vec<String> = DEGREES.iter().map(|p| p.to_string()).collect();
+    println!(
+        "{}",
+        format_table(
+            "Fig. 1 — response time vs degree of join parallelism [ms], 40 PE",
+            "p",
+            &xs,
+            &series,
+        )
+    );
+
+    let su_curve: Vec<f64> = su.iter().map(|s| s.join_resp_ms()).collect();
+    let cpu_curve: Vec<f64> = cpu.iter().map(|s| s.join_resp_ms()).collect();
+    let mem_curve: Vec<f64> = mem.iter().map(|s| s.join_resp_ms()).collect();
+    let (su_opt, cpu_opt, mem_opt) = (
+        DEGREES[argmin(&su_curve)],
+        DEGREES[argmin(&cpu_curve)],
+        DEGREES[argmin(&mem_curve)],
+    );
+    let psu_opt_analytic = model.psu_opt(N, &profile);
+    println!(
+        "optima: single-user p*={su_opt}, CPU-bound p*={cpu_opt}, \
+         memory-bound p*={mem_opt} (analytic p_su-opt = {psu_opt_analytic})"
+    );
+    check("single-user curve falls then rises (U-shape)", {
+        let i = argmin(&su_curve);
+        i > 0 && su_curve[0] > su_curve[i] && su_curve[su_curve.len() - 1] >= su_curve[i]
+    });
+    // Fig. 1's x-axis reference is SU-OPT, the analytic optimum (the
+    // simulated single-user curve has a broad plateau around it).
+    check(
+        "CPU bottleneck shifts the optimum below p_su-opt (Fig. 1b)",
+        cpu_opt < psu_opt_analytic,
+    );
+    check(
+        "memory bottleneck shifts the optimum above p_su-opt (Fig. 1c)",
+        mem_opt > psu_opt_analytic,
+    );
+    check(
+        "analytic model optimum within the simulated single-user plateau",
+        {
+            let pa = DEGREES[argmin(&analytic)];
+            let rt_at = |p: u32| su_curve[DEGREES.iter().position(|&d| d == p).expect("in sweep")];
+            rt_at(pa) <= su_curve[argmin(&su_curve)] * 1.25
+        },
+    );
+
+    write_results_json(
+        "fig1",
+        &[
+            ("single-user".into(), su),
+            ("cpu-bound".into(), cpu),
+            ("memory-bound".into(), mem),
+        ],
+    );
+}

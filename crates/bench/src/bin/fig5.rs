@@ -1,0 +1,91 @@
+//! Fig. 5 — "Static degree of parallelism"
+//! (multi-user join 0.25 QPS/PE; 1% scan selectivity).
+//!
+//! Series: p_su-noIO (= 3) and p_su-opt (= 30) join processors, each with
+//! RANDOM / LUC / LUM selection, plus the single-user baseline with
+//! p_su-opt. X-axis: system size 10..80 PE.
+//!
+//! Run: `cargo run --release -p bench --bin fig5 [--full]`
+
+use bench::{check, fig5_strategies, with_mode, write_results_json, Mode, PE_SWEEP};
+use lb_core::{DegreePolicy, SelectPolicy, Strategy};
+use snsim::{format_table, run_parallel, SimConfig};
+use workload::WorkloadSpec;
+
+fn main() {
+    let mode = Mode::from_args();
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut raw = Vec::new();
+
+    let mut strategies = fig5_strategies();
+    strategies.push(Strategy::Isolated {
+        degree: DegreePolicy::SuOpt,
+        select: SelectPolicy::Random,
+    }); // single-user baseline runs last with a different workload
+
+    for (si, strat) in strategies.iter().enumerate() {
+        let single_user = si == strategies.len() - 1;
+        let cfgs: Vec<SimConfig> = PE_SWEEP
+            .iter()
+            .map(|&n| {
+                let wl = if single_user {
+                    WorkloadSpec::single_user_join(0.01)
+                } else {
+                    WorkloadSpec::homogeneous_join(0.01, 0.25)
+                };
+                with_mode(SimConfig::paper_default(n, wl, *strat), mode)
+            })
+            .collect();
+        let sums = run_parallel(cfgs);
+        let name = if single_user {
+            "single-user(psu-opt)".to_string()
+        } else {
+            strat.name()
+        };
+        series.push((name.clone(), sums.iter().map(|s| s.join_resp_ms()).collect()));
+        raw.push((name, sums));
+    }
+
+    let xs: Vec<String> = PE_SWEEP.iter().map(|n| n.to_string()).collect();
+    println!(
+        "{}",
+        format_table(
+            "Fig. 5 — static degree of parallelism: join response time [ms]",
+            "#PE",
+            &xs,
+            &series,
+        )
+    );
+
+    // Qualitative claims from §5.2.
+    let get = |name: &str| -> &Vec<f64> {
+        &series.iter().find(|(n, _)| n == name).expect("series").1
+    };
+    let at80 = |name: &str| get(name)[PE_SWEEP.len() - 1];
+    let at10 = |name: &str| get(name)[0];
+    check(
+        "light load (≤ 20 PE): psu-opt beats psu-noIO (CPU parallelism underused)",
+        at10("psu-opt+RANDOM") < at10("psu-noIO+RANDOM"),
+    );
+    check(
+        "RANDOM is the worst selection for psu-noIO at 80 PE",
+        at80("psu-noIO+RANDOM") >= at80("psu-noIO+LUM"),
+    );
+    check(
+        "LUM beats LUC for psu-noIO (memory bottleneck dominates, §5.2)",
+        at80("psu-noIO+LUM") <= at80("psu-noIO+LUC") * 1.05,
+    );
+    check(
+        "single-user baseline below every multi-user series at 80 PE",
+        [
+            "psu-noIO+RANDOM",
+            "psu-noIO+LUM",
+            "psu-opt+RANDOM",
+            "psu-opt+LUM",
+        ]
+        .iter()
+        .all(|s| at80(s) > at80("single-user(psu-opt)")),
+    );
+
+    write_results_json("fig5", &raw);
+}

@@ -1,0 +1,95 @@
+//! Fig. 6 — "Dynamic degree of join parallelism"
+//! (multi-user join 0.25 QPS/PE; 1% scan selectivity).
+//!
+//! Series: MIN-IO, MIN-IO-SUOPT, p_mu-cpu+RANDOM, p_mu-cpu+LUM,
+//! OPT-IO-CPU, plus the single-user baseline. X-axis: 10..80 PE.
+//!
+//! Run: `cargo run --release -p bench --bin fig6 [--full]`
+
+use bench::{check, with_mode, write_results_json, Mode, PE_SWEEP};
+use lb_core::{DegreePolicy, SelectPolicy, Strategy};
+use snsim::{format_table, run_parallel, SimConfig};
+use workload::WorkloadSpec;
+
+fn main() {
+    let mode = Mode::from_args();
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut raw = Vec::new();
+
+    for strat in Strategy::fig6_set() {
+        let cfgs: Vec<SimConfig> = PE_SWEEP
+            .iter()
+            .map(|&n| {
+                with_mode(
+                    SimConfig::paper_default(
+                        n,
+                        WorkloadSpec::homogeneous_join(0.01, 0.25),
+                        strat,
+                    ),
+                    mode,
+                )
+            })
+            .collect();
+        let sums = run_parallel(cfgs);
+        series.push((strat.name(), sums.iter().map(|s| s.join_resp_ms()).collect()));
+        raw.push((strat.name(), sums));
+    }
+    // Single-user baseline.
+    let su = Strategy::Isolated {
+        degree: DegreePolicy::SuOpt,
+        select: SelectPolicy::Random,
+    };
+    let cfgs: Vec<SimConfig> = PE_SWEEP
+        .iter()
+        .map(|&n| {
+            with_mode(
+                SimConfig::paper_default(n, WorkloadSpec::single_user_join(0.01), su),
+                mode,
+            )
+        })
+        .collect();
+    let sums = run_parallel(cfgs);
+    series.push((
+        "single-user(psu-opt)".into(),
+        sums.iter().map(|s| s.join_resp_ms()).collect(),
+    ));
+    raw.push(("single-user(psu-opt)".into(), sums));
+
+    let xs: Vec<String> = PE_SWEEP.iter().map(|n| n.to_string()).collect();
+    println!(
+        "{}",
+        format_table(
+            "Fig. 6 — dynamic degree of join parallelism: join response time [ms]",
+            "#PE",
+            &xs,
+            &series,
+        )
+    );
+
+    // Qualitative claims from §5.2.
+    let get = |name: &str| -> &Vec<f64> {
+        &series.iter().find(|(n, _)| n == name).expect("series").1
+    };
+    let last = PE_SWEEP.len() - 1;
+    check(
+        "MIN-IO and MIN-IO-SUOPT are the worst dynamic strategies at 80 PE",
+        get("MIN-IO")[last] > get("pmu-cpu+LUM")[last]
+            && get("MIN-IO-SUOPT")[last] > get("pmu-cpu+LUM")[last],
+    );
+    check(
+        "pmu-cpu+LUM beats pmu-cpu+RANDOM (state-aware selection wins)",
+        get("pmu-cpu+LUM")[last] <= get("pmu-cpu+RANDOM")[last] * 1.05,
+    );
+    check(
+        "OPT-IO-CPU is competitive with pmu-cpu+LUM (within 20%)",
+        get("OPT-IO-CPU")[last] <= get("pmu-cpu+LUM")[last] * 1.2,
+    );
+    check(
+        "CPU-aware reduction keeps 80-PE multi-user response times acceptable \
+         (best CPU-aware scheme < 8x single-user; CPU-blind schemes diverge)",
+        get("pmu-cpu+LUM")[last].min(get("OPT-IO-CPU")[last])
+            <= get("single-user(psu-opt)")[last] * 8.0,
+    );
+
+    write_results_json("fig6", &raw);
+}

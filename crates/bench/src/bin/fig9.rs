@@ -1,0 +1,96 @@
+//! Fig. 9 — "Static vs. dynamic load balancing for mixed workloads"
+//! (multi-user join 0.075 QPS/PE; 5 disks per PE; OLTP at 100 TPS per
+//! OLTP node).
+//!
+//! (a) OLTP on the A-nodes (20% of PEs); (b) OLTP on the B-nodes (80%).
+//! Series: psu-opt+RANDOM, psu-noIO+RANDOM, psu-noIO+LUM, pmu-cpu+LUM,
+//! OPT-IO-CPU. X-axis: 10..80 PE.
+//!
+//! Run: `cargo run --release -p bench --bin fig9 [--full]`
+
+use bench::{check, fig9_strategies, with_mode, write_results_json, Mode, PE_SWEEP};
+use dbmodel::RelationId;
+use snsim::{format_table, run_parallel, SimConfig};
+use workload::{NodeFilter, WorkloadSpec};
+
+fn main() {
+    let mode = Mode::from_args();
+    for (panel, nodes) in [("9a (OLTP on A-nodes)", NodeFilter::ANodes), ("9b (OLTP on B-nodes)", NodeFilter::BNodes)] {
+        let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+        let mut oltp_series: Vec<(String, Vec<f64>)> = Vec::new();
+        let mut raw = Vec::new();
+        for strat in fig9_strategies() {
+            let cfgs: Vec<SimConfig> = PE_SWEEP
+                .iter()
+                .map(|&n| {
+                    let wl =
+                        WorkloadSpec::mixed(0.01, 0.075, RelationId(2), 100.0, nodes);
+                    with_mode(
+                        SimConfig::paper_default(n, wl, strat).with_disks(5),
+                        mode,
+                    )
+                })
+                .collect();
+            let sums = run_parallel(cfgs);
+            series.push((strat.name(), sums.iter().map(|s| s.join_resp_ms()).collect()));
+            oltp_series.push((
+                strat.name(),
+                sums.iter()
+                    .map(|s| s.oltp_resp_ms().unwrap_or(f64::NAN))
+                    .collect(),
+            ));
+            raw.push((strat.name(), sums));
+        }
+
+        let xs: Vec<String> = PE_SWEEP.iter().map(|n| n.to_string()).collect();
+        println!(
+            "{}",
+            format_table(
+                &format!("Fig. {panel}: join response time [ms]"),
+                "#PE",
+                &xs,
+                &series,
+            )
+        );
+        println!(
+            "{}",
+            format_table(
+                &format!("Fig. {panel}: OLTP response time [ms]"),
+                "#PE",
+                &xs,
+                &oltp_series,
+            )
+        );
+
+        let get = |name: &str| -> &Vec<f64> {
+            &series.iter().find(|(n, _)| n == name).expect("series").1
+        };
+        let last = PE_SWEEP.len() - 1;
+        check(
+            "dynamic strategies beat static RANDOM schemes at 80 PE",
+            get("OPT-IO-CPU")[last] < get("psu-opt+RANDOM")[last]
+                && get("pmu-cpu+LUM")[last] < get("psu-opt+RANDOM")[last],
+        );
+        check(
+            "LUM helps even with a static degree (psu-noIO+LUM < psu-noIO+RANDOM)",
+            get("psu-noIO+LUM")[last] <= get("psu-noIO+RANDOM")[last],
+        );
+        check(
+            "OPT-IO-CPU at 80 PE beats both RANDOM statics and is at least \
+             tied with pmu-cpu+LUM (§5.3's integrated-vs-isolated claim)",
+            get("OPT-IO-CPU")[last] < get("psu-opt+RANDOM")[last]
+                && get("OPT-IO-CPU")[last] < get("psu-noIO+RANDOM")[last]
+                && get("OPT-IO-CPU")[last] <= get("pmu-cpu+LUM")[last] * 1.05,
+        );
+        if panel.starts_with("9a") {
+            check(
+                "small systems: OPT-IO-CPU beats pmu-cpu+LUM (integrated wins, §5.3)",
+                get("OPT-IO-CPU")[0] <= get("pmu-cpu+LUM")[0] * 1.05,
+            );
+        }
+        write_results_json(
+            if panel.starts_with("9a") { "fig9a" } else { "fig9b" },
+            &raw,
+        );
+    }
+}

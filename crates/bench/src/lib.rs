@@ -1,0 +1,127 @@
+//! Shared infrastructure for the figure-regeneration harnesses.
+//!
+//! Every binary in `src/bin/fig*.rs` regenerates one figure of Rahm &
+//! Marek, VLDB 1995 (see DESIGN.md's experiment index). Output is a
+//! paper-style table on stdout plus a machine-readable JSON file under
+//! `results/` for EXPERIMENTS.md provenance.
+
+use lb_core::{DegreePolicy, SelectPolicy, Strategy};
+use simkit::SimDur;
+use snsim::{SimConfig, Summary};
+use std::path::PathBuf;
+
+/// Run length preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Short runs for CI / `cargo run` sanity (default).
+    Quick,
+    /// Longer runs for EXPERIMENTS.md numbers (`--full`).
+    Full,
+}
+
+impl Mode {
+    /// Parse from process args (`--full` selects [`Mode::Full`]).
+    pub fn from_args() -> Mode {
+        if std::env::args().any(|a| a == "--full") {
+            Mode::Full
+        } else {
+            Mode::Quick
+        }
+    }
+
+    /// (simulated duration, warm-up) for this mode.
+    pub fn times(self) -> (SimDur, SimDur) {
+        match self {
+            Mode::Quick => (SimDur::from_secs(40), SimDur::from_secs(8)),
+            Mode::Full => (SimDur::from_secs(120), SimDur::from_secs(20)),
+        }
+    }
+}
+
+/// The paper's system-size sweep.
+pub const PE_SWEEP: [u32; 5] = [10, 20, 40, 60, 80];
+
+/// Apply the mode's run length to a config.
+pub fn with_mode(cfg: SimConfig, mode: Mode) -> SimConfig {
+    let (sim, warm) = mode.times();
+    cfg.with_sim_time(sim, warm)
+}
+
+/// The isolated strategies of Fig. 5 (static degrees × selection).
+pub fn fig5_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Random },
+        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Luc },
+        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Lum },
+        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Random },
+        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Luc },
+        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Lum },
+    ]
+}
+
+/// The strategies of Fig. 9 (static vs dynamic for mixed workloads).
+pub fn fig9_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Random },
+        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Random },
+        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Lum },
+        Strategy::Isolated { degree: DegreePolicy::MuCpu, select: SelectPolicy::Lum },
+        Strategy::OptIoCpu,
+    ]
+}
+
+/// Write a JSON result file under `results/` (created on demand).
+pub fn write_results_json(name: &str, summaries: &[(String, Vec<Summary>)]) {
+    let dir = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let payload: Vec<serde_json::Value> = summaries
+        .iter()
+        .map(|(series, sums)| {
+            serde_json::json!({
+                "series": series,
+                "points": sums,
+            })
+        })
+        .collect();
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(&payload) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("results written to {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize results: {e}"),
+    }
+}
+
+/// Assert a qualitative claim, printing rather than panicking (harnesses
+/// should report shape violations without aborting the whole run).
+pub fn check(claim: &str, ok: bool) {
+    if ok {
+        println!("  [shape OK] {claim}");
+    } else {
+        println!("  [SHAPE VIOLATION] {claim}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_have_sane_times() {
+        let (s, w) = Mode::Quick.times();
+        assert!(s > w);
+        let (s2, w2) = Mode::Full.times();
+        assert!(s2 > s && w2 > w);
+    }
+
+    #[test]
+    fn strategy_sets_match_paper() {
+        assert_eq!(fig5_strategies().len(), 6);
+        assert_eq!(fig9_strategies().len(), 5);
+        assert_eq!(Strategy::fig6_set().len(), 5);
+    }
+}

@@ -1,0 +1,213 @@
+//! The designated control node.
+//!
+//! "For this purpose we assume that a designated control node is
+//! periodically informed by the processors about their current utilization.
+//! During the execution of a query, information on the current CPU and
+//! memory utilization is requested from the control node to support dynamic
+//! load balancing." (§3)
+//!
+//! "…the control node maintains the following data structure:
+//! `AVAIL-MEMORY [1..n] of (node-ID, free)` … sorted on the amount of free
+//! memory" (§3.3)
+//!
+//! Because reports are periodic, the control data is *stale* between
+//! reports; the paper counters this with **adaptive feedback**: "the
+//! adaptive variation … artificially increases the CPU utilization of a
+//! processor selected for join processing at the control node. This avoids
+//! that subsequent join queries are assigned to the same processors due to
+//! the delayed updating" (LUC), and "the control node's information is
+//! directly adapted for newly selected join processors" (LUM).
+
+use serde::{Deserialize, Serialize};
+
+/// Reported state of one node, as known by the control node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeState {
+    /// CPU utilization in [0, 1] over the last reporting window.
+    pub cpu_util: f64,
+    /// Buffer pages a new join working space could claim.
+    pub free_pages: u32,
+}
+
+/// Control-node view of the whole system.
+#[derive(Debug, Clone)]
+pub struct ControlNode {
+    nodes: Vec<NodeState>,
+    /// Memory promised to placements whose reservations have not yet
+    /// reached the nodes (placement → StartJoin → reserve takes a few
+    /// simulated milliseconds). Periodic reports would otherwise erase the
+    /// adaptive feedback and double-book the same free pages. Promises
+    /// decay geometrically at each report (they become visible in the
+    /// reported state once the reservations land).
+    promised: Vec<u32>,
+    /// LUC feedback: utilization bump per assigned join subquery.
+    pub luc_bump: f64,
+    /// Rotation cursor for tie-breaking: reported state is quantized
+    /// (whole pages, windowed utilization), so exact ties are common; a
+    /// fixed id-order tie-break would pile every placement onto the
+    /// lowest-numbered nodes. The cursor advances with each assignment.
+    rr: u32,
+}
+
+impl ControlNode {
+    pub fn new(n: usize) -> Self {
+        ControlNode {
+            nodes: vec![NodeState::default(); n],
+            promised: vec![0; n],
+            luc_bump: 0.1,
+            rr: 0,
+        }
+    }
+
+    /// Tie-break rank: distance of `id` ahead of the rotation cursor.
+    fn rank(&self, id: u32) -> u32 {
+        let n = self.nodes.len() as u32;
+        (id + n - self.rr % n) % n
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Periodic report from node `id`. Outstanding promises decay by half:
+    /// reservations placed since the previous report are now visible in
+    /// the reported numbers.
+    pub fn report(&mut self, id: u32, state: NodeState) {
+        self.nodes[id as usize] = state;
+        self.promised[id as usize] /= 2;
+    }
+
+    /// Effective state: reported state minus still-outstanding promises.
+    pub fn state(&self, id: u32) -> NodeState {
+        let s = self.nodes[id as usize];
+        NodeState {
+            cpu_util: s.cpu_util,
+            free_pages: s.free_pages.saturating_sub(self.promised[id as usize]),
+        }
+    }
+
+    /// Average CPU utilization over all nodes (`u_cpu` of eq. 3.2).
+    pub fn avg_cpu(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.iter().map(|n| n.cpu_util).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// The AVAIL-MEMORY array: `(node-ID, free)` sorted descending on free
+    /// memory; ties broken by the rotating cursor (deterministic but not
+    /// id-biased).
+    pub fn avail_memory(&self) -> Vec<(u32, u32)> {
+        let mut v: Vec<(u32, u32)> = (0..self.nodes.len() as u32)
+            .map(|i| (i, self.state(i).free_pages))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(self.rank(a.0).cmp(&self.rank(b.0))));
+        v
+    }
+
+    /// Nodes sorted ascending by CPU utilization (for LUC), rotating ties.
+    pub fn by_cpu(&self) -> Vec<(u32, f64)> {
+        let mut v: Vec<(u32, f64)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.cpu_util))
+            .collect();
+        v.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite")
+                .then(self.rank(a.0).cmp(&self.rank(b.0)))
+        });
+        v
+    }
+
+    /// Adaptive feedback after assigning a join to `nodes`, each expected
+    /// to take `pages_per_node` of memory: the control copy is updated
+    /// immediately so the next placement sees the claim.
+    pub fn note_assignment(&mut self, nodes: &[u32], pages_per_node: u32) {
+        for &id in nodes {
+            self.promised[id as usize] =
+                self.promised[id as usize].saturating_add(pages_per_node);
+            let s = &mut self.nodes[id as usize];
+            s.cpu_util = (s.cpu_util + self.luc_bump).min(1.0);
+        }
+        // Rotate tie-breaking so the next placement starts elsewhere.
+        self.rr = self.rr.wrapping_add(nodes.len().max(1) as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl(free: &[u32], cpu: &[f64]) -> ControlNode {
+        let mut c = ControlNode::new(free.len());
+        for (i, (&f, &u)) in free.iter().zip(cpu).enumerate() {
+            c.report(i as u32, NodeState { cpu_util: u, free_pages: f });
+        }
+        c
+    }
+
+    #[test]
+    fn avail_memory_sorted_desc() {
+        let c = ctl(&[5, 20, 10], &[0.0, 0.0, 0.0]);
+        let am = c.avail_memory();
+        assert_eq!(am, vec![(1, 20), (2, 10), (0, 5)]);
+    }
+
+    #[test]
+    fn avail_memory_ties_by_id() {
+        let c = ctl(&[7, 7, 7], &[0.0, 0.0, 0.0]);
+        let am = c.avail_memory();
+        assert_eq!(am, vec![(0, 7), (1, 7), (2, 7)]);
+    }
+
+    #[test]
+    fn avg_cpu() {
+        let c = ctl(&[0, 0], &[0.2, 0.6]);
+        assert!((c.avg_cpu() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn by_cpu_sorted_asc() {
+        let c = ctl(&[0, 0, 0], &[0.9, 0.1, 0.5]);
+        let ids: Vec<u32> = c.by_cpu().iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn assignment_feedback_adjusts_copy() {
+        let mut c = ctl(&[30, 30], &[0.2, 0.2]);
+        c.note_assignment(&[0], 10);
+        assert_eq!(c.state(0).free_pages, 20);
+        assert!((c.state(0).cpu_util - 0.3).abs() < 1e-12);
+        assert_eq!(c.state(1).free_pages, 30, "untouched");
+        // Saturation.
+        c.note_assignment(&[0], 100);
+        assert_eq!(c.state(0).free_pages, 0);
+        c.luc_bump = 1.0;
+        c.note_assignment(&[0], 0);
+        assert_eq!(c.state(0).cpu_util, 1.0);
+    }
+
+    #[test]
+    fn promises_decay_across_reports() {
+        let mut c = ctl(&[30], &[0.2]);
+        c.note_assignment(&[0], 10);
+        assert_eq!(c.state(0).free_pages, 20, "promise hides pages");
+        // First report: the reservation is partially visible; half the
+        // promise is retained against double-booking.
+        c.report(0, NodeState { cpu_util: 0.25, free_pages: 28 });
+        assert_eq!(c.state(0).free_pages, 23, "28 − 10/2");
+        // Second report: promise fully decayed (10/4 = 2 remains... then 1).
+        c.report(0, NodeState { cpu_util: 0.25, free_pages: 28 });
+        assert_eq!(c.state(0).free_pages, 26, "28 − 2");
+        c.report(0, NodeState { cpu_util: 0.25, free_pages: 28 });
+        c.report(0, NodeState { cpu_util: 0.25, free_pages: 28 });
+        assert_eq!(c.state(0).free_pages, 28, "promise gone");
+    }
+}

@@ -1,0 +1,104 @@
+//! Isolated policies for the **degree of join parallelism** (§3.1).
+//!
+//! "Isolated strategies operate in two consecutive steps. In a first step
+//! the number of join processes (degree of join parallelism) is determined.
+//! In a second step these join processes are allocated to processing nodes
+//! based on some criterion."
+
+use crate::control::ControlNode;
+use crate::costmodel::{CostModel, CostParams};
+use crate::ratematch::RateMatch;
+use crate::strategy::JoinRequest;
+use serde::{Deserialize, Serialize};
+
+/// How many join processors to use (first step of an isolated strategy).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DegreePolicy {
+    /// Static: the single-user optimum `p_su-opt` (compile-time).
+    SuOpt,
+    /// Static: `p_su-noIO` of eq. 3.1 — just enough processors to avoid
+    /// temporary file I/O in single-user mode.
+    SuNoIo,
+    /// Dynamic: `p_mu-cpu` of eq. 3.2 — reduce `p_su-opt` by the current
+    /// average CPU utilization.
+    MuCpu,
+    /// Fixed degree (experiments / Fig. 1 sweeps).
+    Fixed(u32),
+    /// The RateMatch baseline of §6 (Mehta & DeWitt): match the aggregate
+    /// join consumption rate to the scan production rate. Increases the
+    /// degree with CPU utilization — the behaviour the paper critiques.
+    RateMatch(CostParams),
+}
+
+impl DegreePolicy {
+    /// Compute the degree for `req` under the current control state.
+    /// Always in `1..=n`.
+    pub fn degree(&self, req: &JoinRequest, ctl: &ControlNode) -> u32 {
+        let n = ctl.len() as u32;
+        let p = match self {
+            DegreePolicy::SuOpt => req.psu_opt,
+            DegreePolicy::SuNoIo => req.psu_noio,
+            DegreePolicy::MuCpu => CostModel::pmu_cpu(req.psu_opt, ctl.avg_cpu()),
+            DegreePolicy::Fixed(p) => *p,
+            DegreePolicy::RateMatch(params) => {
+                RateMatch::new(*params).degree_from_request(req, ctl)
+            }
+        };
+        p.clamp(1, n.max(1))
+    }
+
+    /// Human-readable name used in experiment reports.
+    pub fn name(&self) -> String {
+        match self {
+            DegreePolicy::SuOpt => "psu-opt".into(),
+            DegreePolicy::SuNoIo => "psu-noIO".into(),
+            DegreePolicy::MuCpu => "pmu-cpu".into(),
+            DegreePolicy::Fixed(p) => format!("p={p}"),
+            DegreePolicy::RateMatch(_) => "RateMatch".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::NodeState;
+
+    fn req() -> JoinRequest {
+        JoinRequest {
+            table_pages: 131.25,
+            psu_opt: 30,
+            psu_noio: 3,
+            outer_scan_nodes: 32,
+        }
+    }
+
+    fn ctl(n: usize, cpu: f64) -> ControlNode {
+        let mut c = ControlNode::new(n);
+        for i in 0..n {
+            c.report(i as u32, NodeState { cpu_util: cpu, free_pages: 50 });
+        }
+        c
+    }
+
+    #[test]
+    fn static_policies_ignore_state() {
+        let c = ctl(80, 0.95);
+        assert_eq!(DegreePolicy::SuOpt.degree(&req(), &c), 30);
+        assert_eq!(DegreePolicy::SuNoIo.degree(&req(), &c), 3);
+        assert_eq!(DegreePolicy::Fixed(7).degree(&req(), &c), 7);
+    }
+
+    #[test]
+    fn dynamic_policy_tracks_cpu() {
+        assert_eq!(DegreePolicy::MuCpu.degree(&req(), &ctl(80, 0.0)), 30);
+        assert_eq!(DegreePolicy::MuCpu.degree(&req(), &ctl(80, 0.8)), 15);
+    }
+
+    #[test]
+    fn degree_clamped_to_system_size() {
+        let c = ctl(10, 0.0);
+        assert_eq!(DegreePolicy::SuOpt.degree(&req(), &c), 10);
+        assert_eq!(DegreePolicy::Fixed(0).degree(&req(), &c), 1);
+    }
+}

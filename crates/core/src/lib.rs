@@ -1,0 +1,45 @@
+//! # lb_core — dynamic multi-resource load balancing (the paper's contribution)
+//!
+//! Implements Section 3 of Rahm & Marek, VLDB 1995, *"Dynamic Multi-Resource
+//! Load Balancing in Parallel Database Systems"*: the strategies that decide,
+//! **at query run time**, (1) the *degree of join parallelism* and (2) the
+//! *selection of join processors*, based on the current CPU utilization and
+//! memory availability of every node.
+//!
+//! ## Components
+//!
+//! * [`control`] — the designated **control node**: periodically refreshed
+//!   per-node state (CPU utilization, free memory), the sorted
+//!   `AVAIL-MEMORY` array of §3.3, and the *adaptive feedback* corrections
+//!   that immediately adjust the control data for newly selected join
+//!   processors (avoiding herd effects under stale information);
+//! * [`costmodel`] — the analytic single-user response-time model used to
+//!   derive `p_su-opt` (argmin over the degree of parallelism) and
+//!   `p_su-noIO` (eq. 3.1), plus `p_mu-cpu` (eq. 3.2);
+//! * [`degree`] — isolated policies for the number of join processors
+//!   (static `p_su-opt`, static `p_su-noIO`, dynamic `p_mu-cpu`);
+//! * [`select`] — isolated policies for choosing the processors (RANDOM,
+//!   LUC = least utilized CPUs, LUM = least utilized memory);
+//! * [`integrated`] — the integrated multi-resource policies MIN-IO
+//!   (eq. 3.3), MIN-IO-SUOPT and OPT-IO-CPU that determine degree *and*
+//!   placement in a single step from the memory/CPU state;
+//! * [`strategy`] — the [`Strategy`](strategy::Strategy) enum uniting all of
+//!   the above behind one `place()` call, plus the `Adaptive` meta-policy
+//!   sketched in the paper's conclusions ("a family of load balancing
+//!   strategies so that the most appropriate policy can be selected
+//!   according to the current system state").
+
+pub mod control;
+pub mod costmodel;
+pub mod degree;
+pub mod integrated;
+pub mod ratematch;
+pub mod select;
+pub mod strategy;
+
+pub use control::{ControlNode, NodeState};
+pub use costmodel::{CostModel, CostParams, JoinProfile};
+pub use degree::DegreePolicy;
+pub use ratematch::RateMatch;
+pub use select::SelectPolicy;
+pub use strategy::{JoinRequest, Placement, Strategy};

@@ -1,0 +1,142 @@
+//! Isolated policies for the **selection of join processors** (§3.2).
+//!
+//! * RANDOM — state-oblivious uniform choice ("expected to spread the
+//!   workload equally across all available nodes");
+//! * LUC — "we select the processors with the lowest CPU utilization as
+//!   join processors", with the adaptive feedback of [26];
+//! * LUM — "join processes are assigned to the nodes with the most
+//!   available main memory", again with direct adaptation of the control
+//!   node's information.
+
+use crate::control::ControlNode;
+use serde::{Deserialize, Serialize};
+use simkit::SimRng;
+
+/// Processor-selection policy (second step of an isolated strategy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectPolicy {
+    Random,
+    /// Least Utilized CPUs.
+    Luc,
+    /// Least Utilized Memory (most free pages).
+    Lum,
+}
+
+impl SelectPolicy {
+    /// Choose `p` distinct nodes. For LUC/LUM the control copy is adapted
+    /// immediately (`pages_per_node` is the expected memory claim).
+    pub fn select(
+        &self,
+        p: u32,
+        ctl: &mut ControlNode,
+        rng: &mut SimRng,
+        pages_per_node: u32,
+    ) -> Vec<u32> {
+        let n = ctl.len();
+        let p = (p as usize).clamp(1, n);
+        let nodes: Vec<u32> = match self {
+            SelectPolicy::Random => rng
+                .sample_distinct(n, p)
+                .into_iter()
+                .map(|i| i as u32)
+                .collect(),
+            SelectPolicy::Luc => ctl.by_cpu().into_iter().take(p).map(|(i, _)| i).collect(),
+            SelectPolicy::Lum => ctl
+                .avail_memory()
+                .into_iter()
+                .take(p)
+                .map(|(i, _)| i)
+                .collect(),
+        };
+        if !matches!(self, SelectPolicy::Random) {
+            ctl.note_assignment(&nodes, pages_per_node);
+        }
+        nodes
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectPolicy::Random => "RANDOM",
+            SelectPolicy::Luc => "LUC",
+            SelectPolicy::Lum => "LUM",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::NodeState;
+
+    fn ctl(free: &[u32], cpu: &[f64]) -> ControlNode {
+        let mut c = ControlNode::new(free.len());
+        for (i, (&f, &u)) in free.iter().zip(cpu).enumerate() {
+            c.report(i as u32, NodeState { cpu_util: u, free_pages: f });
+        }
+        c
+    }
+
+    #[test]
+    fn lum_picks_most_free_memory() {
+        let mut c = ctl(&[5, 40, 20, 30], &[0.5; 4]);
+        let mut rng = SimRng::new(1);
+        let nodes = SelectPolicy::Lum.select(2, &mut c, &mut rng, 10);
+        assert_eq!(nodes, vec![1, 3]);
+    }
+
+    #[test]
+    fn luc_picks_least_cpu() {
+        let mut c = ctl(&[10; 4], &[0.9, 0.1, 0.4, 0.2]);
+        let mut rng = SimRng::new(1);
+        let nodes = SelectPolicy::Luc.select(3, &mut c, &mut rng, 0);
+        assert_eq!(nodes, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn random_is_distinct_and_in_range() {
+        let mut c = ctl(&[10; 20], &[0.0; 20]);
+        let mut rng = SimRng::new(7);
+        for _ in 0..50 {
+            let nodes = SelectPolicy::Random.select(8, &mut c, &mut rng, 0);
+            assert_eq!(nodes.len(), 8);
+            let mut s = nodes.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 8);
+            assert!(nodes.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn adaptive_feedback_spreads_consecutive_joins() {
+        // Two equal joins arriving between control reports must not both
+        // land on the same "best" nodes (the paper's herd-avoidance).
+        let mut c = ctl(&[40, 40, 10, 10], &[0.0; 4]);
+        let mut rng = SimRng::new(1);
+        let first = SelectPolicy::Lum.select(2, &mut c, &mut rng, 35);
+        let second = SelectPolicy::Lum.select(2, &mut c, &mut rng, 35);
+        assert_eq!(first, vec![0, 1]);
+        assert_eq!(second, vec![2, 3], "feedback pushed the next join away");
+    }
+
+    #[test]
+    fn luc_feedback_bumps_utilization() {
+        let mut c = ctl(&[10; 3], &[0.0, 0.0, 0.5]);
+        c.luc_bump = 0.6;
+        let mut rng = SimRng::new(1);
+        let first = SelectPolicy::Luc.select(1, &mut c, &mut rng, 0);
+        assert_eq!(first, vec![0]);
+        let second = SelectPolicy::Luc.select(1, &mut c, &mut rng, 0);
+        assert_eq!(second, vec![1]);
+        let third = SelectPolicy::Luc.select(1, &mut c, &mut rng, 0);
+        assert_eq!(third, vec![2], "bumped nodes now rank behind 0.5");
+    }
+
+    #[test]
+    fn selection_caps_at_system_size() {
+        let mut c = ctl(&[10; 3], &[0.0; 3]);
+        let mut rng = SimRng::new(1);
+        let nodes = SelectPolicy::Lum.select(9, &mut c, &mut rng, 0);
+        assert_eq!(nodes.len(), 3);
+    }
+}

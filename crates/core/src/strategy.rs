@@ -1,0 +1,285 @@
+//! The unified strategy interface.
+//!
+//! A [`Strategy`] turns a [`JoinRequest`] plus the control node's current
+//! state into a [`Placement`] (degree of parallelism + selected nodes) in
+//! one call. Isolated strategies combine a [`DegreePolicy`] with a
+//! [`SelectPolicy`]; integrated strategies decide both together (§3.3).
+//!
+//! The `Adaptive` meta-policy implements the paper's concluding
+//! recommendation: *"such an approach should be realized by a family of
+//! load balancing strategies so that the most appropriate policy can be
+//! selected according to the current system state. For instance, if the
+//! system suffers primarily from memory and disk bottlenecks an integrated
+//! policy like MIN-IO-SUOPT should be chosen … For situations with high CPU
+//! contention or with both CPU and memory bottlenecks, an integrated policy
+//! like OPT-IO-CPU has proven to be very effective."*
+
+use crate::control::ControlNode;
+use crate::degree::DegreePolicy;
+use crate::integrated;
+use crate::select::SelectPolicy;
+use serde::{Deserialize, Serialize};
+use simkit::SimRng;
+
+/// Planner-side description of a join about to be scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinRequest {
+    /// Hash-table pages of the inner input (`b_i · F`).
+    pub table_pages: f64,
+    /// Single-user optimum from the cost model.
+    pub psu_opt: u32,
+    /// Eq. 3.1 no-I/O degree from the cost model.
+    pub psu_noio: u32,
+    /// Scan nodes producing the probe input (used by the RateMatch
+    /// baseline of §6 to size the consumer side).
+    pub outer_scan_nodes: u32,
+}
+
+/// A placement decision: which nodes run join processes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Selected join processors (distinct node ids, `1..=n` of them).
+    pub nodes: Vec<u32>,
+}
+
+impl Placement {
+    /// Degree of join parallelism.
+    pub fn degree(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+}
+
+/// A load-balancing strategy from the paper's §3 family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Two-step strategy: degree policy then selection policy.
+    Isolated {
+        degree: DegreePolicy,
+        select: SelectPolicy,
+    },
+    /// Integrated: minimal degree avoiding temporary file I/O (eq. 3.3).
+    MinIo,
+    /// Integrated: degree closest to `p_su-opt` avoiding temporary I/O.
+    MinIoSuopt,
+    /// Integrated: like MIN-IO-SUOPT but capped by `p_mu-cpu` (eq. 3.2).
+    OptIoCpu,
+    /// Meta-policy choosing among the above from the bottleneck state
+    /// (extension; see module docs). `cpu_hot` is the average-CPU threshold
+    /// above which CPU is treated as the primary bottleneck.
+    Adaptive,
+}
+
+impl Strategy {
+    /// Decide degree and node set for one join query.
+    ///
+    /// For memory-aware strategies (LUM and all integrated policies) the
+    /// control state is adapted in place (adaptive feedback).
+    pub fn place(&self, req: &JoinRequest, ctl: &mut ControlNode, rng: &mut SimRng) -> Placement {
+        match self {
+            Strategy::Isolated { degree, select } => {
+                let p = degree.degree(req, ctl);
+                let share = per_node_share(req.table_pages, p);
+                let nodes = select.select(p, ctl, rng, share);
+                Placement { nodes }
+            }
+            Strategy::MinIo => integrated_placement(integrated::min_io(req, ctl), req, ctl),
+            Strategy::MinIoSuopt => {
+                integrated_placement(integrated::min_io_suopt(req, ctl), req, ctl)
+            }
+            Strategy::OptIoCpu => integrated_placement(integrated::opt_io_cpu(req, ctl), req, ctl),
+            Strategy::Adaptive => {
+                let chosen = self.adaptive_choice(req, ctl);
+                chosen.place(req, ctl, rng)
+            }
+        }
+    }
+
+    /// The concrete policy Adaptive delegates to under the current state.
+    pub fn adaptive_choice(&self, req: &JoinRequest, ctl: &ControlNode) -> Strategy {
+        let cpu = ctl.avg_cpu();
+        let avail = ctl.avail_memory();
+        let no_io_possible = integrated::min_k_avoiding_io(&avail, req.table_pages).is_some();
+        if cpu > 0.5 {
+            // CPU (or CPU+memory) bottleneck: cap parallelism by CPU.
+            Strategy::OptIoCpu
+        } else if !no_io_possible {
+            // Memory/disk-bound: chase I/O minimization with high degrees.
+            Strategy::MinIoSuopt
+        } else {
+            Strategy::Isolated {
+                degree: DegreePolicy::MuCpu,
+                select: SelectPolicy::Lum,
+            }
+        }
+    }
+
+    /// Name used in experiment reports (matches the paper's labels).
+    pub fn name(&self) -> String {
+        match self {
+            Strategy::Isolated { degree, select } => {
+                format!("{}+{}", degree.name(), select.name())
+            }
+            Strategy::MinIo => "MIN-IO".into(),
+            Strategy::MinIoSuopt => "MIN-IO-SUOPT".into(),
+            Strategy::OptIoCpu => "OPT-IO-CPU".into(),
+            Strategy::Adaptive => "ADAPTIVE".into(),
+        }
+    }
+
+    /// The strategy set evaluated in the paper's Fig. 6.
+    pub fn fig6_set() -> Vec<Strategy> {
+        vec![
+            Strategy::MinIo,
+            Strategy::MinIoSuopt,
+            Strategy::Isolated {
+                degree: DegreePolicy::MuCpu,
+                select: SelectPolicy::Random,
+            },
+            Strategy::Isolated {
+                degree: DegreePolicy::MuCpu,
+                select: SelectPolicy::Lum,
+            },
+            Strategy::OptIoCpu,
+        ]
+    }
+}
+
+fn per_node_share(table_pages: f64, p: u32) -> u32 {
+    (table_pages / p.max(1) as f64).ceil() as u32
+}
+
+fn integrated_placement(
+    (k, nodes): (u32, Vec<u32>),
+    req: &JoinRequest,
+    ctl: &mut ControlNode,
+) -> Placement {
+    debug_assert_eq!(k as usize, nodes.len());
+    ctl.note_assignment(&nodes, per_node_share(req.table_pages, k));
+    Placement { nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::NodeState;
+    use proptest::prelude::{prop_assert, prop_assert_eq, proptest};
+
+    fn ctl(n: usize, cpu: f64, free: u32) -> ControlNode {
+        let mut c = ControlNode::new(n);
+        for i in 0..n {
+            c.report(i as u32, NodeState { cpu_util: cpu, free_pages: free });
+        }
+        c
+    }
+
+    fn req() -> JoinRequest {
+        JoinRequest {
+            table_pages: 131.25,
+            psu_opt: 30,
+            psu_noio: 3,
+            outer_scan_nodes: 32,
+        }
+    }
+
+    #[test]
+    fn isolated_combines_both_steps() {
+        let mut c = ctl(80, 0.0, 50);
+        let mut rng = SimRng::new(3);
+        let s = Strategy::Isolated {
+            degree: DegreePolicy::SuNoIo,
+            select: SelectPolicy::Lum,
+        };
+        let p = s.place(&req(), &mut c, &mut rng);
+        assert_eq!(p.degree(), 3);
+    }
+
+    #[test]
+    fn integrated_feedback_applied() {
+        let mut c = ctl(4, 0.0, 50);
+        let mut rng = SimRng::new(3);
+        let s = Strategy::MinIo;
+        let p1 = s.place(&req(), &mut c, &mut rng);
+        assert_eq!(p1.degree(), 3);
+        // 131.25/3 = 44 pages claimed per node → those nodes drop to 6
+        // free; the next join must prefer the untouched node first.
+        let p2 = s.place(&req(), &mut c, &mut rng);
+        assert!(p2.nodes.contains(&3));
+    }
+
+    #[test]
+    fn adaptive_picks_opt_io_cpu_when_hot() {
+        let c = ctl(8, 0.8, 50);
+        assert_eq!(
+            Strategy::Adaptive.adaptive_choice(&req(), &c),
+            Strategy::OptIoCpu
+        );
+    }
+
+    #[test]
+    fn adaptive_picks_min_io_suopt_when_memory_bound() {
+        let c = ctl(8, 0.1, 5); // 8·5 = 40 < 131.25: no selection avoids I/O
+        assert_eq!(
+            Strategy::Adaptive.adaptive_choice(&req(), &c),
+            Strategy::MinIoSuopt
+        );
+    }
+
+    #[test]
+    fn adaptive_defaults_to_isolated_dynamic() {
+        let c = ctl(8, 0.1, 50);
+        assert!(matches!(
+            Strategy::Adaptive.adaptive_choice(&req(), &c),
+            Strategy::Isolated { .. }
+        ));
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(Strategy::MinIo.name(), "MIN-IO");
+        assert_eq!(Strategy::MinIoSuopt.name(), "MIN-IO-SUOPT");
+        assert_eq!(Strategy::OptIoCpu.name(), "OPT-IO-CPU");
+        let iso = Strategy::Isolated {
+            degree: DegreePolicy::MuCpu,
+            select: SelectPolicy::Lum,
+        };
+        assert_eq!(iso.name(), "pmu-cpu+LUM");
+    }
+
+    proptest! {
+        /// Every strategy returns 1..=n distinct nodes under arbitrary
+        /// control states.
+        #[test]
+        fn prop_placements_valid(
+            n in 1usize..60,
+            cpu in proptest::collection::vec(0.0f64..1.0, 60),
+            free in proptest::collection::vec(0u32..200, 60),
+            table in 1.0f64..500.0,
+            psu_opt in 1u32..60,
+            seed in 0u64..1000,
+        ) {
+            let mut c = ControlNode::new(n);
+            for i in 0..n {
+                c.report(i as u32, NodeState { cpu_util: cpu[i], free_pages: free[i] });
+            }
+            let r = JoinRequest { table_pages: table, psu_opt, psu_noio: 3, outer_scan_nodes: 8 };
+            let mut rng = SimRng::new(seed);
+            for s in [
+                Strategy::MinIo,
+                Strategy::MinIoSuopt,
+                Strategy::OptIoCpu,
+                Strategy::Adaptive,
+                Strategy::Isolated { degree: DegreePolicy::MuCpu, select: SelectPolicy::Lum },
+                Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Random },
+                Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Luc },
+            ] {
+                let p = s.place(&r, &mut c, &mut rng);
+                prop_assert!(p.degree() >= 1 && p.degree() <= n as u32, "{}", s.name());
+                let mut ids = p.nodes.clone();
+                ids.sort_unstable();
+                ids.dedup();
+                prop_assert_eq!(ids.len(), p.nodes.len(), "duplicate nodes");
+                prop_assert!(p.nodes.iter().all(|&i| (i as usize) < n));
+            }
+        }
+    }
+}

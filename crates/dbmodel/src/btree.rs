@@ -1,0 +1,215 @@
+//! Analytic B+-tree model.
+//!
+//! The simulator never materializes index nodes; it needs the *page access
+//! pattern* of each access path:
+//!
+//! * clustered index scan with selectivity `s`: descend `height − 1` inner
+//!   pages, then read `⌈s × data_pages⌉` contiguous data pages sequentially
+//!   (prefetching applies);
+//! * non-clustered index select: descend `height` index pages, then one
+//!   random data page per qualifying tuple;
+//! * full relation scan: all data pages sequentially.
+
+use serde::{Deserialize, Serialize};
+
+/// Analytic B+-tree over a fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BTreeModel {
+    /// Entries per index page (fanout).
+    pub fanout: u32,
+    /// Number of indexed entries (tuples of the fragment).
+    pub entries: u64,
+}
+
+impl BTreeModel {
+    pub fn new(fanout: u32, entries: u64) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        BTreeModel { fanout, entries }
+    }
+
+    /// Tree height in levels including the leaf level (≥ 1). An empty tree
+    /// still has a root.
+    pub fn height(&self) -> u32 {
+        if self.entries <= 1 {
+            return 1;
+        }
+        let mut pages = self.entries.div_ceil(self.fanout as u64);
+        let mut h = 1;
+        while pages > 1 {
+            pages = pages.div_ceil(self.fanout as u64);
+            h += 1;
+        }
+        h
+    }
+
+    /// Leaf pages of the index.
+    pub fn leaf_pages(&self) -> u64 {
+        self.entries.div_ceil(self.fanout as u64).max(1)
+    }
+
+    /// Index pages touched when descending root → leaf.
+    pub fn descend_pages(&self) -> u32 {
+        self.height()
+    }
+
+    /// Index pages touched by a clustered range scan: descend to the first
+    /// leaf only; data pages then follow physically.
+    pub fn clustered_descend_pages(&self) -> u32 {
+        self.height().saturating_sub(1).max(1)
+    }
+}
+
+/// Page access plan of a scan over one fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanPlan {
+    /// Random index page reads before data access starts.
+    pub index_pages: u32,
+    /// Sequential data pages to read.
+    pub seq_data_pages: u64,
+    /// Random data page reads (one per tuple for non-clustered access).
+    pub rand_data_pages: u64,
+    /// Tuples examined (CPU: "read a tuple from memory page").
+    pub tuples_read: u64,
+    /// Tuples qualifying the selection (flow into the next operator).
+    pub tuples_out: u64,
+}
+
+impl ScanPlan {
+    /// Plan a **full relation scan** of a fragment with `frag_pages` pages
+    /// and `frag_tuples` tuples, applying `selectivity` as a filter.
+    pub fn relation_scan(frag_pages: u64, frag_tuples: u64, selectivity: f64) -> ScanPlan {
+        ScanPlan {
+            index_pages: 0,
+            seq_data_pages: frag_pages,
+            rand_data_pages: 0,
+            tuples_read: frag_tuples,
+            tuples_out: apply_sel(frag_tuples, selectivity),
+        }
+    }
+
+    /// Plan a **clustered index scan**: only the qualifying page range is
+    /// read, and only qualifying tuples are examined.
+    pub fn clustered_index_scan(
+        tree: BTreeModel,
+        frag_pages: u64,
+        frag_tuples: u64,
+        selectivity: f64,
+    ) -> ScanPlan {
+        let out = apply_sel(frag_tuples, selectivity);
+        let pages = ((frag_pages as f64) * selectivity).ceil() as u64;
+        ScanPlan {
+            index_pages: tree.clustered_descend_pages(),
+            seq_data_pages: pages.min(frag_pages).max(u64::from(out > 0)),
+            rand_data_pages: 0,
+            tuples_read: out,
+            tuples_out: out,
+        }
+    }
+
+    /// Plan a **non-clustered index scan**: descend per lookup, then one
+    /// random data page per qualifying tuple.
+    pub fn non_clustered_index_scan(
+        tree: BTreeModel,
+        frag_tuples: u64,
+        selectivity: f64,
+    ) -> ScanPlan {
+        let out = apply_sel(frag_tuples, selectivity);
+        ScanPlan {
+            index_pages: tree.descend_pages(),
+            seq_data_pages: 0,
+            rand_data_pages: out,
+            tuples_read: out,
+            tuples_out: out,
+        }
+    }
+
+    /// Total page accesses of the plan.
+    pub fn total_pages(&self) -> u64 {
+        self.index_pages as u64 + self.seq_data_pages + self.rand_data_pages
+    }
+}
+
+fn apply_sel(tuples: u64, selectivity: f64) -> u64 {
+    ((tuples as f64) * selectivity.clamp(0.0, 1.0)).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn heights_for_paper_relations() {
+        // Fanout 400 (8 KB pages, ~20 B entries).
+        let a = BTreeModel::new(400, 125_000); // A fragment on 2 of 10 PEs
+        assert_eq!(a.height(), 2); // 313 leaves under one root... 313 > 1 -> 2 levels
+        let b = BTreeModel::new(400, 1_000_000);
+        assert_eq!(b.height(), 3); // 2500 leaves -> 7 inner -> root
+    }
+
+    #[test]
+    fn degenerate_trees() {
+        assert_eq!(BTreeModel::new(2, 0).height(), 1);
+        assert_eq!(BTreeModel::new(2, 1).height(), 1);
+        assert_eq!(BTreeModel::new(400, 1).leaf_pages(), 1);
+    }
+
+    #[test]
+    fn clustered_scan_reads_fraction_of_pages() {
+        let tree = BTreeModel::new(400, 125_000);
+        let plan = ScanPlan::clustered_index_scan(tree, 6_250, 125_000, 0.01);
+        assert_eq!(plan.tuples_out, 1_250);
+        assert_eq!(plan.seq_data_pages, 63); // ceil(6250 * 0.01)
+        assert_eq!(plan.rand_data_pages, 0);
+        assert!(plan.index_pages >= 1);
+    }
+
+    #[test]
+    fn non_clustered_scan_random_per_tuple() {
+        let tree = BTreeModel::new(400, 100_000);
+        let plan = ScanPlan::non_clustered_index_scan(tree, 100_000, 0.0001);
+        assert_eq!(plan.tuples_out, 10);
+        assert_eq!(plan.rand_data_pages, 10);
+        assert_eq!(plan.seq_data_pages, 0);
+    }
+
+    #[test]
+    fn relation_scan_reads_everything() {
+        let plan = ScanPlan::relation_scan(1_000, 20_000, 0.05);
+        assert_eq!(plan.seq_data_pages, 1_000);
+        assert_eq!(plan.tuples_read, 20_000);
+        assert_eq!(plan.tuples_out, 1_000);
+    }
+
+    #[test]
+    fn zero_selectivity() {
+        let tree = BTreeModel::new(400, 10_000);
+        let plan = ScanPlan::clustered_index_scan(tree, 500, 10_000, 0.0);
+        assert_eq!(plan.tuples_out, 0);
+        assert_eq!(plan.seq_data_pages, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_height_covers_entries(fanout in 2u32..500, entries in 0u64..10_000_000) {
+            let t = BTreeModel::new(fanout, entries);
+            let h = t.height();
+            // fanout^h >= leaf capacity to hold all entries
+            let capacity = (fanout as f64).powi(h as i32);
+            prop_assert!(capacity >= entries as f64 || entries <= 1);
+            // minimal: fanout^(h-1) < entries (unless h == 1)
+            if h > 1 {
+                prop_assert!((fanout as f64).powi(h as i32 - 1) < entries as f64);
+            }
+        }
+
+        #[test]
+        fn prop_selected_pages_bounded(pages in 1u64..100_000, sel in 0.0f64..1.0) {
+            let tuples = pages * 20;
+            let tree = BTreeModel::new(400, tuples);
+            let plan = ScanPlan::clustered_index_scan(tree, pages, tuples, sel);
+            prop_assert!(plan.seq_data_pages <= pages);
+            prop_assert!(plan.tuples_out <= tuples);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Database catalog: relations, blocking factors, indices, declustering.
+//!
+//! Sizes are modelled analytically (tuple counts, pages via blocking
+//! factor); actual tuple payloads are never materialized — the simulator
+//! needs cardinalities and page addresses, not bytes.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a relation in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelationId(pub u32);
+
+/// Index structure associated with a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndexKind {
+    /// No index: only full relation scans are possible.
+    None,
+    /// Clustered B+-tree: range selections read a contiguous page run.
+    ClusteredBTree,
+    /// Non-clustered B+-tree: each qualifying tuple costs a random page
+    /// access after the index traversal.
+    NonClusteredBTree,
+}
+
+/// Horizontal declustering of a relation over a contiguous PE range.
+///
+/// The paper declusters relation A over the first 20% of PEs and relation B
+/// over the remaining 80%, with *equal tuples per PE* to make scan work
+/// perfectly balanced ("To support a static load balancing for scan
+/// operations, each PE is assigned the same number of tuples").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Declustering {
+    /// First PE holding a fragment.
+    pub first_pe: u32,
+    /// Number of PEs holding fragments.
+    pub pe_count: u32,
+}
+
+impl Declustering {
+    pub fn new(first_pe: u32, pe_count: u32) -> Self {
+        assert!(pe_count >= 1, "declustering needs at least one PE");
+        Declustering { first_pe, pe_count }
+    }
+
+    /// All PEs holding fragments, in order.
+    pub fn pes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.first_pe..self.first_pe + self.pe_count
+    }
+
+    pub fn holds(&self, pe: u32) -> bool {
+        pe >= self.first_pe && pe < self.first_pe + self.pe_count
+    }
+}
+
+/// A relation (base table) in the catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Relation {
+    pub id: RelationId,
+    pub name: String,
+    /// Total tuple count over all fragments.
+    pub tuples: u64,
+    /// Tuple size in bytes.
+    pub tuple_bytes: u32,
+    /// Tuples per page.
+    pub blocking_factor: u32,
+    pub index: IndexKind,
+    pub allocation: Declustering,
+    /// Memory-resident partitions skip disk I/O entirely (the simulator
+    /// supports main-memory databases, §4).
+    pub memory_resident: bool,
+}
+
+impl Relation {
+    /// Total pages of the relation.
+    pub fn pages(&self) -> u64 {
+        self.tuples.div_ceil(self.blocking_factor as u64)
+    }
+
+    /// Tuples stored at one PE (uniform declustering; remainder spread over
+    /// the first fragments).
+    pub fn tuples_at(&self, pe: u32) -> u64 {
+        if !self.allocation.holds(pe) {
+            return 0;
+        }
+        let n = self.allocation.pe_count as u64;
+        let base = self.tuples / n;
+        let extra = self.tuples % n;
+        let ord = (pe - self.allocation.first_pe) as u64;
+        base + u64::from(ord < extra)
+    }
+
+    /// Pages stored at one PE.
+    pub fn pages_at(&self, pe: u32) -> u64 {
+        self.tuples_at(pe).div_ceil(self.blocking_factor as u64)
+    }
+
+    /// Size of one fragment's scan output after a selection, in tuples.
+    pub fn selected_tuples_at(&self, pe: u32, selectivity: f64) -> u64 {
+        ((self.tuples_at(pe) as f64) * selectivity).round() as u64
+    }
+}
+
+/// Address of a page for buffer/disk-cache keying: object id ⊕ page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageAddr {
+    /// Object identity: relation fragments are `relation_id`; temporary
+    /// files use ids allocated from a high range by the engine.
+    pub object: u64,
+    pub page: u64,
+}
+
+impl PageAddr {
+    pub fn new(object: u64, page: u64) -> Self {
+        PageAddr { object, page }
+    }
+}
+
+/// The system catalog.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    relations: Vec<Relation>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a relation; ids must be dense and in order.
+    pub fn add(&mut self, rel: Relation) -> RelationId {
+        assert_eq!(
+            rel.id.0 as usize,
+            self.relations.len(),
+            "relation ids must be dense and in registration order"
+        );
+        let id = rel.id;
+        self.relations.push(rel);
+        id
+    }
+
+    pub fn relation(&self, id: RelationId) -> &Relation {
+        &self.relations[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.iter()
+    }
+
+    /// Builder for the paper's two-relation join database (Fig. 4):
+    /// A = 250k tuples over the first 20% of PEs, B = 1M tuples over the
+    /// remaining 80%, 400-byte tuples, blocking factor 20, clustered
+    /// B+-trees, disk-resident.
+    pub fn paper_default(num_pes: u32) -> Catalog {
+        let a_pes = (num_pes as f64 * 0.2).round().max(1.0) as u32;
+        let b_pes = (num_pes - a_pes).max(1);
+        let mut c = Catalog::new();
+        c.add(Relation {
+            id: RelationId(0),
+            name: "A".into(),
+            tuples: 250_000,
+            tuple_bytes: 400,
+            blocking_factor: 20,
+            index: IndexKind::ClusteredBTree,
+            allocation: Declustering::new(0, a_pes),
+            memory_resident: false,
+        });
+        c.add(Relation {
+            id: RelationId(1),
+            name: "B".into(),
+            tuples: 1_000_000,
+            tuple_bytes: 400,
+            blocking_factor: 20,
+            index: IndexKind::ClusteredBTree,
+            allocation: Declustering::new(a_pes, b_pes),
+            memory_resident: false,
+        });
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_catalog_sizes() {
+        let c = Catalog::paper_default(80);
+        let a = c.relation(RelationId(0));
+        let b = c.relation(RelationId(1));
+        // 250k tuples / 20 per page = 12500 pages = 100 MB at 8 KB pages.
+        assert_eq!(a.pages(), 12_500);
+        assert_eq!(b.pages(), 50_000);
+        assert_eq!(a.allocation.pe_count, 16, "20% of 80 PEs");
+        assert_eq!(b.allocation.pe_count, 64, "80% of 80 PEs");
+        assert!(!a.allocation.holds(16));
+        assert!(b.allocation.holds(16));
+    }
+
+    #[test]
+    fn fragments_are_uniform() {
+        let c = Catalog::paper_default(10);
+        let a = c.relation(RelationId(0));
+        // 2 A-nodes × 125000 tuples.
+        assert_eq!(a.allocation.pe_count, 2);
+        assert_eq!(a.tuples_at(0), 125_000);
+        assert_eq!(a.tuples_at(1), 125_000);
+        assert_eq!(a.tuples_at(2), 0);
+        let total: u64 = (0..10).map(|pe| a.tuples_at(pe)).sum();
+        assert_eq!(total, a.tuples);
+    }
+
+    #[test]
+    fn remainder_tuples_spread() {
+        let r = Relation {
+            id: RelationId(0),
+            name: "t".into(),
+            tuples: 10,
+            tuple_bytes: 8,
+            blocking_factor: 4,
+            index: IndexKind::None,
+            allocation: Declustering::new(0, 3),
+            memory_resident: false,
+        };
+        assert_eq!(r.tuples_at(0), 4);
+        assert_eq!(r.tuples_at(1), 3);
+        assert_eq!(r.tuples_at(2), 3);
+        let total: u64 = (0..3).map(|pe| r.tuples_at(pe)).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn selection_scales_output() {
+        let c = Catalog::paper_default(10);
+        let a = c.relation(RelationId(0));
+        assert_eq!(a.selected_tuples_at(0, 0.01), 1_250);
+        assert_eq!(a.selected_tuples_at(0, 0.0), 0);
+        assert_eq!(a.selected_tuples_at(0, 1.0), 125_000);
+    }
+
+    #[test]
+    fn minimum_one_a_node() {
+        let c = Catalog::paper_default(4);
+        let a = c.relation(RelationId(0));
+        let b = c.relation(RelationId(1));
+        assert!(a.allocation.pe_count >= 1);
+        assert!(b.allocation.pe_count >= 1);
+        assert_eq!(a.allocation.pe_count + b.allocation.pe_count, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn ids_must_be_dense() {
+        let mut c = Catalog::new();
+        c.add(Relation {
+            id: RelationId(5),
+            name: "x".into(),
+            tuples: 1,
+            tuple_bytes: 1,
+            blocking_factor: 1,
+            index: IndexKind::None,
+            allocation: Declustering::new(0, 1),
+            memory_resident: false,
+        });
+    }
+}

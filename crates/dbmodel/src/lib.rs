@@ -1,0 +1,33 @@
+//! # dbmodel — database substrate of the Shared Nothing simulator
+//!
+//! Implements the database and storage-side components of §4 of Rahm &
+//! Marek, VLDB 1995:
+//!
+//! * [`catalog`] — "the database is modeled as a set of partitions. A
+//!   partition may be used to represent a relation, a relation fragment or
+//!   an index structure": relations with blocking factors, clustered /
+//!   unclustered B+-tree indices, horizontal declustering across PEs and
+//!   disks;
+//! * [`btree`] — analytic B+-tree model (heights, page-access sequences for
+//!   the three scan types);
+//! * [`buffer`] — per-PE main-memory buffer: global LRU with no-force /
+//!   asynchronous write-back **plus** private working spaces reserved for
+//!   (sub)queries, a FCFS memory queue for joins awaiting their minimum
+//!   allocation, and priority stealing in favour of OLTP transactions;
+//! * [`lock`] — distributed strict two-phase locking (long read/write
+//!   locks), per-PE lock tables;
+//! * [`deadlock`] — central deadlock detection over the union of per-PE
+//!   wait-for graphs, youngest-victim abort policy;
+//! * [`log`] — per-PE logging with optional group commit.
+
+pub mod btree;
+pub mod buffer;
+pub mod catalog;
+pub mod deadlock;
+pub mod lock;
+pub mod log;
+
+pub use btree::BTreeModel;
+pub use buffer::{BufferManager, FixOutcome, JobMemKey, ReserveOutcome};
+pub use catalog::{Catalog, Declustering, IndexKind, PageAddr, Relation, RelationId};
+pub use lock::{LockManager, LockMode, LockOutcome, TxnToken};

@@ -1,0 +1,324 @@
+//! Distributed strict two-phase locking (per-PE lock tables).
+//!
+//! "For concurrency control, we employ distributed strict two-phase locking
+//! (long read and write locks). Global deadlocks are resolved by a central
+//! deadlock detection scheme." (§4)
+//!
+//! Each PE owns a [`LockManager`] over its local objects; lock requests are
+//! granted FIFO (waiters never overtake), shared locks are compatible with
+//! shared locks, and all locks are held until commit (`release_all`). The
+//! central detector (see [`crate::deadlock`]) consumes the union of
+//! [`LockManager::wait_edges`] across PEs.
+
+use simkit::SimTime;
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{HashMap, VecDeque};
+
+/// Identity of a transaction for locking: globally unique id plus its birth
+/// time (used by the youngest-victim abort policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnToken {
+    pub id: u64,
+    pub birth: SimTime,
+}
+
+/// Lock modes of strict 2PL (long read and write locks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+impl LockMode {
+    fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+}
+
+/// Result of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    Granted,
+    /// Enqueued; the owner will appear in `release_all` grants later.
+    Waiting,
+}
+
+#[derive(Debug)]
+struct LockEntry {
+    holders: Vec<(TxnToken, LockMode)>,
+    waiters: VecDeque<(TxnToken, LockMode)>,
+}
+
+/// Per-PE lock table.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    table: HashMap<u64, LockEntry>,
+    /// object ids held per txn, for O(held) release.
+    held_by: HashMap<u64, Vec<u64>>,
+    grants: u64,
+    waits: u64,
+}
+
+impl LockManager {
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// Request `mode` on `object` for `txn`.
+    ///
+    /// Re-requests by a holder are granted idempotently; a shared holder
+    /// requesting exclusive upgrades in place when it is the only holder,
+    /// otherwise it waits like any other request.
+    pub fn lock(&mut self, txn: TxnToken, object: u64, mode: LockMode) -> LockOutcome {
+        let entry = match self.table.entry(object) {
+            MapEntry::Occupied(e) => e.into_mut(),
+            MapEntry::Vacant(v) => {
+                v.insert(LockEntry {
+                    holders: vec![(txn, mode)],
+                    waiters: VecDeque::new(),
+                });
+                self.held_by.entry(txn.id).or_default().push(object);
+                self.grants += 1;
+                return LockOutcome::Granted;
+            }
+        };
+        // Already holding?
+        if let Some(pos) = entry.holders.iter().position(|(t, _)| t.id == txn.id) {
+            let held_mode = entry.holders[pos].1;
+            match (held_mode, mode) {
+                (LockMode::Exclusive, _) | (LockMode::Shared, LockMode::Shared) => {
+                    return LockOutcome::Granted;
+                }
+                (LockMode::Shared, LockMode::Exclusive) => {
+                    if entry.holders.len() == 1 {
+                        entry.holders[pos].1 = LockMode::Exclusive;
+                        self.grants += 1;
+                        return LockOutcome::Granted;
+                    }
+                    entry.waiters.push_back((txn, LockMode::Exclusive));
+                    self.waits += 1;
+                    return LockOutcome::Waiting;
+                }
+            }
+        }
+        let compatible_with_holders = entry.holders.iter().all(|(_, m)| m.compatible(mode));
+        if compatible_with_holders && entry.waiters.is_empty() {
+            entry.holders.push((txn, mode));
+            self.held_by.entry(txn.id).or_default().push(object);
+            self.grants += 1;
+            LockOutcome::Granted
+        } else {
+            entry.waiters.push_back((txn, mode));
+            self.waits += 1;
+            LockOutcome::Waiting
+        }
+    }
+
+    fn promote_waiters(entry: &mut LockEntry, granted: &mut Vec<(TxnToken, u64)>, object: u64) {
+        while let Some(&(txn, mode)) = entry.waiters.front() {
+            // Upgrade case: waiter already holds shared and is alone.
+            if let Some(pos) = entry.holders.iter().position(|(t, _)| t.id == txn.id) {
+                if entry.holders.len() == 1 && mode == LockMode::Exclusive {
+                    entry.holders[pos].1 = LockMode::Exclusive;
+                    entry.waiters.pop_front();
+                    granted.push((txn, object));
+                    continue;
+                }
+                break;
+            }
+            let ok = entry.holders.iter().all(|(_, m)| m.compatible(mode));
+            if !ok {
+                break;
+            }
+            entry.holders.push((txn, mode));
+            entry.waiters.pop_front();
+            granted.push((txn, object));
+        }
+    }
+
+    /// Release everything `txn` holds (strict 2PL: at commit/abort) and
+    /// remove it from any wait queues. Returns `(txn, object)` pairs that
+    /// became granted — the engine resumes those transactions.
+    pub fn release_all(&mut self, txn: TxnToken) -> Vec<(TxnToken, u64)> {
+        let mut granted = Vec::new();
+        let held = self.held_by.remove(&txn.id).unwrap_or_default();
+        for object in held {
+            let Some(entry) = self.table.get_mut(&object) else {
+                continue;
+            };
+            entry.holders.retain(|(t, _)| t.id != txn.id);
+            Self::promote_waiters(entry, &mut granted, object);
+            if entry.holders.is_empty() && entry.waiters.is_empty() {
+                self.table.remove(&object);
+            }
+        }
+        // Drop any outstanding waits of this txn (abort path).
+        self.table.retain(|object, entry| {
+            let before = entry.waiters.len();
+            entry.waiters.retain(|(t, _)| t.id != txn.id);
+            if entry.waiters.len() != before {
+                Self::promote_waiters(entry, &mut granted, *object);
+            }
+            !(entry.holders.is_empty() && entry.waiters.is_empty())
+        });
+        for (t, o) in &granted {
+            self.held_by.entry(t.id).or_default().push(*o);
+            self.grants += 1;
+        }
+        granted
+    }
+
+    /// Wait-for edges (waiter → holder) of this PE's lock table, fed to the
+    /// central deadlock detector.
+    pub fn wait_edges(&self) -> Vec<(u64, u64)> {
+        let mut edges = Vec::new();
+        for entry in self.table.values() {
+            for (w, _) in &entry.waiters {
+                for (h, _) in &entry.holders {
+                    if w.id != h.id {
+                        edges.push((w.id, h.id));
+                    }
+                }
+                // Waiters also wait for earlier waiters (FIFO queue).
+                for (w2, _) in &entry.waiters {
+                    if w2.id == w.id {
+                        break;
+                    }
+                    edges.push((w.id, w2.id));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Birth times of all transactions known to this table.
+    pub fn births(&self) -> Vec<TxnToken> {
+        let mut txns = Vec::new();
+        for entry in self.table.values() {
+            for (t, _) in entry.holders.iter().chain(entry.waiters.iter()) {
+                txns.push(*t);
+            }
+        }
+        txns
+    }
+
+    /// No locks held or waited for (quiescence check for tests).
+    pub fn is_quiescent(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    pub fn waits(&self) -> u64 {
+        self.waits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64) -> TxnToken {
+        TxnToken {
+            id,
+            birth: SimTime(id),
+        }
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.lock(t(1), 100, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.lock(t(2), 100, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.lock(t(3), 100, LockMode::Exclusive), LockOutcome::Waiting);
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.lock(t(1), 5, LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.lock(t(2), 5, LockMode::Shared), LockOutcome::Waiting);
+        assert_eq!(lm.lock(t(3), 5, LockMode::Exclusive), LockOutcome::Waiting);
+    }
+
+    #[test]
+    fn fifo_no_overtaking() {
+        let mut lm = LockManager::new();
+        lm.lock(t(1), 5, LockMode::Exclusive);
+        lm.lock(t(2), 5, LockMode::Exclusive); // waits
+        // t3's shared would be compatible with nothing held after release,
+        // but must not overtake t2.
+        lm.lock(t(3), 5, LockMode::Shared);
+        let granted = lm.release_all(t(1));
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].0.id, 2);
+    }
+
+    #[test]
+    fn release_grants_batch_of_compatible_waiters() {
+        let mut lm = LockManager::new();
+        lm.lock(t(1), 5, LockMode::Exclusive);
+        lm.lock(t(2), 5, LockMode::Shared);
+        lm.lock(t(3), 5, LockMode::Shared);
+        let granted = lm.release_all(t(1));
+        let ids: Vec<u64> = granted.iter().map(|(t, _)| t.id).collect();
+        assert_eq!(ids, vec![2, 3], "both shared waiters granted together");
+    }
+
+    #[test]
+    fn reentrant_requests_are_idempotent() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.lock(t(1), 5, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.lock(t(1), 5, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.lock(t(1), 5, LockMode::Exclusive), LockOutcome::Granted, "lone-holder upgrade");
+        assert_eq!(lm.lock(t(1), 5, LockMode::Shared), LockOutcome::Granted, "X covers S");
+    }
+
+    #[test]
+    fn upgrade_waits_with_other_holders() {
+        let mut lm = LockManager::new();
+        lm.lock(t(1), 5, LockMode::Shared);
+        lm.lock(t(2), 5, LockMode::Shared);
+        assert_eq!(lm.lock(t(1), 5, LockMode::Exclusive), LockOutcome::Waiting);
+        let granted = lm.release_all(t(2));
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].0.id, 1, "upgrade granted after S-holder left");
+    }
+
+    #[test]
+    fn wait_edges_reflect_blocking() {
+        let mut lm = LockManager::new();
+        lm.lock(t(1), 5, LockMode::Exclusive);
+        lm.lock(t(2), 5, LockMode::Exclusive);
+        lm.lock(t(3), 5, LockMode::Exclusive);
+        let mut edges = lm.wait_edges();
+        edges.sort_unstable();
+        // 2 waits for 1; 3 waits for 1 and for 2 (queued earlier).
+        assert_eq!(edges, vec![(2, 1), (3, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn quiescent_after_release() {
+        let mut lm = LockManager::new();
+        lm.lock(t(1), 5, LockMode::Shared);
+        lm.lock(t(1), 6, LockMode::Exclusive);
+        lm.lock(t(2), 5, LockMode::Shared);
+        lm.release_all(t(1));
+        lm.release_all(t(2));
+        assert!(lm.is_quiescent());
+    }
+
+    #[test]
+    fn abort_removes_waits() {
+        let mut lm = LockManager::new();
+        lm.lock(t(1), 5, LockMode::Exclusive);
+        lm.lock(t(2), 5, LockMode::Exclusive); // waiting
+        lm.release_all(t(2)); // t2 aborts while waiting
+        assert!(lm.wait_edges().is_empty());
+        let granted = lm.release_all(t(1));
+        assert!(granted.is_empty());
+        assert!(lm.is_quiescent());
+    }
+}

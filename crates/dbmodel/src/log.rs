@@ -1,0 +1,174 @@
+//! Per-PE logging (the "log disk" of Fig. 3).
+//!
+//! Update transactions append log records; commit forces the log to the
+//! dedicated log disk. With group commit enabled, forces arriving within
+//! the window share one log write (reduces log-disk contention for
+//! high-TPS OLTP nodes).
+
+use serde::{Deserialize, Serialize};
+use simkit::{SimDur, SimTime};
+
+/// Logging parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogParams {
+    /// Log records per log page.
+    pub records_per_page: u32,
+    /// Group commit window; `SimDur::ZERO` forces every commit separately.
+    pub group_commit_window: SimDur,
+}
+
+impl Default for LogParams {
+    fn default() -> Self {
+        LogParams {
+            records_per_page: 40,
+            group_commit_window: SimDur::ZERO,
+        }
+    }
+}
+
+/// Outcome of a force request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForceOutcome {
+    /// Issue a synchronous log write of `pages` pages now.
+    Write { pages: u32 },
+    /// Piggy-back on the in-flight group commit; resume when it completes.
+    Joined,
+}
+
+/// The log manager of one PE.
+#[derive(Debug)]
+pub struct LogManager {
+    params: LogParams,
+    /// Records appended since the last force.
+    pending_records: u32,
+    /// A group-commit write is in flight until this time.
+    inflight_until: Option<SimTime>,
+    pub records_total: u64,
+    pub forces_total: u64,
+    pub writes_total: u64,
+    pub pages_total: u64,
+    pub group_joins: u64,
+    next_page: u64,
+}
+
+impl LogManager {
+    pub fn new(params: LogParams) -> Self {
+        LogManager {
+            params,
+            pending_records: 0,
+            inflight_until: None,
+            records_total: 0,
+            forces_total: 0,
+            writes_total: 0,
+            pages_total: 0,
+            group_joins: 0,
+            next_page: 0,
+        }
+    }
+
+    /// Append `records` log records (update statements, commit records).
+    pub fn append(&mut self, records: u32) {
+        self.pending_records += records;
+        self.records_total += records as u64;
+    }
+
+    /// A transaction commits and requires the log forced.
+    ///
+    /// Returns what the engine must do; on `Write` the engine performs a
+    /// log-disk write of the given page count and calls
+    /// [`LogManager::write_done`] when it completes.
+    pub fn force(&mut self, now: SimTime) -> ForceOutcome {
+        self.forces_total += 1;
+        if let Some(until) = self.inflight_until {
+            if self.params.group_commit_window > SimDur::ZERO && now < until {
+                self.group_joins += 1;
+                return ForceOutcome::Joined;
+            }
+        }
+        let pages = self
+            .pending_records
+            .div_ceil(self.params.records_per_page)
+            .max(1);
+        self.pending_records = 0;
+        self.pages_total += pages as u64;
+        self.writes_total += 1;
+        if self.params.group_commit_window > SimDur::ZERO {
+            self.inflight_until = Some(now + self.params.group_commit_window);
+        }
+        ForceOutcome::Write { pages }
+    }
+
+    /// The outstanding group-commit write completed.
+    pub fn write_done(&mut self) {
+        self.inflight_until = None;
+    }
+
+    /// Next page address on the log disk (sequential log writes).
+    pub fn alloc_pages(&mut self, pages: u32) -> u64 {
+        let p = self.next_page;
+        self.next_page += pages as u64;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDur::from_millis(ms)
+    }
+
+    #[test]
+    fn force_writes_pending_records() {
+        let mut l = LogManager::new(LogParams::default());
+        l.append(10);
+        l.append(35);
+        match l.force(at(0)) {
+            ForceOutcome::Write { pages } => assert_eq!(pages, 2), // 45/40
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(l.records_total, 45);
+    }
+
+    #[test]
+    fn empty_force_still_writes_commit_record_page() {
+        let mut l = LogManager::new(LogParams::default());
+        assert_eq!(l.force(at(0)), ForceOutcome::Write { pages: 1 });
+    }
+
+    #[test]
+    fn group_commit_joins_inflight_write() {
+        let params = LogParams {
+            group_commit_window: SimDur::from_millis(5),
+            ..LogParams::default()
+        };
+        let mut l = LogManager::new(params);
+        l.append(1);
+        assert!(matches!(l.force(at(0)), ForceOutcome::Write { .. }));
+        l.append(1);
+        assert_eq!(l.force(at(2)), ForceOutcome::Joined);
+        assert_eq!(l.group_joins, 1);
+        l.write_done();
+        l.append(1);
+        assert!(matches!(l.force(at(6)), ForceOutcome::Write { .. }));
+    }
+
+    #[test]
+    fn no_group_commit_by_default() {
+        let mut l = LogManager::new(LogParams::default());
+        l.append(1);
+        assert!(matches!(l.force(at(0)), ForceOutcome::Write { .. }));
+        l.append(1);
+        assert!(matches!(l.force(at(0)), ForceOutcome::Write { .. }));
+        assert_eq!(l.writes_total, 2);
+    }
+
+    #[test]
+    fn log_pages_are_sequential() {
+        let mut l = LogManager::new(LogParams::default());
+        assert_eq!(l.alloc_pages(2), 0);
+        assert_eq!(l.alloc_pages(1), 2);
+        assert_eq!(l.alloc_pages(4), 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! Top-level job dispatch.
+
+use crate::api::{Input, JobId, PeId};
+use crate::ctx::Ctx;
+use crate::join::JoinJob;
+use crate::multijoin::MultiJoinJob;
+use crate::oltp::OltpJob;
+use crate::query::{ScanQueryJob, UpdateJob};
+use crate::sort::SortQueryJob;
+use simkit::SimTime;
+
+/// Any transaction/query instance the simulator can run.
+pub enum Job {
+    Join(JoinJob),
+    MultiJoin(MultiJoinJob),
+    Oltp(OltpJob),
+    ScanQ(ScanQueryJob),
+    UpdateQ(UpdateJob),
+    SortQ(SortQueryJob),
+}
+
+impl Job {
+    /// Route an input into the job's state machine.
+    pub fn handle(&mut self, job: JobId, input: Input, ctx: &mut Ctx) {
+        match self {
+            Job::Join(j) => j.handle(job, input, ctx),
+            Job::MultiJoin(j) => j.handle(job, input, ctx),
+            Job::Oltp(j) => j.handle(job, input, ctx),
+            Job::ScanQ(j) => j.handle(job, input, ctx),
+            Job::UpdateQ(j) => j.handle(job, input, ctx),
+            Job::SortQ(j) => j.handle(job, input, ctx),
+        }
+    }
+
+    /// The PE whose transaction manager admits this job.
+    pub fn coord_pe(&self) -> PeId {
+        match self {
+            Job::Join(j) => j.coord,
+            Job::MultiJoin(j) => j.coord(),
+            Job::Oltp(j) => j.pe,
+            Job::ScanQ(j) => j.coord,
+            Job::UpdateQ(j) => j.pe,
+            Job::SortQ(j) => j.coord,
+        }
+    }
+
+    /// Workload class index (for per-class metrics).
+    pub fn class(&self) -> u32 {
+        match self {
+            Job::Join(j) => j.class,
+            Job::MultiJoin(j) => j.join.class,
+            Job::Oltp(j) => j.class,
+            Job::ScanQ(j) => j.class,
+            Job::UpdateQ(j) => j.class,
+            Job::SortQ(j) => j.class,
+        }
+    }
+
+    /// Arrival time (for response-time accounting).
+    pub fn submitted(&self) -> SimTime {
+        match self {
+            Job::Join(j) => j.submitted,
+            Job::MultiJoin(j) => j.join.submitted,
+            Job::Oltp(j) => j.submitted,
+            Job::ScanQ(j) => j.submitted,
+            Job::UpdateQ(j) => j.submitted,
+            Job::SortQ(j) => j.submitted,
+        }
+    }
+
+    /// Is this a join query placed by the load balancer?
+    pub fn is_join(&self) -> bool {
+        matches!(self, Job::Join(_) | Job::MultiJoin(_))
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-PE engine state: transaction manager (MPL control, input queue),
+//! buffer manager, lock manager, log manager.
+//!
+//! "Each processor or processor element (PE) of the SN system is
+//! represented by a transaction manager, a query processing system, CPU
+//! servers, a communication manager, a concurrency control component and a
+//! buffer manager. The transaction manager controls the (distributed)
+//! execution of transactions. The maximal number of concurrent transactions
+//! (inter-transaction parallelism) per PE is controlled by a
+//! multiprogramming level. Newly arriving transactions must wait in an
+//! input queue when this maximal degree of inter-transaction parallelism is
+//! already reached." (§4)
+//!
+//! The CPU/disk/network *servers* live in the simulator crate; everything
+//! that can be decided synchronously (buffer fixes, lock grants, admission)
+//! lives here.
+
+use crate::api::{JobId, PeId};
+use dbmodel::buffer::BufferManager;
+use dbmodel::lock::LockManager;
+use dbmodel::log::{LogManager, LogParams};
+use std::collections::VecDeque;
+
+/// Engine-side state of one processing element.
+pub struct Pe {
+    pub id: PeId,
+    pub buffer: BufferManager,
+    pub locks: LockManager,
+    pub log: LogManager,
+    /// Maximal concurrent transactions (inter-transaction parallelism).
+    mpl: u32,
+    active: u32,
+    input_queue: VecDeque<JobId>,
+    /// Jobs waiting for the in-flight group-commit log write.
+    pub log_waiters: Vec<JobId>,
+    /// Total transactions admitted / queued (statistics).
+    pub admitted: u64,
+    pub queued: u64,
+}
+
+impl Pe {
+    pub fn new(id: PeId, buffer_pages: u32, global_floor: u32, mpl: u32, log: LogParams) -> Self {
+        Pe {
+            id,
+            buffer: BufferManager::new(buffer_pages, global_floor),
+            locks: LockManager::new(),
+            log: LogManager::new(log),
+            mpl: mpl.max(1),
+            active: 0,
+            input_queue: VecDeque::new(),
+            log_waiters: Vec::new(),
+            admitted: 0,
+            queued: 0,
+        }
+    }
+
+    /// Try to admit a transaction/query whose coordinator is this PE.
+    /// Returns `true` if it may start now; otherwise it is queued FCFS.
+    pub fn try_admit(&mut self, job: JobId) -> bool {
+        if self.active < self.mpl {
+            self.active += 1;
+            self.admitted += 1;
+            true
+        } else {
+            self.queued += 1;
+            self.input_queue.push_back(job);
+            false
+        }
+    }
+
+    /// A coordinated transaction finished: release its MPL slot and pop
+    /// the next queued job, if any (the caller starts it).
+    pub fn finish(&mut self) -> Option<JobId> {
+        debug_assert!(self.active > 0, "finish without active transaction");
+        self.active -= 1;
+        let next = self.input_queue.pop_front();
+        if next.is_some() {
+            self.active += 1;
+            self.admitted += 1;
+        }
+        next
+    }
+
+    pub fn active(&self) -> u32 {
+        self.active
+    }
+
+    pub fn input_queue_len(&self) -> usize {
+        self.input_queue.len()
+    }
+
+    pub fn mpl(&self) -> u32 {
+        self.mpl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::slab::Slab;
+
+    fn keys(n: usize) -> Vec<JobId> {
+        let mut slab = Slab::new();
+        (0..n).map(|i| slab.insert(i)).collect()
+    }
+
+    fn pe(mpl: u32) -> Pe {
+        Pe::new(0, 50, 1, mpl, LogParams::default())
+    }
+
+    #[test]
+    fn admits_up_to_mpl() {
+        let k = keys(3);
+        let mut p = pe(2);
+        assert!(p.try_admit(k[0]));
+        assert!(p.try_admit(k[1]));
+        assert!(!p.try_admit(k[2]));
+        assert_eq!(p.active(), 2);
+        assert_eq!(p.input_queue_len(), 1);
+    }
+
+    #[test]
+    fn finish_pops_fcfs() {
+        let k = keys(4);
+        let mut p = pe(1);
+        assert!(p.try_admit(k[0]));
+        assert!(!p.try_admit(k[1]));
+        assert!(!p.try_admit(k[2]));
+        assert_eq!(p.finish(), Some(k[1]));
+        assert_eq!(p.active(), 1, "slot transferred to the queued job");
+        assert_eq!(p.finish(), Some(k[2]));
+        assert_eq!(p.finish(), None);
+        assert_eq!(p.active(), 0);
+    }
+
+    #[test]
+    fn statistics_track_admission() {
+        let k = keys(3);
+        let mut p = pe(1);
+        p.try_admit(k[0]);
+        p.try_admit(k[1]);
+        p.try_admit(k[2]);
+        assert_eq!(p.admitted, 1);
+        assert_eq!(p.queued, 2);
+        p.finish();
+        assert_eq!(p.admitted, 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! # hardware — Shared Nothing node hardware model
+//!
+//! Models the physical resources of one processing element (PE) and the
+//! interconnect, following Section 4 ("Simulation model") and the Fig. 4
+//! parameter table of Rahm & Marek, VLDB 1995:
+//!
+//! * [`Cpu`] — one FCFS service station with `cpus` units running at a
+//!   configurable MIPS rate; all engine CPU requests are expressed in
+//!   *instructions* and converted here;
+//! * [`DiskSubsystem`] — per-PE disk servers, each with a controller
+//!   providing an LRU page cache and *prefetching* for sequential access
+//!   patterns (a miss reads `prefetch_pages` succeeding pages);
+//! * [`Network`] — packetized message transmission with per-PE egress
+//!   links (the CPU costs of send/receive/copy are charged by the engine,
+//!   as in the paper; the wire itself is scalable, EDS-style).
+//!
+//! Everything is deterministic and scheduler-free: components hand back
+//! completion times; the simulator owns the event loop.
+
+pub mod cpu;
+pub mod disk;
+pub mod net;
+pub mod params;
+
+pub use cpu::Cpu;
+pub use disk::{DiskId, DiskSubsystem, IoKind, IoRequest};
+pub use net::Network;
+pub use params::{CpuParams, DiskParams, HardwareParams, NetParams};

@@ -1,0 +1,128 @@
+//! Interconnection network.
+//!
+//! "The communication network models transmission of message packets of
+//! fixed size. Messages exceeding the packet size (e.g., large sets of
+//! result tuples) are disassembled into the required number of packets."
+//! (§4)
+//!
+//! Each PE owns an egress link (FCFS): a message occupies its sender's link
+//! for `packets × per_packet` and is delivered `latency` after the link
+//! releases it. The fabric itself is contention-free (EDS-style scalable
+//! interconnect); CPU costs for send/receive/copy are charged by the engine
+//! per the Fig. 4 instruction table.
+
+use crate::params::NetParams;
+use simkit::server::Grant;
+use simkit::{FcfsServer, Priority, SimDur, SimTime};
+
+/// Per-system network state: one egress link per PE.
+pub struct Network<T> {
+    params: NetParams,
+    egress: Vec<FcfsServer<T>>,
+    msgs: u64,
+    bytes: u64,
+    packets: u64,
+}
+
+impl<T> Network<T> {
+    pub fn new(params: NetParams, pes: usize) -> Self {
+        Network {
+            egress: (0..pes).map(|_| FcfsServer::new(1)).collect(),
+            params,
+            msgs: 0,
+            bytes: 0,
+            packets: 0,
+        }
+    }
+
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+
+    /// Occupy `src`'s egress link for a message of `bytes`.
+    ///
+    /// The returned grant's `done` is the **link release** time; the message
+    /// arrives at the receiver at `done + latency()` (the caller schedules
+    /// the delivery event and must call [`Network::link_free`] at `done` to
+    /// start any queued transmission).
+    pub fn send(&mut self, now: SimTime, src: usize, bytes: u32, tag: T) -> Option<Grant<T>> {
+        self.msgs += 1;
+        self.bytes += bytes as u64;
+        self.packets += self.params.packets(bytes) as u64;
+        let wire = self.params.wire_time(bytes);
+        self.egress[src].offer(now, wire, Priority::Normal, tag)
+    }
+
+    /// The egress link of `src` finished a transmission; returns the next
+    /// queued transmission grant, if any.
+    pub fn link_free(&mut self, now: SimTime, src: usize) -> Option<Grant<T>> {
+        self.egress[src].complete(now)
+    }
+
+    /// Propagation latency added to every delivery.
+    pub fn latency(&self) -> SimDur {
+        self.params.latency
+    }
+
+    /// Cumulative utilization of one PE's egress link.
+    pub fn link_utilization(&mut self, now: SimTime, src: usize) -> f64 {
+        self.egress[src].utilization(now)
+    }
+
+    pub fn messages_sent(&self) -> u64 {
+        self.msgs
+    }
+
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes
+    }
+
+    pub fn packets_sent(&self) -> u64 {
+        self.packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_us(us: u64) -> SimTime {
+        SimTime::ZERO + SimDur::from_micros(us)
+    }
+
+    #[test]
+    fn wire_time_scales_with_packets() {
+        let mut n: Network<u8> = Network::new(NetParams::default(), 4);
+        // 8 KB = 64 packets × 6.4 us = 409.6 us
+        let g = n.send(at_us(0), 0, 8192, 1).unwrap();
+        assert_eq!(g.done, SimTime(409_600_0 as u64 / 10));
+        assert_eq!(n.packets_sent(), 64);
+    }
+
+    #[test]
+    fn small_message_is_one_packet() {
+        let mut n: Network<u8> = Network::new(NetParams::default(), 2);
+        let g = n.send(at_us(0), 1, 16, 1).unwrap();
+        assert_eq!(g.done, SimTime::ZERO + SimDur::from_nanos(6_400));
+        assert_eq!(n.packets_sent(), 1);
+    }
+
+    #[test]
+    fn egress_serializes_per_sender() {
+        let mut n: Network<u8> = Network::new(NetParams::default(), 2);
+        assert!(n.send(at_us(0), 0, 128, 1).is_some());
+        assert!(n.send(at_us(0), 0, 128, 2).is_none(), "queued");
+        assert!(n.send(at_us(0), 1, 128, 3).is_some(), "other sender free");
+        let g = n.link_free(at_us(7), 0).unwrap();
+        assert_eq!(g.tag, 2);
+    }
+
+    #[test]
+    fn counters() {
+        let mut n: Network<u8> = Network::new(NetParams::default(), 2);
+        n.send(at_us(0), 0, 300, 1);
+        assert_eq!(n.messages_sent(), 1);
+        assert_eq!(n.bytes_sent(), 300);
+        assert_eq!(n.packets_sent(), 3);
+    }
+}

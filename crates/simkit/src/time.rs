@@ -1,0 +1,235 @@
+//! Simulated time.
+//!
+//! The clock is a monotonically non-decreasing [`SimTime`] with nanosecond
+//! resolution stored in a `u64` (enough for ~584 simulated years). Durations
+//! are a separate type, [`SimDur`], so that `time + time` does not compile.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in simulated time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDur(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Elapsed duration since `earlier`. Saturates at zero if `earlier` is
+    /// in the future (which indicates a logic bug upstream, but reporting
+    /// code should not panic).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDur {
+        SimDur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDur {
+    pub const ZERO: SimDur = SimDur(0);
+
+    /// Construct from whole nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> SimDur {
+        SimDur(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> SimDur {
+        SimDur(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> SimDur {
+        SimDur(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> SimDur {
+        SimDur(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    /// Negative or non-finite inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> SimDur {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDur(0);
+        }
+        SimDur((s * 1e9).round() as u64)
+    }
+
+    /// Construct from fractional milliseconds (convenient for the paper's
+    /// parameter table, which is expressed in ms).
+    #[inline]
+    pub fn from_millis_f64(ms: f64) -> SimDur {
+        SimDur::from_secs_f64(ms / 1e3)
+    }
+
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDur) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDur> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDur;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDur {
+        SimDur(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn add(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDur {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn sub(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDur {
+        SimDur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDur {
+        SimDur(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimDur::from_millis(15).as_nanos(), 15_000_000);
+        assert_eq!(SimDur::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDur::from_secs(2).as_secs_f64(), 2.0);
+        assert_eq!(SimDur::from_millis_f64(0.4).as_nanos(), 400_000);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_garbage() {
+        assert_eq!(SimDur::from_secs_f64(-1.0), SimDur::ZERO);
+        assert_eq!(SimDur::from_secs_f64(f64::NAN), SimDur::ZERO);
+        assert_eq!(SimDur::from_secs_f64(f64::INFINITY), SimDur::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDur::from_millis(5);
+        assert_eq!(t.as_nanos(), 5_000_000);
+        let t2 = t + SimDur::from_millis(10);
+        assert_eq!((t2 - t).as_millis_f64(), 10.0);
+        assert_eq!(t.since(t2), SimDur::ZERO, "since saturates");
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDur::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDur::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimDur::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDur::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn dur_scaling() {
+        assert_eq!((SimDur::from_millis(4) / 4).as_nanos(), 1_000_000);
+        assert_eq!((SimDur::from_millis(4) * 3).as_millis_f64(), 12.0);
+    }
+}

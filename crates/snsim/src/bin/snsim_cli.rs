@@ -1,0 +1,160 @@
+//! snsim_cli — run one simulation from the command line.
+//!
+//! ```text
+//! Usage:
+//!   snsim_cli [--pes N] [--strategy NAME] [--rate QPS_PER_PE] [--sel PCT]
+//!             [--skew THETA] [--oltp TPS[:A|B|ALL]] [--disks D]
+//!             [--buffer PAGES] [--secs S] [--warmup S] [--seed X]
+//!             [--json] [--config FILE] [--dump-config]
+//!
+//! Strategies: random | luc | lum | noio-lum | mu-lum | mu-random |
+//!             min-io | min-io-suopt | opt-io-cpu | adaptive | ratematch
+//! ```
+//!
+//! `--config FILE` loads a full `SimConfig` JSON (as produced by
+//! `--dump-config`), overriding the other flags.
+
+use dbmodel::RelationId;
+use lb_core::{DegreePolicy, SelectPolicy, Strategy};
+use simkit::SimDur;
+use snsim::{run_one, SimConfig};
+use workload::{NodeFilter, WorkloadSpec};
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+    fn value(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn strategy_by_name(name: &str, cfg: &SimConfig) -> Strategy {
+    match name {
+        "random" => Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Random },
+        "luc" => Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Luc },
+        "lum" => Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Lum },
+        "noio-lum" => Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Lum },
+        "mu-lum" => Strategy::Isolated { degree: DegreePolicy::MuCpu, select: SelectPolicy::Lum },
+        "mu-random" => Strategy::Isolated { degree: DegreePolicy::MuCpu, select: SelectPolicy::Random },
+        "min-io" => Strategy::MinIo,
+        "min-io-suopt" => Strategy::MinIoSuopt,
+        "opt-io-cpu" => Strategy::OptIoCpu,
+        "adaptive" => Strategy::Adaptive,
+        "ratematch" => Strategy::Isolated {
+            degree: DegreePolicy::RateMatch(cfg.cost_params()),
+            select: SelectPolicy::Lum,
+        },
+        other => {
+            eprintln!("unknown strategy '{other}', using opt-io-cpu");
+            Strategy::OptIoCpu
+        }
+    }
+}
+
+fn main() {
+    let args = Args(std::env::args().skip(1).collect());
+    if args.flag("--help") || args.flag("-h") {
+        println!("{}", include_str_usage());
+        return;
+    }
+
+    let cfg = if let Some(path) = args.value("--config") {
+        let text = std::fs::read_to_string(path).expect("read config file");
+        serde_json::from_str(&text).expect("parse SimConfig JSON")
+    } else {
+        let n: u32 = args.parse("--pes", 40);
+        let sel: f64 = args.parse("--sel", 1.0) / 100.0;
+        let rate: f64 = args.parse("--rate", 0.25);
+        let skew: f64 = args.parse("--skew", 0.0);
+        let wl = if let Some(oltp) = args.value("--oltp") {
+            let mut parts = oltp.split(':');
+            let tps: f64 = parts.next().and_then(|v| v.parse().ok()).unwrap_or(100.0);
+            let nodes = match parts.next().unwrap_or("B") {
+                "A" | "a" => NodeFilter::ANodes,
+                "ALL" | "all" => NodeFilter::All,
+                _ => NodeFilter::BNodes,
+            };
+            WorkloadSpec::mixed(sel, rate, RelationId(2), tps, nodes)
+        } else if skew > 0.0 {
+            WorkloadSpec::homogeneous_join_skewed(sel, rate, skew)
+        } else if rate <= 0.0 {
+            WorkloadSpec::single_user_join(sel)
+        } else {
+            WorkloadSpec::homogeneous_join(sel, rate)
+        };
+        let mut cfg = SimConfig::paper_default(n, wl, Strategy::OptIoCpu)
+            .with_disks(args.parse("--disks", 10))
+            .with_buffer_pages(args.parse("--buffer", 50))
+            .with_seed(args.parse("--seed", 0xC0FFEE))
+            .with_sim_time(
+                SimDur::from_secs(args.parse("--secs", 40)),
+                SimDur::from_secs(args.parse("--warmup", 8)),
+            );
+        let strategy = strategy_by_name(args.value("--strategy").unwrap_or("opt-io-cpu"), &cfg);
+        cfg.strategy = strategy;
+        cfg
+    };
+
+    if args.flag("--dump-config") {
+        println!("{}", serde_json::to_string_pretty(&cfg).expect("serialize"));
+        return;
+    }
+
+    let t0 = std::time::Instant::now();
+    let summary = run_one(cfg);
+    if args.flag("--json") {
+        println!("{}", serde_json::to_string_pretty(&summary).expect("serialize"));
+    } else {
+        println!(
+            "strategy {:>16} | n={} | {} events in {:?}",
+            summary.strategy, summary.n_pes, summary.events, t0.elapsed()
+        );
+        for c in &summary.classes {
+            println!(
+                "  {:<14} completed {:>7}  mean {:>8.1} ms  p95 {:>8.1} ms  {:>8.2}/s",
+                c.name, c.completed, c.mean_ms, c.p95_ms, c.throughput
+            );
+        }
+        println!(
+            "  cpu {:.1}% (max {:.1}%) | disk {:.1}% | mem {:.1}% | degree {:.1} | spill {} pg | waits {}",
+            summary.avg_cpu_util * 100.0,
+            summary.max_cpu_util * 100.0,
+            summary.avg_disk_util * 100.0,
+            summary.avg_mem_util * 100.0,
+            summary.avg_join_degree,
+            summary.spill_pages,
+            summary.mem_waits,
+        );
+    }
+}
+
+fn include_str_usage() -> &'static str {
+    "snsim_cli — Shared Nothing parallel DB simulator (Rahm & Marek, VLDB'95)
+
+Usage:
+  snsim_cli [--pes N] [--strategy NAME] [--rate QPS_PER_PE] [--sel PCT]
+            [--skew THETA] [--oltp TPS[:A|B|ALL]] [--disks D]
+            [--buffer PAGES] [--secs S] [--warmup S] [--seed X]
+            [--json] [--config FILE] [--dump-config]
+
+Strategies: random | luc | lum | noio-lum | mu-lum | mu-random |
+            min-io | min-io-suopt | opt-io-cpu | adaptive | ratematch
+
+Examples:
+  snsim_cli --pes 80 --strategy opt-io-cpu
+  snsim_cli --pes 40 --oltp 100:B --strategy mu-lum --disks 5
+  snsim_cli --rate 0 --pes 20                 # single-user baseline
+  snsim_cli --dump-config > cfg.json && snsim_cli --config cfg.json"
+}

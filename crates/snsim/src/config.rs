@@ -1,0 +1,225 @@
+//! Simulation configuration: the Fig. 4 parameter table plus run control.
+
+use dbmodel::catalog::{Catalog, Declustering, IndexKind, Relation, RelationId};
+use dbmodel::log::LogParams;
+use engine::EngineConfig;
+use hardware::HardwareParams;
+use lb_core::costmodel::CostParams;
+use lb_core::Strategy;
+use serde::{Deserialize, Serialize};
+use simkit::SimDur;
+use workload::WorkloadSpec;
+
+/// Everything needed to build and run one simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of processing elements (10–80 in the paper).
+    pub n_pes: u32,
+    pub hw: HardwareParams,
+    pub engine: EngineConfig,
+    /// Buffer pages per PE ("buffer size: 50 pages (0.4 MB)").
+    pub buffer_pages: u32,
+    /// Frames always left to the global LRU.
+    pub global_floor: u32,
+    /// Multiprogramming level per PE.
+    pub mpl: u32,
+    pub log: LogParams,
+    /// OLTP relation size: data pages per node (calibrates buffer-hit
+    /// ratios so 100 TPS/node ≈ 50% CPU / 60% disk / 45% memory, §5.3).
+    pub oltp_pages_per_node: u32,
+    pub workload: WorkloadSpec,
+    pub strategy: Strategy,
+    /// How often PEs report utilization to the control node.
+    pub control_interval: SimDur,
+    /// LUC adaptive feedback bump.
+    pub luc_bump: f64,
+    /// Central deadlock-detection period.
+    pub deadlock_interval: SimDur,
+    /// Simulated duration.
+    pub sim_time: SimDur,
+    /// Warm-up discarded from statistics.
+    pub warmup: SimDur,
+    pub seed: u64,
+    /// PE hosting the control node.
+    pub control_pe: u32,
+}
+
+impl SimConfig {
+    /// The paper's Fig. 4 configuration for `n` PEs, with the given
+    /// workload and load-balancing strategy.
+    pub fn paper_default(n: u32, workload: WorkloadSpec, strategy: Strategy) -> SimConfig {
+        let engine = EngineConfig {
+            disks_per_pe: 10,
+            ..EngineConfig::default()
+        };
+        SimConfig {
+            n_pes: n,
+            hw: HardwareParams::default(),
+            engine,
+            buffer_pages: 50,
+            global_floor: 1,
+            mpl: 64,
+            log: LogParams {
+                records_per_page: 40,
+                group_commit_window: SimDur::from_millis(25),
+            },
+            oltp_pages_per_node: 60,
+            workload,
+            strategy,
+            control_interval: SimDur::from_millis(100),
+            luc_bump: 0.05,
+            deadlock_interval: SimDur::from_secs(1),
+            sim_time: SimDur::from_secs(60),
+            warmup: SimDur::from_secs(10),
+            seed: 0xC0FFEE,
+            control_pe: 0,
+        }
+    }
+
+    /// Set the number of data disks per PE (the paper varies 1 / 5 / 10).
+    pub fn with_disks(mut self, disks: u32) -> SimConfig {
+        self.hw.disk.disks_per_pe = disks;
+        self.engine.disks_per_pe = disks;
+        self
+    }
+
+    /// Scale the per-PE buffer (Fig. 7 divides it by 10).
+    pub fn with_buffer_pages(mut self, pages: u32) -> SimConfig {
+        self.buffer_pages = pages;
+        self.global_floor = self.global_floor.min(pages.saturating_sub(1)).max(1);
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_sim_time(mut self, sim: SimDur, warmup: SimDur) -> SimConfig {
+        self.sim_time = sim;
+        self.warmup = warmup;
+        self
+    }
+
+    /// Build the catalog: the paper's A and B relations plus an OLTP
+    /// relation (id 2) declustered across all PEs when the workload has
+    /// OLTP classes.
+    pub fn build_catalog(&self) -> Catalog {
+        let mut c = Catalog::paper_default(self.n_pes);
+        if !self.workload.oltp.is_empty() {
+            let tuples =
+                self.oltp_pages_per_node as u64 * 20 * self.n_pes as u64;
+            c.add(Relation {
+                id: RelationId(2),
+                name: "ACCOUNT".into(),
+                tuples,
+                tuple_bytes: 400,
+                blocking_factor: 20,
+                index: IndexKind::NonClusteredBTree,
+                allocation: Declustering::new(0, self.n_pes),
+                memory_resident: false,
+            });
+        }
+        c
+    }
+
+    /// Cost-model parameters consistent with this configuration.
+    pub fn cost_params(&self) -> CostParams {
+        CostParams {
+            instr: self.engine.instr,
+            mips: self.hw.cpu.mips,
+            mem_pages_per_pe: self.buffer_pages,
+            fudge: self.engine.fudge,
+            tuples_per_page: self.engine.tuples_per_page,
+            seq_io_ms_per_page: {
+                let d = &self.hw.disk;
+                let pf = d.prefetch_pages.max(1) as f64;
+                (d.base_access.as_millis_f64() + pf * d.per_page_delay.as_millis_f64()) / pf
+                    + d.controller_per_page.as_millis_f64()
+                    + d.transmission_per_page.as_millis_f64()
+            },
+            coord_per_p_instr: 15_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_core::costmodel::{paper_join_profile, CostModel};
+
+    fn cfg(n: u32) -> SimConfig {
+        SimConfig::paper_default(
+            n,
+            WorkloadSpec::homogeneous_join(0.01, 0.25),
+            Strategy::OptIoCpu,
+        )
+    }
+
+    #[test]
+    fn fig4_parameters_encoded() {
+        let c = cfg(80);
+        assert_eq!(c.hw.cpu.mips, 20);
+        assert_eq!(c.buffer_pages, 50);
+        assert_eq!(c.hw.disk.disks_per_pe, 10);
+        assert_eq!(c.engine.instr.init_txn, 25_000);
+        assert_eq!(c.engine.instr.probe_ht, 200);
+        assert_eq!(c.engine.tuples_per_page, 20);
+        assert_eq!(c.engine.fudge, 1.05);
+    }
+
+    #[test]
+    fn catalog_has_oltp_relation_only_when_mixed() {
+        let plain = cfg(20);
+        assert_eq!(plain.build_catalog().len(), 2);
+        let mixed = SimConfig::paper_default(
+            20,
+            WorkloadSpec::mixed(
+                0.01,
+                0.075,
+                RelationId(2),
+                100.0,
+                workload::NodeFilter::BNodes,
+            ),
+            Strategy::OptIoCpu,
+        );
+        let cat = mixed.build_catalog();
+        assert_eq!(cat.len(), 3);
+        assert_eq!(cat.relation(RelationId(2)).allocation.pe_count, 20);
+    }
+
+    #[test]
+    fn cost_params_reproduce_paper_optima() {
+        let c = cfg(80);
+        let m = CostModel::new(c.cost_params());
+        assert_eq!(m.psu_noio(80, &paper_join_profile(80, 0.01)), 3);
+        let p = m.psu_opt(80, &paper_join_profile(80, 0.01));
+        assert!((25..=35).contains(&p), "psu_opt {p}");
+    }
+
+    #[test]
+    fn seq_io_cost_close_to_six_ms() {
+        let c = cfg(20);
+        let io = c.cost_params().seq_io_ms_per_page;
+        assert!((io - 6.15).abs() < 0.01, "{io}");
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = cfg(20).with_disks(1).with_buffer_pages(5).with_seed(7);
+        assert_eq!(c.hw.disk.disks_per_pe, 1);
+        assert_eq!(c.engine.disks_per_pe, 1);
+        assert_eq!(c.buffer_pages, 5);
+        assert!(c.global_floor >= 1 && c.global_floor < 5);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn config_round_trips_json() {
+        let c = cfg(10);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_pes, 10);
+        assert_eq!(back.buffer_pages, c.buffer_pages);
+    }
+}

@@ -1,0 +1,30 @@
+//! # snsim — the integrated Shared Nothing database system simulator
+//!
+//! Ties together the substrates (`simkit`, `hardware`, `dbmodel`,
+//! `engine`, `workload`) and the load-balancing contribution (`lb_core`)
+//! into the full simulation system of Rahm & Marek, VLDB 1995 (§4, Fig. 3),
+//! plus the experiment harness used to regenerate every figure of §5.
+//!
+//! ```no_run
+//! use snsim::{run_one, SimConfig};
+//! use lb_core::Strategy;
+//! use workload::WorkloadSpec;
+//!
+//! let cfg = SimConfig::paper_default(
+//!     20,
+//!     WorkloadSpec::homogeneous_join(0.01, 0.25),
+//!     Strategy::OptIoCpu,
+//! );
+//! let summary = run_one(cfg);
+//! println!("join response time: {:.0} ms", summary.join_resp_ms());
+//! ```
+
+pub mod config;
+pub mod experiment;
+pub mod metrics;
+pub mod system;
+
+pub use config::SimConfig;
+pub use experiment::{format_table, run_one, run_parallel, run_reps, AggregateSummary};
+pub use metrics::{Metrics, Summary};
+pub use system::System;

@@ -1,0 +1,203 @@
+//! Simulation output: per-class response times, resource utilization,
+//! join placement statistics, conservation counters.
+
+use serde::{Deserialize, Serialize};
+use simkit::stats::{Histogram, OnlineStats};
+use simkit::{SimDur, SimTime};
+
+/// Per-workload-class accumulators.
+#[derive(Debug, Clone, Default)]
+pub struct ClassStats {
+    pub name: String,
+    pub completed: u64,
+    pub resp: OnlineStats,
+    pub hist: Histogram,
+}
+
+/// Join-specific accumulators (degree of parallelism, overflow I/O).
+#[derive(Debug, Clone, Default)]
+pub struct JoinStats {
+    pub degree: OnlineStats,
+    pub spill_pages: u64,
+    pub temp_reads: u64,
+    pub mem_waits: u64,
+    pub results: u64,
+}
+
+/// Live metrics collected during a run.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    pub warmup_end: SimTime,
+    pub classes: Vec<ClassStats>,
+    pub joins: JoinStats,
+    pub aborted: u64,
+    pub deadlock_victims: u64,
+    pub stale_tokens: u64,
+    pub arrivals: u64,
+}
+
+impl Metrics {
+    pub fn new(class_names: Vec<String>, warmup_end: SimTime) -> Metrics {
+        Metrics {
+            warmup_end,
+            classes: class_names
+                .into_iter()
+                .map(|name| ClassStats {
+                    name,
+                    ..ClassStats::default()
+                })
+                .collect(),
+            joins: JoinStats::default(),
+            aborted: 0,
+            deadlock_victims: 0,
+            stale_tokens: 0,
+            arrivals: 0,
+        }
+    }
+
+    /// Record a completed job (response samples only after warm-up).
+    pub fn record_completion(&mut self, class: u32, submitted: SimTime, now: SimTime) {
+        if now < self.warmup_end {
+            return;
+        }
+        let c = &mut self.classes[class as usize];
+        c.completed += 1;
+        let rt = now - submitted;
+        c.resp.record(rt.as_millis_f64());
+        c.hist.record(rt);
+    }
+
+    pub fn record_join(&mut self, degree: u32, spill: u64, temp_reads: u64, mem_waits: u32, results: u64, now: SimTime) {
+        if now < self.warmup_end {
+            return;
+        }
+        self.joins.degree.record(degree as f64);
+        self.joins.spill_pages += spill;
+        self.joins.temp_reads += temp_reads;
+        self.joins.mem_waits += mem_waits as u64;
+        self.joins.results += results;
+    }
+}
+
+/// Final run summary (serializable for EXPERIMENTS.md provenance).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Summary {
+    pub n_pes: u32,
+    pub strategy: String,
+    pub sim_seconds: f64,
+    pub measured_seconds: f64,
+    pub events: u64,
+    /// Per class: (name, completed, mean ms, p95 ms, throughput /s).
+    pub classes: Vec<ClassSummary>,
+    pub avg_cpu_util: f64,
+    pub max_cpu_util: f64,
+    pub avg_disk_util: f64,
+    pub avg_mem_util: f64,
+    pub avg_join_degree: f64,
+    pub spill_pages: u64,
+    pub temp_reads: u64,
+    pub mem_waits: u64,
+    pub messages: u64,
+    pub aborted: u64,
+    pub deadlock_victims: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassSummary {
+    pub name: String,
+    pub completed: u64,
+    pub mean_ms: f64,
+    pub p95_ms: f64,
+    pub throughput: f64,
+}
+
+impl Summary {
+    /// Mean response time (ms) of the first join class, the headline
+    /// number of every figure.
+    pub fn join_resp_ms(&self) -> f64 {
+        self.classes
+            .iter()
+            .find(|c| c.name.starts_with("join"))
+            .map(|c| c.mean_ms)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Mean response time of the OLTP class, if present.
+    pub fn oltp_resp_ms(&self) -> Option<f64> {
+        self.classes
+            .iter()
+            .find(|c| c.name.contains("debit") || c.name.contains("oltp"))
+            .map(|c| c.mean_ms)
+    }
+}
+
+/// Helper: duration of the measurement window.
+pub fn measured_window(sim_time: SimDur, warmup: SimDur) -> SimDur {
+    sim_time.saturating_sub(warmup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_samples_discarded() {
+        let mut m = Metrics::new(vec!["join".into()], SimTime(1_000));
+        m.record_completion(0, SimTime(0), SimTime(500));
+        assert_eq!(m.classes[0].completed, 0);
+        m.record_completion(0, SimTime(900), SimTime(1_500));
+        assert_eq!(m.classes[0].completed, 1);
+    }
+
+    #[test]
+    fn join_stats_aggregate() {
+        let mut m = Metrics::new(vec!["join".into()], SimTime(0));
+        m.record_join(3, 10, 5, 1, 100, SimTime(1));
+        m.record_join(5, 0, 0, 0, 100, SimTime(2));
+        assert!((m.joins.degree.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(m.joins.spill_pages, 10);
+        assert_eq!(m.joins.results, 200);
+    }
+
+    #[test]
+    fn summary_helpers() {
+        let s = Summary {
+            n_pes: 10,
+            strategy: "MIN-IO".into(),
+            sim_seconds: 10.0,
+            measured_seconds: 8.0,
+            events: 1000,
+            classes: vec![
+                ClassSummary {
+                    name: "join-1%".into(),
+                    completed: 10,
+                    mean_ms: 500.0,
+                    p95_ms: 900.0,
+                    throughput: 1.25,
+                },
+                ClassSummary {
+                    name: "debit-credit".into(),
+                    completed: 100,
+                    mean_ms: 20.0,
+                    p95_ms: 50.0,
+                    throughput: 12.5,
+                },
+            ],
+            avg_cpu_util: 0.5,
+            max_cpu_util: 0.9,
+            avg_disk_util: 0.3,
+            avg_mem_util: 0.4,
+            avg_join_degree: 3.0,
+            spill_pages: 0,
+            temp_reads: 0,
+            mem_waits: 0,
+            messages: 123,
+            aborted: 0,
+            deadlock_victims: 0,
+        };
+        assert_eq!(s.join_resp_ms(), 500.0);
+        assert_eq!(s.oltp_resp_ms(), Some(20.0));
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("join-1%"));
+    }
+}

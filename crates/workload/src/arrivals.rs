@@ -1,0 +1,128 @@
+//! Arrival processes of the open queuing model.
+
+use serde::{Deserialize, Serialize};
+use simkit::{SimDur, SimRng};
+
+/// How instances of a class enter the system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalSpec {
+    /// Open Poisson arrivals with `rate` per second *per PE* (the paper
+    /// scales arrival rates with the system size: "we increase the query
+    /// arrival rate proportionally with the number of PE").
+    PoissonPerPe { rate: f64 },
+    /// Open Poisson arrivals with an absolute system-wide rate per second.
+    PoissonTotal { rate: f64 },
+    /// Deterministic arrivals with fixed inter-arrival time (variance-free
+    /// sensitivity experiments).
+    FixedInterval { interval: SimDur },
+    /// Closed single-user mode: exactly one instance in the system; the
+    /// next one starts when the previous completes.
+    SingleUser,
+}
+
+impl ArrivalSpec {
+    /// Absolute rate per second for `n` PEs (0 for single-user).
+    pub fn total_rate(&self, n: u32) -> f64 {
+        match self {
+            ArrivalSpec::PoissonPerPe { rate } => rate * n as f64,
+            ArrivalSpec::PoissonTotal { rate } => *rate,
+            ArrivalSpec::FixedInterval { interval } => {
+                if interval.as_nanos() == 0 {
+                    0.0
+                } else {
+                    1e9 / interval.as_nanos() as f64
+                }
+            }
+            ArrivalSpec::SingleUser => 0.0,
+        }
+    }
+
+    pub fn is_single_user(&self) -> bool {
+        matches!(self, ArrivalSpec::SingleUser)
+    }
+}
+
+/// Stateful arrival sampler for one class.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    spec: ArrivalSpec,
+    n: u32,
+}
+
+impl ArrivalProcess {
+    pub fn new(spec: ArrivalSpec, n: u32) -> Self {
+        ArrivalProcess { spec, n }
+    }
+
+    pub fn spec(&self) -> ArrivalSpec {
+        self.spec
+    }
+
+    /// Time until the next arrival; `None` for single-user mode (the
+    /// driver launches the next instance on completion instead).
+    pub fn next_interarrival(&self, rng: &mut SimRng) -> Option<SimDur> {
+        match self.spec {
+            ArrivalSpec::SingleUser => None,
+            ArrivalSpec::FixedInterval { interval } => Some(interval),
+            _ => {
+                let rate = self.spec.total_rate(self.n);
+                if rate <= 0.0 {
+                    return None;
+                }
+                Some(SimDur::from_secs_f64(rng.exp(1.0 / rate)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_pe_rate_scales() {
+        let s = ArrivalSpec::PoissonPerPe { rate: 0.25 };
+        assert_eq!(s.total_rate(80), 20.0);
+        assert_eq!(s.total_rate(10), 2.5);
+    }
+
+    #[test]
+    fn poisson_mean_interarrival() {
+        let p = ArrivalProcess::new(ArrivalSpec::PoissonTotal { rate: 50.0 }, 1);
+        let mut rng = SimRng::new(5);
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|_| p.next_interarrival(&mut rng).unwrap().as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.02).abs() < 0.001, "mean {mean}");
+    }
+
+    #[test]
+    fn fixed_interval_is_deterministic() {
+        let p = ArrivalProcess::new(
+            ArrivalSpec::FixedInterval {
+                interval: SimDur::from_millis(100),
+            },
+            4,
+        );
+        let mut rng = SimRng::new(5);
+        assert_eq!(p.next_interarrival(&mut rng), Some(SimDur::from_millis(100)));
+        assert_eq!(p.next_interarrival(&mut rng), Some(SimDur::from_millis(100)));
+    }
+
+    #[test]
+    fn single_user_has_no_arrivals() {
+        let p = ArrivalProcess::new(ArrivalSpec::SingleUser, 4);
+        let mut rng = SimRng::new(5);
+        assert_eq!(p.next_interarrival(&mut rng), None);
+        assert!(ArrivalSpec::SingleUser.is_single_user());
+    }
+
+    #[test]
+    fn zero_rate_yields_none() {
+        let p = ArrivalProcess::new(ArrivalSpec::PoissonTotal { rate: 0.0 }, 4);
+        let mut rng = SimRng::new(5);
+        assert_eq!(p.next_interarrival(&mut rng), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! OLTP transaction classes (debit-credit style).
+//!
+//! "Our OLTP workload is similar to the one of the debit-credit (TPC-B)
+//! benchmark. In particular, each OLTP transaction performs four
+//! non-clustered index selects on arbitrary input relations and updates the
+//! corresponding tuples." (§5.1)
+//!
+//! "For OLTP processing, we assume a simple transaction type with 4 tuple
+//! accesses per transaction and that an affinity-based routing can achieve
+//! a largely local processing (similar to debit-credit). To avoid lock
+//! conflicts with join queries, OLTP transactions access different
+//! relations than A and B." (§5.3)
+
+use dbmodel::RelationId;
+use serde::{Deserialize, Serialize};
+
+/// Which nodes an OLTP class runs on (affinity routing target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeFilter {
+    /// All PEs.
+    All,
+    /// The nodes holding fragments of relation A (first 20%) — Fig. 9a.
+    ANodes,
+    /// The nodes holding fragments of relation B (remaining 80%) — Fig. 9b.
+    BNodes,
+    /// An explicit contiguous range `[first, first+count)`.
+    Range { first: u32, count: u32 },
+}
+
+impl NodeFilter {
+    /// Resolve to the node id range for a system of `n` PEs with the
+    /// paper's 20/80 declustering split.
+    pub fn resolve(&self, n: u32) -> (u32, u32) {
+        let a_count = ((n as f64) * 0.2).round().max(1.0) as u32;
+        match self {
+            NodeFilter::All => (0, n),
+            NodeFilter::ANodes => (0, a_count),
+            NodeFilter::BNodes => (a_count, n - a_count),
+            NodeFilter::Range { first, count } => (*first, (*count).min(n - *first)),
+        }
+    }
+}
+
+/// One OLTP transaction class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OltpClass {
+    pub name: String,
+    /// Relation accessed (disjoint from the join relations by design).
+    pub relation: RelationId,
+    /// Non-clustered index selects per transaction.
+    pub selects: u32,
+    /// Of the selected tuples, how many are updated (TPC-B: all 4).
+    pub updates: u32,
+    /// Transactions per second *per node in the filter*.
+    pub tps_per_node: f64,
+    pub nodes: NodeFilter,
+}
+
+impl OltpClass {
+    /// The §5.3 profile: 4 non-clustered index selects + updates at
+    /// `tps_per_node` on the given node set.
+    pub fn paper_oltp(relation: RelationId, tps_per_node: f64, nodes: NodeFilter) -> OltpClass {
+        OltpClass {
+            name: "debit-credit".into(),
+            relation,
+            selects: 4,
+            updates: 4,
+            tps_per_node,
+            nodes,
+        }
+    }
+
+    /// Total system TPS for `n` PEs.
+    pub fn total_tps(&self, n: u32) -> f64 {
+        let (_, count) = self.nodes.resolve(n);
+        self.tps_per_node * count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_filters_follow_2080_split() {
+        assert_eq!(NodeFilter::ANodes.resolve(80), (0, 16));
+        assert_eq!(NodeFilter::BNodes.resolve(80), (16, 64));
+        assert_eq!(NodeFilter::All.resolve(80), (0, 80));
+        assert_eq!(NodeFilter::ANodes.resolve(10), (0, 2));
+        assert_eq!(NodeFilter::BNodes.resolve(10), (2, 8));
+    }
+
+    #[test]
+    fn range_filter_clamped() {
+        assert_eq!(NodeFilter::Range { first: 5, count: 100 }.resolve(10), (5, 5));
+    }
+
+    #[test]
+    fn paper_profile_and_rates() {
+        let c = OltpClass::paper_oltp(RelationId(2), 100.0, NodeFilter::ANodes);
+        assert_eq!(c.selects, 4);
+        assert_eq!(c.updates, 4);
+        // Fig. 9a at 80 PEs: 16 A-nodes × 100 TPS = 1600 TPS.
+        assert_eq!(c.total_tps(80), 1_600.0);
+        // Fig. 9b: "four-fold OLTP throughput compared to the other
+        // configuration".
+        let b = OltpClass::paper_oltp(RelationId(2), 100.0, NodeFilter::BNodes);
+        assert_eq!(b.total_tps(80), 6_400.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Memory crunch: the paper's Fig. 7 environment (buffer cut by 10×,
+//! a single disk per PE). Watch PPHJ degrade gracefully — partitions
+//! spill, the integrated strategy buys aggregate memory by raising the
+//! degree of parallelism, and overflow I/O becomes the dominant cost.
+//!
+//! Run with: `cargo run --release --example memory_crunch`
+
+use lb_core::{DegreePolicy, SelectPolicy, Strategy};
+use simkit::SimDur;
+use snsim::{run_one, SimConfig};
+use workload::WorkloadSpec;
+
+fn main() {
+    let n = 60;
+    println!("memory-bound system: {n} PEs, 5 buffer pages each, 1 disk per PE\n");
+    println!(
+        "{:>16} {:>9} {:>8} {:>8} {:>9} {:>10} {:>10}",
+        "strategy", "join[ms]", "degree", "disk%", "spill[pg]", "temp-reads", "mem-waits"
+    );
+    for strategy in [
+        Strategy::Isolated {
+            degree: DegreePolicy::MuCpu,
+            select: SelectPolicy::Lum,
+        },
+        Strategy::MinIo,
+        Strategy::MinIoSuopt,
+        Strategy::Adaptive,
+    ] {
+        let cfg = SimConfig::paper_default(
+            n,
+            WorkloadSpec::homogeneous_join(0.01, 0.05),
+            strategy,
+        )
+        .with_buffer_pages(5)
+        .with_disks(1)
+        .with_sim_time(SimDur::from_secs(60), SimDur::from_secs(10));
+        let s = run_one(cfg);
+        println!(
+            "{:>16} {:>9.0} {:>8.1} {:>8.1} {:>9} {:>10} {:>10}",
+            s.strategy,
+            s.join_resp_ms(),
+            s.avg_join_degree,
+            s.avg_disk_util * 100.0,
+            s.spill_pages,
+            s.temp_reads,
+            s.mem_waits,
+        );
+    }
+    println!(
+        "\nMIN-IO-SUOPT spreads each join across MORE nodes than p_su-opt to \
+         assemble enough aggregate memory — the paper's Fig. 7 insight."
+    );
+}

@@ -1,0 +1,65 @@
+//! Face-off: every load-balancing strategy of the paper on one
+//! configuration, with per-strategy resource profiles — a compact version
+//! of the §5.2 analysis, including the Adaptive meta-policy from the
+//! paper's conclusions.
+//!
+//! Run with: `cargo run --release --example strategy_faceoff [n_pes]`
+
+use lb_core::{DegreePolicy, SelectPolicy, Strategy};
+use simkit::SimDur;
+use snsim::{run_one, SimConfig};
+use workload::WorkloadSpec;
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
+
+    let all = [
+        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Random },
+        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Luc },
+        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Lum },
+        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Random },
+        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Luc },
+        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Lum },
+        Strategy::Isolated { degree: DegreePolicy::MuCpu, select: SelectPolicy::Random },
+        Strategy::Isolated { degree: DegreePolicy::MuCpu, select: SelectPolicy::Lum },
+        Strategy::MinIo,
+        Strategy::MinIoSuopt,
+        Strategy::OptIoCpu,
+        Strategy::Adaptive,
+    ];
+
+    println!(
+        "{:>18} {:>9} {:>6} {:>6} {:>6} {:>7} {:>9} {:>7}",
+        "strategy", "join[ms]", "cpu%", "disk%", "mem%", "degree", "spill[pg]", "done"
+    );
+    let mut best: Option<(String, f64)> = None;
+    for strategy in all {
+        let cfg = SimConfig::paper_default(
+            n,
+            WorkloadSpec::homogeneous_join(0.01, 0.25),
+            strategy,
+        )
+        .with_sim_time(SimDur::from_secs(40), SimDur::from_secs(8));
+        let s = run_one(cfg);
+        println!(
+            "{:>18} {:>9.0} {:>6.1} {:>6.1} {:>6.1} {:>7.1} {:>9} {:>7}",
+            s.strategy,
+            s.join_resp_ms(),
+            s.avg_cpu_util * 100.0,
+            s.avg_disk_util * 100.0,
+            s.avg_mem_util * 100.0,
+            s.avg_join_degree,
+            s.spill_pages,
+            s.classes[0].completed,
+        );
+        if best.as_ref().map(|(_, rt)| s.join_resp_ms() < *rt).unwrap_or(true) {
+            best = Some((s.strategy.clone(), s.join_resp_ms()));
+        }
+    }
+    if let Some((name, rt)) = best {
+        println!("\nwinner at {n} PEs: {name} ({rt:.0} ms)");
+    }
+}

@@ -1,0 +1,40 @@
+//! # parallel_lb — dynamic multi-resource load balancing in parallel DBs
+//!
+//! Umbrella crate of the reproduction of *Rahm & Marek, "Dynamic
+//! Multi-Resource Load Balancing in Parallel Database Systems",
+//! VLDB 1995*. Re-exports the workspace crates:
+//!
+//! * [`simkit`] — discrete-event simulation kernel;
+//! * [`hardware`] — CPU / disk / network models;
+//! * [`dbmodel`] — catalog, B+-trees, buffer manager, locking, logging;
+//! * [`engine`] — scan / PPHJ join / OLTP execution engine;
+//! * [`lb_core`] — the load-balancing strategies (the paper's contribution);
+//! * [`workload`] — multi-class workload model;
+//! * [`snsim`] — the integrated simulator and experiment harness.
+//!
+//! ```no_run
+//! use parallel_lb::prelude::*;
+//!
+//! let cfg = SimConfig::paper_default(
+//!     40,
+//!     WorkloadSpec::homogeneous_join(0.01, 0.25),
+//!     Strategy::OptIoCpu,
+//! );
+//! println!("{:.0} ms", snsim::run_one(cfg).join_resp_ms());
+//! ```
+
+pub use dbmodel;
+pub use engine;
+pub use hardware;
+pub use lb_core;
+pub use simkit;
+pub use snsim;
+pub use workload;
+
+/// Everything needed for typical experiments.
+pub mod prelude {
+    pub use lb_core::{ControlNode, DegreePolicy, SelectPolicy, Strategy};
+    pub use simkit::{SimDur, SimTime};
+    pub use snsim::{run_one, run_parallel, run_reps, SimConfig, Summary};
+    pub use workload::{ArrivalSpec, NodeFilter, WorkloadSpec};
+}

@@ -1,0 +1,181 @@
+//! End-to-end integration tests: full simulations with cross-crate
+//! invariants (tuple conservation, lock quiescence, buffer accounting,
+//! determinism).
+
+use parallel_lb::prelude::*;
+use snsim::System;
+
+fn quick(n: u32, wl: WorkloadSpec, strat: Strategy) -> SimConfig {
+    SimConfig::paper_default(n, wl, strat)
+        .with_sim_time(SimDur::from_secs(12), SimDur::from_secs(3))
+}
+
+#[test]
+fn single_user_join_completes_and_conserves_tuples() {
+    let cfg = quick(
+        10,
+        WorkloadSpec::single_user_join(0.01),
+        Strategy::Isolated {
+            degree: DegreePolicy::SuOpt,
+            select: SelectPolicy::Random,
+        },
+    );
+    let mut sys = System::new(cfg);
+    let s = sys.run();
+    assert!(s.classes[0].completed >= 5, "several queries must finish");
+    // Every completed join must deliver exactly the inner scan output:
+    // 1% of 250k = 2500 ± per-fragment rounding (the engine asserts the
+    // exact per-query count in debug builds; here check the average).
+    let per_query = sys.metrics.joins.results as f64 / s.classes[0].completed as f64;
+    assert!(
+        (per_query - 2504.0).abs() < 8.0,
+        "tuple conservation: {per_query} results/query"
+    );
+    assert!(s.join_resp_ms() > 100.0 && s.join_resp_ms() < 2_000.0);
+    sys.check_buffer_invariants();
+}
+
+#[test]
+fn multi_user_strategies_all_run_clean() {
+    for strat in [
+        Strategy::MinIo,
+        Strategy::MinIoSuopt,
+        Strategy::OptIoCpu,
+        Strategy::Adaptive,
+        Strategy::Isolated {
+            degree: DegreePolicy::MuCpu,
+            select: SelectPolicy::Lum,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuNoIo,
+            select: SelectPolicy::Luc,
+        },
+    ] {
+        let cfg = quick(20, WorkloadSpec::homogeneous_join(0.01, 0.15), strat);
+        let mut sys = System::new(cfg);
+        let s = sys.run();
+        assert!(
+            s.classes[0].completed > 10,
+            "{}: only {} queries finished",
+            s.strategy,
+            s.classes[0].completed
+        );
+        assert_eq!(s.deadlock_victims, 0, "{}: join-only workloads cannot deadlock", s.strategy);
+        sys.check_buffer_invariants();
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let mk = || {
+        quick(
+            20,
+            WorkloadSpec::homogeneous_join(0.01, 0.2),
+            Strategy::OptIoCpu,
+        )
+        .with_seed(77)
+    };
+    let a = snsim::run_one(mk());
+    let b = snsim::run_one(mk());
+    assert_eq!(a.events, b.events, "event counts differ");
+    assert_eq!(a.classes[0].completed, b.classes[0].completed);
+    assert_eq!(a.join_resp_ms(), b.join_resp_ms(), "bit-identical results expected");
+    assert_eq!(a.messages, b.messages);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mk = |seed| {
+        quick(
+            20,
+            WorkloadSpec::homogeneous_join(0.01, 0.2),
+            Strategy::OptIoCpu,
+        )
+        .with_seed(seed)
+    };
+    let a = snsim::run_one(mk(1));
+    let b = snsim::run_one(mk(2));
+    assert_ne!(a.events, b.events, "seeds must actually matter");
+}
+
+#[test]
+fn mixed_workload_runs_oltp_and_joins() {
+    let wl = WorkloadSpec::mixed(
+        0.01,
+        0.05,
+        dbmodel::RelationId(2),
+        50.0,
+        NodeFilter::BNodes,
+    );
+    let cfg = quick(20, wl, Strategy::OptIoCpu).with_disks(5);
+    let mut sys = System::new(cfg);
+    let s = sys.run();
+    assert!(s.classes[0].completed > 3, "joins finished");
+    // 16 B-nodes × 50 TPS × ~9 measured seconds.
+    assert!(
+        s.classes[1].completed > 2_000,
+        "OLTP throughput: {}",
+        s.classes[1].completed
+    );
+    assert!(s.oltp_resp_ms().expect("oltp class") < 1_000.0);
+    sys.check_buffer_invariants();
+}
+
+#[test]
+fn memory_bound_environment_spills_and_survives() {
+    let cfg = quick(20, WorkloadSpec::homogeneous_join(0.01, 0.04), Strategy::MinIoSuopt)
+        .with_buffer_pages(5)
+        .with_disks(1);
+    let s = snsim::run_one(cfg);
+    assert!(s.classes[0].completed > 3);
+    assert!(
+        s.spill_pages + s.temp_reads > 0,
+        "5-page buffers must force temporary file I/O"
+    );
+}
+
+#[test]
+fn throughput_matches_open_arrival_rate_when_stable() {
+    // 0.1 QPS/PE on 20 PEs = 2 QPS; a stable system must complete at
+    // about the arrival rate.
+    let cfg = SimConfig::paper_default(
+        20,
+        WorkloadSpec::homogeneous_join(0.01, 0.1),
+        Strategy::OptIoCpu,
+    )
+    .with_sim_time(SimDur::from_secs(30), SimDur::from_secs(6));
+    let s = snsim::run_one(cfg);
+    let thr = s.classes[0].throughput;
+    assert!((thr - 2.0).abs() < 0.5, "throughput {thr} vs arrival 2.0/s");
+}
+
+#[test]
+fn utilization_grows_with_load() {
+    let run = |rate| {
+        snsim::run_one(quick(
+            20,
+            WorkloadSpec::homogeneous_join(0.01, rate),
+            Strategy::OptIoCpu,
+        ))
+    };
+    let low = run(0.05);
+    let high = run(0.2);
+    assert!(
+        high.avg_cpu_util > low.avg_cpu_util,
+        "CPU utilization must scale with the arrival rate ({} vs {})",
+        high.avg_cpu_util,
+        low.avg_cpu_util
+    );
+}
+
+#[test]
+fn single_user_has_no_memory_contention() {
+    let cfg = quick(
+        20,
+        WorkloadSpec::single_user_join(0.01),
+        Strategy::MinIo,
+    );
+    let s = snsim::run_one(cfg);
+    assert_eq!(s.mem_waits, 0, "one query at a time never waits for memory");
+    assert_eq!(s.spill_pages, 0, "psu-noIO-sized memory avoids spills");
+}

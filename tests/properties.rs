@@ -1,0 +1,91 @@
+//! Workspace-level property tests: whole-simulation invariants under
+//! randomized configurations (proptest drives the config space; each case
+//! is a short full simulation).
+
+use parallel_lb::prelude::*;
+use proptest::prelude::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use snsim::System;
+
+fn cfg(n: u32, rate: f64, strat: Strategy, seed: u64, buffer: u32) -> SimConfig {
+    SimConfig::paper_default(n, WorkloadSpec::homogeneous_join(0.01, rate), strat)
+        .with_buffer_pages(buffer)
+        .with_seed(seed)
+        .with_sim_time(SimDur::from_secs(6), SimDur::from_secs(1))
+}
+
+fn strategy_from(idx: u8) -> Strategy {
+    match idx % 6 {
+        0 => Strategy::MinIo,
+        1 => Strategy::MinIoSuopt,
+        2 => Strategy::OptIoCpu,
+        3 => Strategy::Adaptive,
+        4 => Strategy::Isolated {
+            degree: DegreePolicy::MuCpu,
+            select: SelectPolicy::Lum,
+        },
+        _ => Strategy::Isolated {
+            degree: DegreePolicy::SuNoIo,
+            select: SelectPolicy::Random,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case is a full (short) simulation
+        .. ProptestConfig::default()
+    })]
+
+    /// Any strategy, size, seed and buffer size: the simulation completes
+    /// without panicking, buffer accounting stays exact, and every
+    /// completed join conserved its result tuples on average.
+    #[test]
+    fn prop_simulation_invariants(
+        n in 5u32..30,
+        rate in 0.02f64..0.2,
+        sidx in 0u8..6,
+        seed in 0u64..1_000,
+        buffer in 5u32..60,
+    ) {
+        let mut sys = System::new(cfg(n, rate, strategy_from(sidx), seed, buffer));
+        let s = sys.run();
+        sys.check_buffer_invariants();
+        prop_assert_eq!(s.deadlock_victims, 0);
+        if s.classes[0].completed > 0 {
+            let expected: u64 = {
+                // Inner scan output = Σ per-fragment rounded 1% selections.
+                let catalog = sys.cfg.build_catalog();
+                engine::scan::expected_scan_output(
+                    &catalog,
+                    dbmodel::RelationId(0),
+                    0.01,
+                )
+            };
+            let per_query =
+                sys.metrics.joins.results as f64 / s.classes[0].completed as f64;
+            // Completed joins deliver exactly `expected`; the ratio can
+            // deviate only via joins still in flight at the horizon.
+            prop_assert!(
+                (per_query - expected as f64).abs() < expected as f64 * 0.02,
+                "tuple conservation: {} vs {}",
+                per_query,
+                expected
+            );
+        }
+    }
+
+    /// Determinism as a property: same config → identical summary.
+    #[test]
+    fn prop_determinism(
+        n in 5u32..20,
+        rate in 0.02f64..0.15,
+        sidx in 0u8..6,
+        seed in 0u64..500,
+    ) {
+        let a = snsim::run_one(cfg(n, rate, strategy_from(sidx), seed, 50));
+        let b = snsim::run_one(cfg(n, rate, strategy_from(sidx), seed, 50));
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.messages, b.messages);
+        prop_assert_eq!(a.classes[0].completed, b.classes[0].completed);
+    }
+}
