@@ -38,14 +38,20 @@ fn bench_locks(c: &mut Criterion) {
         b.iter(|| {
             let mut lm = LockManager::new();
             for id in 0..200u64 {
-                let t = TxnToken { id, birth: SimTime(id) };
+                let t = TxnToken {
+                    id,
+                    birth: SimTime(id),
+                };
                 for k in 0..4 {
                     lm.lock(t, (id * 7 + k) % 251, LockMode::Exclusive);
                 }
             }
             let mut grants = 0;
             for id in 0..200u64 {
-                let t = TxnToken { id, birth: SimTime(id) };
+                let t = TxnToken {
+                    id,
+                    birth: SimTime(id),
+                };
                 grants += lm.release_all(t).len();
             }
             black_box(grants)
@@ -56,7 +62,12 @@ fn bench_locks(c: &mut Criterion) {
 fn bench_deadlock(c: &mut Criterion) {
     let mut rng = SimRng::new(6);
     let edges: Vec<(u64, u64)> = (0..500).map(|_| (rng.below(100), rng.below(100))).collect();
-    let births: Vec<TxnToken> = (0..100).map(|id| TxnToken { id, birth: SimTime(id) }).collect();
+    let births: Vec<TxnToken> = (0..100)
+        .map(|id| TxnToken {
+            id,
+            birth: SimTime(id),
+        })
+        .collect();
     c.bench_function("deadlock/detect_100_nodes_500_edges", |b| {
         b.iter(|| black_box(find_victims(&edges, &births)))
     });
@@ -107,6 +118,80 @@ fn bench_trace_codec(c: &mut Criterion) {
     });
 }
 
+/// Placement dispatch overhead: direct enum dispatch (`Strategy::place`)
+/// vs the broker's trait-object path (`dyn PlacementPolicy` behind
+/// `dyn ResourceBroker`). Confirms the Scheduler/ResourceBroker refactor
+/// does not regress the placement hot path: the decision logic itself
+/// (sorting AVAIL-MEMORY, eq. 3.3 scans) dominates the virtual calls.
+fn bench_placement_dispatch(c: &mut Criterion) {
+    use lb_core::control::{ControlNode, NodeState};
+    use lb_core::{
+        CentralBroker, JoinRequest, PlacementRequest, PolicyConfig, ResourceBroker, Strategy,
+    };
+
+    const N: usize = 64;
+    let req = JoinRequest {
+        table_pages: 131.25,
+        psu_opt: 30,
+        psu_noio: 3,
+        outer_scan_nodes: 32,
+    };
+    let fresh_ctl = || {
+        let mut ctl = ControlNode::new(N);
+        for i in 0..N {
+            ctl.report(
+                i as u32,
+                NodeState {
+                    cpu_util: 0.3,
+                    free_pages: 40,
+                },
+            );
+        }
+        ctl
+    };
+
+    c.bench_function("placement/enum_dispatch_1k", |b| {
+        let mut ctl = fresh_ctl();
+        let strategy = Strategy::OptIoCpu;
+        let mut rng = SimRng::new(11);
+        b.iter(|| {
+            let mut degrees = 0u64;
+            for _ in 0..1_000 {
+                degrees += strategy.place(&req, &mut ctl, &mut rng).degree() as u64;
+            }
+            black_box(degrees)
+        })
+    });
+
+    c.bench_function("placement/trait_object_broker_1k", |b| {
+        let mut broker: Box<dyn ResourceBroker> = Box::new(CentralBroker::from_config(
+            N,
+            0.05,
+            40,
+            Strategy::OptIoCpu,
+            &PolicyConfig::default(),
+        ));
+        for i in 0..N as u32 {
+            broker.report(
+                i,
+                NodeState {
+                    cpu_util: 0.3,
+                    free_pages: 40,
+                },
+            );
+        }
+        let preq = PlacementRequest::join(0, req, N as u32);
+        let mut rng = SimRng::new(11);
+        b.iter(|| {
+            let mut degrees = 0u64;
+            for _ in 0..1_000 {
+                degrees += broker.place(&preq, &mut rng).degree() as u64;
+            }
+            black_box(degrees)
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_buffer,
@@ -114,6 +199,7 @@ criterion_group!(
     bench_deadlock,
     bench_btree,
     bench_disk,
-    bench_trace_codec
+    bench_trace_codec,
+    bench_placement_dispatch
 );
 criterion_main!(benches);

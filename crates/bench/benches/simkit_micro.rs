@@ -29,8 +29,10 @@ fn bench_fcfs_server(c: &mut Criterion) {
             let mut s: FcfsServer<u32> = FcfsServer::new(1);
             let mut now = SimTime::ZERO;
             for i in 0..1_000u32 {
-                if s.offer(now, SimDur::from_micros(50), Priority::Normal, i).is_none() {
-                    now = now + SimDur::from_micros(50);
+                if s.offer(now, SimDur::from_micros(50), Priority::Normal, i)
+                    .is_none()
+                {
+                    now += SimDur::from_micros(50);
                     black_box(s.complete(now));
                 }
             }

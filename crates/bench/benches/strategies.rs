@@ -29,8 +29,20 @@ fn bench_placements(c: &mut Criterion) {
         outer_scan_nodes: 64,
     };
     for (name, strat) in [
-        ("random", Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Random }),
-        ("lum", Strategy::Isolated { degree: DegreePolicy::MuCpu, select: SelectPolicy::Lum }),
+        (
+            "random",
+            Strategy::Isolated {
+                degree: DegreePolicy::SuOpt,
+                select: SelectPolicy::Random,
+            },
+        ),
+        (
+            "lum",
+            Strategy::Isolated {
+                degree: DegreePolicy::MuCpu,
+                select: SelectPolicy::Lum,
+            },
+        ),
         ("min_io", Strategy::MinIo),
         ("min_io_suopt", Strategy::MinIoSuopt),
         ("opt_io_cpu", Strategy::OptIoCpu),

@@ -17,9 +17,9 @@ fn main() {
         if full {
             cmd.arg("--full");
         }
-        let status = cmd.status().unwrap_or_else(|e| {
-            panic!("failed to launch {fig} (build bench binaries first): {e}")
-        });
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig} (build bench binaries first): {e}"));
         assert!(status.success(), "{fig} failed");
     }
     println!("all figures regenerated; see results/*.json");

@@ -21,7 +21,12 @@ use workload::WorkloadSpec;
 const N: u32 = 40;
 const DEGREES: [u32; 8] = [1, 2, 4, 8, 15, 22, 30, 40];
 
-fn sweep(mode: Mode, wl: WorkloadSpec, buffer: Option<u32>, disks: Option<u32>) -> Vec<snsim::Summary> {
+fn sweep(
+    mode: Mode,
+    wl: WorkloadSpec,
+    buffer: Option<u32>,
+    disks: Option<u32>,
+) -> Vec<snsim::Summary> {
     let cfgs: Vec<SimConfig> = DEGREES
         .iter()
         .map(|&p| {
@@ -73,9 +78,18 @@ fn main() {
         .collect();
 
     let series: Vec<(String, Vec<f64>)> = vec![
-        ("(a) single-user".into(), su.iter().map(|s| s.join_resp_ms()).collect()),
-        ("(b) CPU-bound mu".into(), cpu.iter().map(|s| s.join_resp_ms()).collect()),
-        ("(c) memory-bound mu".into(), mem.iter().map(|s| s.join_resp_ms()).collect()),
+        (
+            "(a) single-user".into(),
+            su.iter().map(|s| s.join_resp_ms()).collect(),
+        ),
+        (
+            "(b) CPU-bound mu".into(),
+            cpu.iter().map(|s| s.join_resp_ms()).collect(),
+        ),
+        (
+            "(c) memory-bound mu".into(),
+            mem.iter().map(|s| s.join_resp_ms()).collect(),
+        ),
         ("analytic model (su)".into(), analytic.clone()),
     ];
     let xs: Vec<String> = DEGREES.iter().map(|p| p.to_string()).collect();

@@ -40,9 +40,12 @@ fn main() {
         let name = if single_user {
             "single-user(psu-opt)".to_string()
         } else {
-            strat.name()
+            strat.name().to_string()
         };
-        series.push((name.clone(), sums.iter().map(|s| s.join_resp_ms()).collect()));
+        series.push((
+            name.clone(),
+            sums.iter().map(|s| s.join_resp_ms()).collect(),
+        ));
         raw.push((name, sums));
     }
 
@@ -58,9 +61,8 @@ fn main() {
     );
 
     // Qualitative claims from §5.2.
-    let get = |name: &str| -> &Vec<f64> {
-        &series.iter().find(|(n, _)| n == name).expect("series").1
-    };
+    let get =
+        |name: &str| -> &Vec<f64> { &series.iter().find(|(n, _)| n == name).expect("series").1 };
     let at80 = |name: &str| get(name)[PE_SWEEP.len() - 1];
     let at10 = |name: &str| get(name)[0];
     check(

@@ -21,18 +21,17 @@ fn main() {
             .iter()
             .map(|&n| {
                 with_mode(
-                    SimConfig::paper_default(
-                        n,
-                        WorkloadSpec::homogeneous_join(0.01, 0.25),
-                        strat,
-                    ),
+                    SimConfig::paper_default(n, WorkloadSpec::homogeneous_join(0.01, 0.25), strat),
                     mode,
                 )
             })
             .collect();
         let sums = run_parallel(cfgs);
-        series.push((strat.name(), sums.iter().map(|s| s.join_resp_ms()).collect()));
-        raw.push((strat.name(), sums));
+        series.push((
+            strat.name().to_string(),
+            sums.iter().map(|s| s.join_resp_ms()).collect(),
+        ));
+        raw.push((strat.name().to_string(), sums));
     }
     // Single-user baseline.
     let su = Strategy::Isolated {
@@ -67,9 +66,8 @@ fn main() {
     );
 
     // Qualitative claims from §5.2.
-    let get = |name: &str| -> &Vec<f64> {
-        &series.iter().find(|(n, _)| n == name).expect("series").1
-    };
+    let get =
+        |name: &str| -> &Vec<f64> { &series.iter().find(|(n, _)| n == name).expect("series").1 };
     let last = PE_SWEEP.len() - 1;
     check(
         "MIN-IO and MIN-IO-SUOPT are the worst dynamic strategies at 80 PE",

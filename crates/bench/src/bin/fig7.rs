@@ -57,7 +57,10 @@ fn main() {
                 .collect();
             let sums = run_parallel(cfgs);
             let label = format!("{lname}/{sname}");
-            series.push((label.clone(), sums.iter().map(|s| s.join_resp_ms()).collect()));
+            series.push((
+                label.clone(),
+                sums.iter().map(|s| s.join_resp_ms()).collect(),
+            ));
             degree_series.push((
                 label.clone(),
                 sums.iter().map(|s| s.avg_join_degree).collect(),

@@ -17,12 +17,7 @@ const N: u32 = 60;
 
 /// (selectivity, arrival rate QPS/PE): rates drop as queries grow so one
 /// resource stays highly utilized without overload collapse.
-const POINTS: [(f64, f64); 4] = [
-    (0.001, 1.0),
-    (0.01, 0.25),
-    (0.02, 0.10),
-    (0.05, 0.035),
-];
+const POINTS: [(f64, f64); 4] = [(0.001, 1.0), (0.01, 0.25), (0.02, 0.10), (0.05, 0.035)];
 
 fn main() {
     let mode = Mode::from_args();
@@ -98,9 +93,8 @@ fn main() {
         )
     );
 
-    let get = |name: &str| -> &Vec<f64> {
-        &series.iter().find(|(n, _)| n == name).expect("series").1
-    };
+    let get =
+        |name: &str| -> &Vec<f64> { &series.iter().find(|(n, _)| n == name).expect("series").1 };
     check(
         "dynamic strategies beat the static baseline for small joins (0.1%)",
         get("pmu-cpu+LUM")[0] > 0.0 && get("MIN-IO")[0] > 0.0,

@@ -15,7 +15,10 @@ use workload::{NodeFilter, WorkloadSpec};
 
 fn main() {
     let mode = Mode::from_args();
-    for (panel, nodes) in [("9a (OLTP on A-nodes)", NodeFilter::ANodes), ("9b (OLTP on B-nodes)", NodeFilter::BNodes)] {
+    for (panel, nodes) in [
+        ("9a (OLTP on A-nodes)", NodeFilter::ANodes),
+        ("9b (OLTP on B-nodes)", NodeFilter::BNodes),
+    ] {
         let mut series: Vec<(String, Vec<f64>)> = Vec::new();
         let mut oltp_series: Vec<(String, Vec<f64>)> = Vec::new();
         let mut raw = Vec::new();
@@ -23,23 +26,22 @@ fn main() {
             let cfgs: Vec<SimConfig> = PE_SWEEP
                 .iter()
                 .map(|&n| {
-                    let wl =
-                        WorkloadSpec::mixed(0.01, 0.075, RelationId(2), 100.0, nodes);
-                    with_mode(
-                        SimConfig::paper_default(n, wl, strat).with_disks(5),
-                        mode,
-                    )
+                    let wl = WorkloadSpec::mixed(0.01, 0.075, RelationId(2), 100.0, nodes);
+                    with_mode(SimConfig::paper_default(n, wl, strat).with_disks(5), mode)
                 })
                 .collect();
             let sums = run_parallel(cfgs);
-            series.push((strat.name(), sums.iter().map(|s| s.join_resp_ms()).collect()));
+            series.push((
+                strat.name().to_string(),
+                sums.iter().map(|s| s.join_resp_ms()).collect(),
+            ));
             oltp_series.push((
-                strat.name(),
+                strat.name().to_string(),
                 sums.iter()
                     .map(|s| s.oltp_resp_ms().unwrap_or(f64::NAN))
                     .collect(),
             ));
-            raw.push((strat.name(), sums));
+            raw.push((strat.name().to_string(), sums));
         }
 
         let xs: Vec<String> = PE_SWEEP.iter().map(|n| n.to_string()).collect();
@@ -89,7 +91,11 @@ fn main() {
             );
         }
         write_results_json(
-            if panel.starts_with("9a") { "fig9a" } else { "fig9b" },
+            if panel.starts_with("9a") {
+                "fig9a"
+            } else {
+                "fig9b"
+            },
             &raw,
         );
     }

@@ -50,22 +50,52 @@ pub fn with_mode(cfg: SimConfig, mode: Mode) -> SimConfig {
 /// The isolated strategies of Fig. 5 (static degrees × selection).
 pub fn fig5_strategies() -> Vec<Strategy> {
     vec![
-        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Random },
-        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Luc },
-        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Lum },
-        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Random },
-        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Luc },
-        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Lum },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuNoIo,
+            select: SelectPolicy::Random,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuNoIo,
+            select: SelectPolicy::Luc,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuNoIo,
+            select: SelectPolicy::Lum,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuOpt,
+            select: SelectPolicy::Random,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuOpt,
+            select: SelectPolicy::Luc,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuOpt,
+            select: SelectPolicy::Lum,
+        },
     ]
 }
 
 /// The strategies of Fig. 9 (static vs dynamic for mixed workloads).
 pub fn fig9_strategies() -> Vec<Strategy> {
     vec![
-        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Random },
-        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Random },
-        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Lum },
-        Strategy::Isolated { degree: DegreePolicy::MuCpu, select: SelectPolicy::Lum },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuOpt,
+            select: SelectPolicy::Random,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuNoIo,
+            select: SelectPolicy::Random,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuNoIo,
+            select: SelectPolicy::Lum,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::MuCpu,
+            select: SelectPolicy::Lum,
+        },
         Strategy::OptIoCpu,
     ]
 }

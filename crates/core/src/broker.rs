@@ -1,0 +1,305 @@
+//! The resource-broker layer.
+//!
+//! Owns the per-node resource state (CPU utilization, free buffer memory,
+//! disk utilization) behind an object-safe trait, and routes every
+//! placement request to the [`PlacementPolicy`] responsible for its work
+//! class. The simulator no longer pokes the [`ControlNode`] directly — it
+//! reports resource samples to the broker and asks the broker for
+//! placements, which is the separation DynaHash-style dynamic rebalancing
+//! needs (a broker that can observe *and* decide is the prerequisite for
+//! switching policies mid-run).
+//!
+//! Layering (top to bottom):
+//!
+//! ```text
+//!   snsim::System           — orchestration glue (events, hardware, jobs)
+//!   lb_core::ResourceBroker — resource state + per-class policy routing
+//!   lb_core::PlacementPolicy— one placement decision (join / coord / OLTP)
+//!   lb_core::ControlNode    — the paper's AVAIL-MEMORY + utilization view
+//! ```
+
+use crate::control::{ControlNode, NodeState};
+use crate::policy::{PlacementPolicy, PlacementRequest, PolicyConfig, WorkClass};
+use crate::strategy::{Placement, Strategy};
+use simkit::SimRng;
+
+/// Object-safe broker interface: resource reporting in, placements out.
+pub trait ResourceBroker {
+    /// Number of nodes under management.
+    fn node_count(&self) -> usize;
+
+    /// Periodic CPU/memory report from one node.
+    fn report(&mut self, node: u32, state: NodeState);
+
+    /// Periodic disk-utilization report from one node.
+    fn report_disk(&mut self, node: u32, util: f64);
+
+    /// End of one report round (all nodes reported): adaptive policies
+    /// observe the refreshed state here and may switch behaviour.
+    fn end_report_round(&mut self);
+
+    /// Place one unit of work under the current resource state.
+    fn place(&mut self, req: &PlacementRequest, rng: &mut SimRng) -> Placement;
+
+    /// Report label of the policy governing a work class.
+    fn policy_name(&self, class: WorkClass) -> &'static str;
+
+    /// Total mid-run policy switches across all classes.
+    fn policy_switches(&self) -> u64;
+
+    /// Read access to the control state (diagnostics, tests).
+    fn control(&self) -> &ControlNode;
+
+    /// Last reported disk utilization of a node.
+    fn disk_util(&self, node: u32) -> f64;
+}
+
+/// The designated-control-node broker of the paper: central state, one
+/// policy slot per work class.
+pub struct CentralBroker {
+    ctl: ControlNode,
+    disk: Vec<f64>,
+    join: Box<dyn PlacementPolicy>,
+    /// Policy for multi-join stages ≥ 1; `None` falls through to the join
+    /// policy (sharing its state, e.g. one adaptive controller for both).
+    stage: Option<Box<dyn PlacementPolicy>>,
+    scan: Box<dyn PlacementPolicy>,
+    oltp: Box<dyn PlacementPolicy>,
+}
+
+impl CentralBroker {
+    /// Build the broker for `n` nodes. The control state starts idle with
+    /// `free_pages` available everywhere (nodes have not reported yet).
+    pub fn new(
+        n: usize,
+        luc_bump: f64,
+        free_pages: u32,
+        join: Box<dyn PlacementPolicy>,
+        stage: Option<Box<dyn PlacementPolicy>>,
+        scan: Box<dyn PlacementPolicy>,
+        oltp: Box<dyn PlacementPolicy>,
+    ) -> CentralBroker {
+        let mut ctl = ControlNode::new(n);
+        ctl.luc_bump = luc_bump;
+        for node in 0..n {
+            ctl.report(
+                node as u32,
+                NodeState {
+                    cpu_util: 0.0,
+                    free_pages,
+                },
+            );
+        }
+        CentralBroker {
+            ctl,
+            disk: vec![0.0; n],
+            join,
+            stage,
+            scan,
+            oltp,
+        }
+    }
+
+    /// Standard construction from a strategy and a per-class policy table.
+    pub fn from_config(
+        n: usize,
+        luc_bump: f64,
+        free_pages: u32,
+        strategy: Strategy,
+        policies: &PolicyConfig,
+    ) -> CentralBroker {
+        CentralBroker::new(
+            n,
+            luc_bump,
+            free_pages,
+            policies.join_policy(strategy),
+            policies.stage_strategy.map(|s| policies.join_policy(s)),
+            Box::new(crate::policy::CoordinatorPolicy::new(policies.scan_coord)),
+            Box::new(crate::policy::CoordinatorPolicy::new(policies.oltp_coord)),
+        )
+    }
+}
+
+impl ResourceBroker for CentralBroker {
+    fn node_count(&self) -> usize {
+        self.ctl.len()
+    }
+
+    fn report(&mut self, node: u32, state: NodeState) {
+        self.ctl.report(node, state);
+    }
+
+    fn report_disk(&mut self, node: u32, util: f64) {
+        self.disk[node as usize] = util;
+    }
+
+    fn end_report_round(&mut self) {
+        self.join.on_report(&self.ctl, &self.disk);
+        if let Some(stage) = &mut self.stage {
+            stage.on_report(&self.ctl, &self.disk);
+        }
+        self.scan.on_report(&self.ctl, &self.disk);
+        self.oltp.on_report(&self.ctl, &self.disk);
+    }
+
+    fn place(&mut self, req: &PlacementRequest, rng: &mut SimRng) -> Placement {
+        // Split borrows: the policy gets the control state mutably.
+        let ctl = &mut self.ctl;
+        let policy = match req.class {
+            WorkClass::Join { stage: 0 } => &mut self.join,
+            WorkClass::Join { .. } => self.stage.as_mut().unwrap_or(&mut self.join),
+            WorkClass::Scan => &mut self.scan,
+            WorkClass::Oltp => &mut self.oltp,
+        };
+        policy.place(req, ctl, rng)
+    }
+
+    fn policy_name(&self, class: WorkClass) -> &'static str {
+        match class {
+            WorkClass::Join { stage: 0 } => self.join.name(),
+            WorkClass::Join { .. } => self.stage.as_deref().map_or(self.join.name(), |s| s.name()),
+            WorkClass::Scan => self.scan.name(),
+            WorkClass::Oltp => self.oltp.name(),
+        }
+    }
+
+    fn policy_switches(&self) -> u64 {
+        self.join.switches()
+            + self.stage.as_deref().map_or(0, |s| s.switches())
+            + self.scan.switches()
+            + self.oltp.switches()
+    }
+
+    fn control(&self) -> &ControlNode {
+        &self.ctl
+    }
+
+    fn disk_util(&self, node: u32) -> f64 {
+        self.disk[node as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CoordPolicyKind, PlacementRequest};
+    use crate::strategy::JoinRequest;
+    use crate::{DegreePolicy, SelectPolicy};
+
+    fn broker(strategy: Strategy) -> CentralBroker {
+        CentralBroker::from_config(8, 0.05, 50, strategy, &PolicyConfig::default())
+    }
+
+    fn join_req() -> JoinRequest {
+        JoinRequest {
+            table_pages: 120.0,
+            psu_opt: 6,
+            psu_noio: 3,
+            outer_scan_nodes: 6,
+        }
+    }
+
+    #[test]
+    fn routes_join_and_coordinator_requests() {
+        let mut b = broker(Strategy::MinIo);
+        let mut rng = SimRng::new(1);
+        let p = b.place(&PlacementRequest::join(0, join_req(), 8), &mut rng);
+        assert_eq!(p.degree(), 3, "MIN-IO at 50 free pages per node");
+        let c = b.place(
+            &PlacementRequest::coordinator(WorkClass::Scan, 0, 8),
+            &mut rng,
+        );
+        assert_eq!(c.degree(), 1);
+        assert!(c.nodes[0] < 8);
+    }
+
+    #[test]
+    fn reports_flow_into_placements() {
+        let mut b = broker(Strategy::MinIo);
+        let mut rng = SimRng::new(2);
+        // Starve all but node 5 of memory: MIN-IO must pick node 5 first.
+        for node in 0..8u32 {
+            // Decay lingering promises from construction-time reports.
+            for _ in 0..4 {
+                b.report(
+                    node,
+                    NodeState {
+                        cpu_util: 0.1,
+                        free_pages: if node == 5 { 45 } else { 2 },
+                    },
+                );
+            }
+        }
+        let p = b.place(&PlacementRequest::join(0, join_req(), 8), &mut rng);
+        assert!(
+            p.nodes.contains(&5),
+            "most-free node selected: {:?}",
+            p.nodes
+        );
+    }
+
+    #[test]
+    fn disk_reports_are_tracked() {
+        let mut b = broker(Strategy::MinIo);
+        b.report_disk(3, 0.7);
+        assert!((b.disk_util(3) - 0.7).abs() < 1e-12);
+        assert_eq!(b.disk_util(0), 0.0);
+    }
+
+    #[test]
+    fn stage_policy_can_differ_from_join_policy() {
+        let policies = PolicyConfig {
+            stage_strategy: Some(Strategy::Isolated {
+                degree: DegreePolicy::SuNoIo,
+                select: SelectPolicy::Lum,
+            }),
+            ..PolicyConfig::default()
+        };
+        let b = CentralBroker::from_config(8, 0.05, 50, Strategy::OptIoCpu, &policies);
+        assert_eq!(b.policy_name(WorkClass::Join { stage: 0 }), "OPT-IO-CPU");
+        assert_eq!(b.policy_name(WorkClass::Join { stage: 1 }), "psu-noIO+LUM");
+    }
+
+    #[test]
+    fn adaptive_strategy_becomes_online_controller() {
+        let mut b = broker(Strategy::Adaptive);
+        assert_eq!(b.policy_name(WorkClass::Join { stage: 0 }), "ADAPTIVE");
+        // Heat the CPUs over several report rounds: the controller switches.
+        for _ in 0..4 {
+            for node in 0..8u32 {
+                b.report(
+                    node,
+                    NodeState {
+                        cpu_util: 0.9,
+                        free_pages: 50,
+                    },
+                );
+            }
+            b.end_report_round();
+        }
+        assert!(b.policy_switches() >= 1, "controller switched under heat");
+    }
+
+    #[test]
+    fn coordinator_policies_configurable_per_class() {
+        let policies = PolicyConfig {
+            scan_coord: CoordPolicyKind::RoundRobin,
+            oltp_coord: CoordPolicyKind::LeastCpu,
+            ..PolicyConfig::default()
+        };
+        let mut b = CentralBroker::from_config(4, 0.05, 50, Strategy::MinIo, &policies);
+        assert_eq!(b.policy_name(WorkClass::Scan), "coord-RR");
+        assert_eq!(b.policy_name(WorkClass::Oltp), "coord-LUC");
+        let mut rng = SimRng::new(3);
+        let picks: Vec<u32> = (0..4)
+            .map(|_| {
+                b.place(
+                    &PlacementRequest::coordinator(WorkClass::Scan, 0, 4),
+                    &mut rng,
+                )
+                .nodes[0]
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 3]);
+    }
+}

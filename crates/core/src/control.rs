@@ -130,8 +130,7 @@ impl ControlNode {
     /// immediately so the next placement sees the claim.
     pub fn note_assignment(&mut self, nodes: &[u32], pages_per_node: u32) {
         for &id in nodes {
-            self.promised[id as usize] =
-                self.promised[id as usize].saturating_add(pages_per_node);
+            self.promised[id as usize] = self.promised[id as usize].saturating_add(pages_per_node);
             let s = &mut self.nodes[id as usize];
             s.cpu_util = (s.cpu_util + self.luc_bump).min(1.0);
         }
@@ -147,7 +146,13 @@ mod tests {
     fn ctl(free: &[u32], cpu: &[f64]) -> ControlNode {
         let mut c = ControlNode::new(free.len());
         for (i, (&f, &u)) in free.iter().zip(cpu).enumerate() {
-            c.report(i as u32, NodeState { cpu_util: u, free_pages: f });
+            c.report(
+                i as u32,
+                NodeState {
+                    cpu_util: u,
+                    free_pages: f,
+                },
+            );
         }
         c
     }
@@ -201,13 +206,37 @@ mod tests {
         assert_eq!(c.state(0).free_pages, 20, "promise hides pages");
         // First report: the reservation is partially visible; half the
         // promise is retained against double-booking.
-        c.report(0, NodeState { cpu_util: 0.25, free_pages: 28 });
+        c.report(
+            0,
+            NodeState {
+                cpu_util: 0.25,
+                free_pages: 28,
+            },
+        );
         assert_eq!(c.state(0).free_pages, 23, "28 − 10/2");
         // Second report: promise fully decayed (10/4 = 2 remains... then 1).
-        c.report(0, NodeState { cpu_util: 0.25, free_pages: 28 });
+        c.report(
+            0,
+            NodeState {
+                cpu_util: 0.25,
+                free_pages: 28,
+            },
+        );
         assert_eq!(c.state(0).free_pages, 26, "28 − 2");
-        c.report(0, NodeState { cpu_util: 0.25, free_pages: 28 });
-        c.report(0, NodeState { cpu_util: 0.25, free_pages: 28 });
+        c.report(
+            0,
+            NodeState {
+                cpu_util: 0.25,
+                free_pages: 28,
+            },
+        );
+        c.report(
+            0,
+            NodeState {
+                cpu_util: 0.25,
+                free_pages: 28,
+            },
+        );
         assert_eq!(c.state(0).free_pages, 28, "promise gone");
     }
 }

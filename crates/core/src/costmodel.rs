@@ -180,8 +180,15 @@ impl CostModel {
             // Sequential I/O overlaps CPU poorly on one node: add both.
             self.ms(cpu) + pages_per_node as f64 * self.params.seq_io_ms_per_page
         };
-        let t_scan = scan_phase(q.inner_tuples, q.inner_scan_nodes, q.inner_scan_pages_per_node)
-            + scan_phase(q.outer_tuples, q.outer_scan_nodes, q.outer_scan_pages_per_node);
+        let t_scan = scan_phase(
+            q.inner_tuples,
+            q.inner_scan_nodes,
+            q.inner_scan_pages_per_node,
+        ) + scan_phase(
+            q.outer_tuples,
+            q.outer_scan_nodes,
+            q.outer_scan_pages_per_node,
+        );
         // Coordinator merges the result stream.
         let result_msgs = q.result_tuples.div_ceil(tpp);
         let t_merge = self.ms(result_msgs * (c.recv_msg + c.copy_8k));

@@ -47,14 +47,15 @@ impl DegreePolicy {
         p.clamp(1, n.max(1))
     }
 
-    /// Human-readable name used in experiment reports.
-    pub fn name(&self) -> String {
+    /// Human-readable name used in experiment reports (static: called in
+    /// hot experiment loops; `Fixed(p)` loses the numeric value).
+    pub fn name(&self) -> &'static str {
         match self {
-            DegreePolicy::SuOpt => "psu-opt".into(),
-            DegreePolicy::SuNoIo => "psu-noIO".into(),
-            DegreePolicy::MuCpu => "pmu-cpu".into(),
-            DegreePolicy::Fixed(p) => format!("p={p}"),
-            DegreePolicy::RateMatch(_) => "RateMatch".into(),
+            DegreePolicy::SuOpt => "psu-opt",
+            DegreePolicy::SuNoIo => "psu-noIO",
+            DegreePolicy::MuCpu => "pmu-cpu",
+            DegreePolicy::Fixed(_) => "p-fixed",
+            DegreePolicy::RateMatch(_) => "RateMatch",
         }
     }
 }
@@ -76,7 +77,13 @@ mod tests {
     fn ctl(n: usize, cpu: f64) -> ControlNode {
         let mut c = ControlNode::new(n);
         for i in 0..n {
-            c.report(i as u32, NodeState { cpu_util: cpu, free_pages: 50 });
+            c.report(
+                i as u32,
+                NodeState {
+                    cpu_util: cpu,
+                    free_pages: 50,
+                },
+            );
         }
         c
     }

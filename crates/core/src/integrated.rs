@@ -135,7 +135,13 @@ mod tests {
     fn ctl(free: &[u32], cpu: f64) -> ControlNode {
         let mut c = ControlNode::new(free.len());
         for (i, &f) in free.iter().enumerate() {
-            c.report(i as u32, NodeState { cpu_util: cpu, free_pages: f });
+            c.report(
+                i as u32,
+                NodeState {
+                    cpu_util: cpu,
+                    free_pages: f,
+                },
+            );
         }
         c
     }

@@ -28,18 +28,48 @@
 //!   sketched in the paper's conclusions ("a family of load balancing
 //!   strategies so that the most appropriate policy can be selected
 //!   according to the current system state").
+//!
+//! ## Run-time layering (Dispatcher → ResourceBroker → PlacementPolicy)
+//!
+//! On top of the strategy family, two layers make placement a pluggable
+//! run-time service instead of enum dispatch inside the simulator:
+//!
+//! * [`policy`] — the object-safe [`PlacementPolicy`](policy::PlacementPolicy)
+//!   trait covering **all** placed work classes (two-way joins, multi-join
+//!   stages, scan/sort/update query coordinators, OLTP home nodes), the
+//!   [`CoordinatorPolicy`](policy::CoordinatorPolicy) family, and the
+//!   [`AdaptiveController`](policy::AdaptiveController) — an online
+//!   controller that switches the active join strategy mid-run from broker
+//!   feedback (with hysteresis);
+//! * [`broker`] — the [`ResourceBroker`](broker::ResourceBroker) trait and
+//!   its central implementation: owns the per-node CPU/memory/disk state,
+//!   receives the periodic utilization reports, notifies adaptive policies
+//!   at the end of each report round, and routes every
+//!   [`PlacementRequest`](policy::PlacementRequest) to the policy
+//!   registered for its work class.
+//!
+//! The simulator (`snsim`) holds a `Box<dyn ResourceBroker>` and never
+//! inspects strategies directly; the event loop itself lives one layer
+//! further down in `simkit::Dispatcher`.
 
+pub mod broker;
 pub mod control;
 pub mod costmodel;
 pub mod degree;
 pub mod integrated;
+pub mod policy;
 pub mod ratematch;
 pub mod select;
 pub mod strategy;
 
+pub use broker::{CentralBroker, ResourceBroker};
 pub use control::{ControlNode, NodeState};
 pub use costmodel::{CostModel, CostParams, JoinProfile};
 pub use degree::DegreePolicy;
+pub use policy::{
+    AdaptiveConfig, AdaptiveController, CoordPolicyKind, CoordinatorPolicy, PlacementPolicy,
+    PlacementRequest, PolicyConfig, WorkClass,
+};
 pub use ratematch::RateMatch;
 pub use select::SelectPolicy;
 pub use strategy::{JoinRequest, Placement, Strategy};

@@ -99,7 +99,13 @@ mod tests {
     fn ctl(n: usize, u: f64) -> ControlNode {
         let mut c = ControlNode::new(n);
         for i in 0..n {
-            c.report(i as u32, NodeState { cpu_util: u, free_pages: 50 });
+            c.report(
+                i as u32,
+                NodeState {
+                    cpu_util: u,
+                    free_pages: 50,
+                },
+            );
         }
         c
     }
@@ -122,7 +128,7 @@ mod tests {
         let rm = RateMatch::new(CostParams::default());
         let profile = paper_join_profile(20, 0.05);
         let p = rm.degree(&profile, &ctl(20, 0.95));
-        assert!(p >= 1 && p <= 20);
+        assert!((1..=20).contains(&p));
     }
 
     #[test]

@@ -71,7 +71,13 @@ mod tests {
     fn ctl(free: &[u32], cpu: &[f64]) -> ControlNode {
         let mut c = ControlNode::new(free.len());
         for (i, (&f, &u)) in free.iter().zip(cpu).enumerate() {
-            c.report(i as u32, NodeState { cpu_util: u, free_pages: f });
+            c.report(
+                i as u32,
+                NodeState {
+                    cpu_util: u,
+                    free_pages: f,
+                },
+            );
         }
         c
     }

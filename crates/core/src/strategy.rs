@@ -114,15 +114,38 @@ impl Strategy {
     }
 
     /// Name used in experiment reports (matches the paper's labels).
-    pub fn name(&self) -> String {
+    ///
+    /// Returns a static string — this is called once per placement in hot
+    /// experiment loops, and an allocation per call showed up in profiles.
+    /// Isolated combinations are enumerated in a static table;
+    /// `Fixed(p)` degrees lose the numeric value in the label.
+    pub fn name(&self) -> &'static str {
         match self {
             Strategy::Isolated { degree, select } => {
-                format!("{}+{}", degree.name(), select.name())
+                use DegreePolicy as D;
+                use SelectPolicy as S;
+                match (degree, select) {
+                    (D::SuOpt, S::Random) => "psu-opt+RANDOM",
+                    (D::SuOpt, S::Luc) => "psu-opt+LUC",
+                    (D::SuOpt, S::Lum) => "psu-opt+LUM",
+                    (D::SuNoIo, S::Random) => "psu-noIO+RANDOM",
+                    (D::SuNoIo, S::Luc) => "psu-noIO+LUC",
+                    (D::SuNoIo, S::Lum) => "psu-noIO+LUM",
+                    (D::MuCpu, S::Random) => "pmu-cpu+RANDOM",
+                    (D::MuCpu, S::Luc) => "pmu-cpu+LUC",
+                    (D::MuCpu, S::Lum) => "pmu-cpu+LUM",
+                    (D::Fixed(_), S::Random) => "p-fixed+RANDOM",
+                    (D::Fixed(_), S::Luc) => "p-fixed+LUC",
+                    (D::Fixed(_), S::Lum) => "p-fixed+LUM",
+                    (D::RateMatch(_), S::Random) => "RateMatch+RANDOM",
+                    (D::RateMatch(_), S::Luc) => "RateMatch+LUC",
+                    (D::RateMatch(_), S::Lum) => "RateMatch+LUM",
+                }
             }
-            Strategy::MinIo => "MIN-IO".into(),
-            Strategy::MinIoSuopt => "MIN-IO-SUOPT".into(),
-            Strategy::OptIoCpu => "OPT-IO-CPU".into(),
-            Strategy::Adaptive => "ADAPTIVE".into(),
+            Strategy::MinIo => "MIN-IO",
+            Strategy::MinIoSuopt => "MIN-IO-SUOPT",
+            Strategy::OptIoCpu => "OPT-IO-CPU",
+            Strategy::Adaptive => "ADAPTIVE",
         }
     }
 
@@ -167,7 +190,13 @@ mod tests {
     fn ctl(n: usize, cpu: f64, free: u32) -> ControlNode {
         let mut c = ControlNode::new(n);
         for i in 0..n {
-            c.report(i as u32, NodeState { cpu_util: cpu, free_pages: free });
+            c.report(
+                i as u32,
+                NodeState {
+                    cpu_util: cpu,
+                    free_pages: free,
+                },
+            );
         }
         c
     }

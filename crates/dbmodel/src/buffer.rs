@@ -353,11 +353,7 @@ impl BufferManager {
     /// (PPHJ) that degrade to disk-resident processing instead of
     /// stalling; a multi-node join must never hold memory on some nodes
     /// while queueing on others (cross-node admission convoy).
-    pub fn reserve_best_effort(
-        &mut self,
-        job: JobMemKey,
-        desired: u32,
-    ) -> (u32, Vec<PageAddr>) {
+    pub fn reserve_best_effort(&mut self, job: JobMemKey, desired: u32) -> (u32, Vec<PageAddr>) {
         self.stats.reservations += 1;
         let pages = self.reservable().min(desired.max(1));
         if pages == 0 {
@@ -458,9 +454,7 @@ impl BufferManager {
 
     /// Distinct global pages referenced in the last completed window.
     pub fn hot_pages(&self) -> u32 {
-        self.hot_prev
-            .max(self.hot_this)
-            .min(self.global_in_use())
+        self.hot_prev.max(self.hot_this).min(self.global_in_use())
     }
 
     /// Free memory as reported to the load-balancing control node:
@@ -502,7 +496,10 @@ mod tests {
     #[test]
     fn hit_after_miss() {
         let mut b = BufferManager::new(10, 1);
-        assert!(matches!(b.fix(addr(1, 0), false, false), FixOutcome::Miss { .. }));
+        assert!(matches!(
+            b.fix(addr(1, 0), false, false),
+            FixOutcome::Miss { .. }
+        ));
         assert_eq!(b.fix(addr(1, 0), false, false), FixOutcome::Hit);
         assert_eq!(b.stats().hits, 1);
         assert_eq!(b.stats().misses, 1);
@@ -595,7 +592,7 @@ mod tests {
     fn oltp_steals_join_excess() {
         let mut b = BufferManager::new(10, 1);
         b.reserve(JobMemKey(1), 2, 9); // join holds 9, min 2
-        // Fill the single global floor frame.
+                                       // Fill the single global floor frame.
         b.fix(addr(9, 0), false, true);
         // Next OLTP miss steals from the join rather than thrashing.
         match b.fix(addr(9, 1), false, true) {
@@ -614,7 +611,7 @@ mod tests {
         b.fix(addr(9, 0), false, true);
         b.fix(addr(9, 1), false, true); // steal -> 4
         b.fix(addr(9, 2), false, true); // steal -> 3
-        // Excess exhausted: further OLTP misses recycle global LRU.
+                                        // Excess exhausted: further OLTP misses recycle global LRU.
         let out = b.fix(addr(9, 3), false, true);
         assert!(matches!(out, FixOutcome::Miss { .. }), "{out:?}");
         assert_eq!(b.reserved_of(JobMemKey(1)), 3);
@@ -638,7 +635,11 @@ mod tests {
         assert_eq!(b.try_grow(JobMemKey(1), 3).0, 3);
         assert_eq!(b.reserved_of(JobMemKey(1)), 7);
         b.reserve(JobMemKey(2), 9, 9); // queued
-        assert_eq!(b.try_grow(JobMemKey(1), 2).0, 0, "queued joins block growth");
+        assert_eq!(
+            b.try_grow(JobMemKey(1), 2).0,
+            0,
+            "queued joins block growth"
+        );
         b.check_invariants();
     }
 

@@ -19,16 +19,14 @@ use std::collections::HashMap;
 /// token (for the youngest-victim policy). Unknown ids are treated as birth
 /// = 0 (oldest, never preferred as victim).
 pub fn find_victims(edges: &[(u64, u64)], births: &[TxnToken]) -> Vec<u64> {
-    let birth_of: HashMap<u64, simkit::SimTime> =
-        births.iter().map(|t| (t.id, t.birth)).collect();
+    let birth_of: HashMap<u64, simkit::SimTime> = births.iter().map(|t| (t.id, t.birth)).collect();
     let mut victims = Vec::new();
     let mut edges: Vec<(u64, u64)> = edges.to_vec();
     loop {
         let sccs = tarjan(&edges);
         let mut progressed = false;
         for scc in sccs {
-            let deadlocked = scc.len() > 1
-                || edges.iter().any(|&(a, b)| a == b && a == scc[0]);
+            let deadlocked = scc.len() > 1 || edges.iter().any(|&(a, b)| a == b && a == scc[0]);
             if !deadlocked {
                 continue;
             }

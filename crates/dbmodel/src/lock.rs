@@ -232,7 +232,10 @@ mod tests {
         let mut lm = LockManager::new();
         assert_eq!(lm.lock(t(1), 100, LockMode::Shared), LockOutcome::Granted);
         assert_eq!(lm.lock(t(2), 100, LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.lock(t(3), 100, LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(
+            lm.lock(t(3), 100, LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
     }
 
     #[test]
@@ -248,8 +251,8 @@ mod tests {
         let mut lm = LockManager::new();
         lm.lock(t(1), 5, LockMode::Exclusive);
         lm.lock(t(2), 5, LockMode::Exclusive); // waits
-        // t3's shared would be compatible with nothing held after release,
-        // but must not overtake t2.
+                                               // t3's shared would be compatible with nothing held after release,
+                                               // but must not overtake t2.
         lm.lock(t(3), 5, LockMode::Shared);
         let granted = lm.release_all(t(1));
         assert_eq!(granted.len(), 1);
@@ -272,8 +275,16 @@ mod tests {
         let mut lm = LockManager::new();
         assert_eq!(lm.lock(t(1), 5, LockMode::Shared), LockOutcome::Granted);
         assert_eq!(lm.lock(t(1), 5, LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.lock(t(1), 5, LockMode::Exclusive), LockOutcome::Granted, "lone-holder upgrade");
-        assert_eq!(lm.lock(t(1), 5, LockMode::Shared), LockOutcome::Granted, "X covers S");
+        assert_eq!(
+            lm.lock(t(1), 5, LockMode::Exclusive),
+            LockOutcome::Granted,
+            "lone-holder upgrade"
+        );
+        assert_eq!(
+            lm.lock(t(1), 5, LockMode::Shared),
+            LockOutcome::Granted,
+            "X covers S"
+        );
     }
 
     #[test]

@@ -93,6 +93,10 @@ pub enum MsgKind {
         psu_noio: u32,
         /// Scan nodes feeding the probe side (for the RateMatch baseline).
         outer_scan_nodes: u32,
+        /// Multi-join stage index: 0 for two-way joins and sorts, `k > 0`
+        /// for the k-th follow-on stage (the broker may govern stages with
+        /// a distinct placement policy).
+        stage: u32,
     },
     /// Control node → coordinator: the placement decision.
     ControlRep { nodes: Vec<PeId> },
@@ -281,8 +285,7 @@ impl EngineConfig {
     }
 
     fn copy_instr(&self, bytes: u32) -> u64 {
-        (self.instr.copy_8k as u128 * bytes.max(1) as u128)
-            .div_ceil(self.page_bytes as u128) as u64
+        (self.instr.copy_8k as u128 * bytes.max(1) as u128).div_ceil(self.page_bytes as u128) as u64
     }
 
     /// Message bytes for `t` tuples of `tuple_bytes` each.
@@ -294,8 +297,8 @@ impl EngineConfig {
     /// all disks of the PE, offset per relation so different relations'
     /// low pages do not pile onto the same disk.
     pub fn disk_of_rel_page(&self, rel: RelationId, page: u64) -> u32 {
-        ((rel.0 as u64 + page / self.disk_stripe_pages.max(1) as u64)
-            % self.disks_per_pe as u64) as u32
+        ((rel.0 as u64 + page / self.disk_stripe_pages.max(1) as u64) % self.disks_per_pe as u64)
+            as u32
     }
 
     /// Which data disk a temporary partition file lives on (whole file on

@@ -69,6 +69,8 @@ pub struct JoinJob {
     /// Multi-way support: probe side streamed from the coordinator's
     /// in-memory intermediate instead of scanning `outer`.
     pub probe_override: Option<u64>,
+    /// Multi-join stage index carried in placement requests (0 = first).
+    pub stage: u32,
     /// Emit `JobDone` at commit (false for intermediate multi-way stages).
     pub finalize: bool,
 
@@ -115,6 +117,7 @@ impl JoinJob {
             outer_out,
             skew: 0.0,
             probe_override: None,
+            stage: 0,
             finalize: true,
             state: CState::Queued,
             placement: Vec::new(),
@@ -199,6 +202,7 @@ impl JoinJob {
         self.inner_out = inner_out;
         self.outer_out = probe_tuples;
         self.probe_override = Some(probe_tuples);
+        self.stage += 1;
         self.state = CState::Init;
         self.placement.clear();
         self.tasks.clear();
@@ -229,6 +233,7 @@ impl JoinJob {
                     Some(_) => 1,
                     None => ctx.catalog.relation(self.outer).allocation.pe_count,
                 },
+                stage: self.stage,
             },
         );
     }
@@ -282,10 +287,13 @@ impl JoinJob {
     }
 
     fn scan_task_at(&self, pe: PeId) -> Option<TaskId> {
-        self.tasks.iter().position(|t| match t {
-            Task::Scan(s) => s.pe == pe && !s.is_done(),
-            Task::Join(_) => false,
-        }).map(|i| i as TaskId)
+        self.tasks
+            .iter()
+            .position(|t| match t {
+                Task::Scan(s) => s.pe == pe && !s.is_done(),
+                Task::Join(_) => false,
+            })
+            .map(|i| i as TaskId)
     }
 
     fn coordinator(&mut self, job: JobId, kind: InKind, ctx: &mut Ctx) {
@@ -400,10 +408,8 @@ impl JoinJob {
         // Task ids: joins first (so scan destination index == task id).
         self.tasks.clear();
         for (i, &pe) in self.placement.iter().enumerate() {
-            let expected_inner_pages =
-                ((self.table_pages * weights[i]).ceil() as u32).max(1);
-            let expected_probe =
-                ((self.outer_out as f64 * weights[i]).ceil() as u64).max(1);
+            let expected_inner_pages = ((self.table_pages * weights[i]).ceil() as u32).max(1);
+            let expected_probe = ((self.outer_out as f64 * weights[i]).ceil() as u64).max(1);
             self.tasks.push(Task::Join(JoinTask::new(
                 job,
                 i as TaskId,
@@ -467,8 +473,7 @@ impl JoinJob {
         // Start the join subqueries.
         self.state = CState::WaitReady;
         for (i, &pe) in self.placement.clone().iter().enumerate() {
-            let expected_inner_pages =
-                ((self.table_pages * weights[i]).ceil() as u32).max(1);
+            let expected_inner_pages = ((self.table_pages * weights[i]).ceil() as u32).max(1);
             ctx.send_to(
                 self.coord,
                 pe,

@@ -33,8 +33,8 @@ pub mod scan;
 pub mod sort;
 
 pub use api::{
-    Action, EngineConfig, InKind, Input, JobId, JoinPhase, Msg, MsgKind, PeId, Step, TaskId,
-    Token, COORD_TASK,
+    Action, EngineConfig, InKind, Input, JobId, JoinPhase, Msg, MsgKind, PeId, Step, TaskId, Token,
+    COORD_TASK,
 };
 pub use ctx::Ctx;
 pub use job::Job;

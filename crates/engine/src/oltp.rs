@@ -182,7 +182,14 @@ impl OltpJob {
         }
         // Leaf page (offset past the upper levels).
         let leaf_addr = PageAddr::new(object::index(self.relation), 64 + leaf);
-        if ctx.fix_page(self.pe, leaf_addr, false, true, IoKind::RandRead, token.clone()) {
+        if ctx.fix_page(
+            self.pe,
+            leaf_addr,
+            false,
+            true,
+            IoKind::RandRead,
+            token.clone(),
+        ) {
             self.pending_ios += 1;
             self.io_instr += ctx.cfg.instr.io;
         }
@@ -205,7 +212,12 @@ impl OltpJob {
         let write = self.access_done < self.updates;
         let instr = c.read_tuple + if write { c.write_out } else { 0 } + self.io_instr;
         self.io_instr = 0;
-        ctx.cpu(self.pe, instr, true, Token::new(job, COORD_TASK, Step::PageCpu));
+        ctx.cpu(
+            self.pe,
+            instr,
+            true,
+            Token::new(job, COORD_TASK, Step::PageCpu),
+        );
     }
 
     /// All accesses done: append log records and force the log.

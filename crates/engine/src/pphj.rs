@@ -160,7 +160,12 @@ impl JoinTask {
     pub fn start(&mut self, ctx: &mut Ctx) {
         debug_assert_eq!(self.state, JState::Created);
         self.state = JState::Init;
-        ctx.cpu(self.pe, ctx.cfg.instr.init_txn, false, self.token(Step::Init));
+        ctx.cpu(
+            self.pe,
+            ctx.cfg.instr.init_txn,
+            false,
+            self.token(Step::Init),
+        );
     }
 
     /// PPHJ partition count: ⌈√(F · b_local)⌉ (the paper's formula),
@@ -360,8 +365,8 @@ impl JoinTask {
                 continue;
             }
             if self.parts[i].resident {
-                let needed =
-                    (((self.parts[i].a_mem + share) as f64) * ctx.cfg.fudge / bf as f64).ceil() as u32;
+                let needed = (((self.parts[i].a_mem + share) as f64) * ctx.cfg.fudge / bf as f64)
+                    .ceil() as u32;
                 let grow = needed.saturating_sub(self.parts[i].pages_mem);
                 if grow > 0 && !self.ensure_space(grow, i, ctx) {
                     // Could not hold it: partition (now) spilled; tuples go
@@ -472,7 +477,11 @@ impl JoinTask {
         let bf = ctx.cfg.tuples_per_page;
         let mut ios = 0;
         loop {
-            let buf = if a_side { self.parts[i].a_buf } else { self.parts[i].b_buf };
+            let buf = if a_side {
+                self.parts[i].a_buf
+            } else {
+                self.parts[i].b_buf
+            };
             if buf >= bf || (force && buf > 0) {
                 let t = buf.min(bf);
                 let obj = if a_side {
@@ -540,8 +549,7 @@ impl JoinTask {
                 probe_tuples += share;
                 // Streaming result estimate: a_i matches arrive uniformly
                 // over the expected probe share of this partition.
-                let b_expect =
-                    (self.expected_probe as f64 / self.part_count as f64).max(1.0);
+                let b_expect = (self.expected_probe as f64 / self.part_count as f64).max(1.0);
                 let ratio = self.parts[i].a_mem as f64 / b_expect;
                 self.result_carry += share as f64 * ratio;
             } else {

@@ -351,7 +351,9 @@ impl UpdateJob {
         let frag_tuples = rel.tuples_at(self.pe).max(1);
         let tuple = self.next_rand() % frag_tuples;
         let lock_obj = object::tuple_lock(self.relation, tuple);
-        if ctx.pes[self.pe as usize].locks.lock(self.txn(job), lock_obj, LockMode::Exclusive)
+        if ctx.pes[self.pe as usize]
+            .locks
+            .lock(self.txn(job), lock_obj, LockMode::Exclusive)
             == LockOutcome::Waiting
         {
             return; // resumed by LockGrant
@@ -368,7 +370,8 @@ impl UpdateJob {
         let token = Token::new(job, COORD_TASK, Step::PageIo);
         if self.via_index {
             let tuple = self.next_rand() % rel.tuples_at(self.pe).max(1);
-            let tree = dbmodel::btree::BTreeModel::new(ctx.cfg.btree_fanout, rel.tuples_at(self.pe));
+            let tree =
+                dbmodel::btree::BTreeModel::new(ctx.cfg.btree_fanout, rel.tuples_at(self.pe));
             for lvl in 0..tree.height() {
                 let addr = PageAddr::new(object::index(self.relation), lvl as u64);
                 if ctx.fix_page(self.pe, addr, false, false, IoKind::RandRead, token.clone()) {
@@ -409,6 +412,11 @@ impl UpdateJob {
         let instr = c.read_tuple + c.write_out + self.io_instr;
         self.io_instr = 0;
         self.updated += 1;
-        ctx.cpu(self.pe, instr, false, Token::new(job, COORD_TASK, Step::PageCpu));
+        ctx.cpu(
+            self.pe,
+            instr,
+            false,
+            Token::new(job, COORD_TASK, Step::PageCpu),
+        );
     }
 }

@@ -13,9 +13,7 @@
 //! With an empty destination set the output streams to the coordinator as
 //! [`MsgKind::ResultBatch`] (stand-alone scan queries).
 
-use crate::api::{
-    JobId, JoinPhase, MsgKind, PeId, Step, TaskId, Token,
-};
+use crate::api::{JobId, JoinPhase, MsgKind, PeId, Step, TaskId, Token};
 use crate::ctx::{object, Ctx};
 use dbmodel::btree::{BTreeModel, ScanPlan};
 use dbmodel::catalog::{PageAddr, RelationId};
@@ -25,11 +23,7 @@ use hardware::IoKind;
 /// Exact total scan output (tuples) of a clustered-index selection over
 /// all fragments — matches what the per-fragment [`ScanTask`] plans emit,
 /// including per-fragment rounding.
-pub fn expected_scan_output(
-    catalog: &dbmodel::Catalog,
-    rel: RelationId,
-    selectivity: f64,
-) -> u64 {
+pub fn expected_scan_output(catalog: &dbmodel::Catalog, rel: RelationId, selectivity: f64) -> u64 {
     let r = catalog.relation(rel);
     r.allocation
         .pes()
@@ -173,7 +167,9 @@ impl ScanTask {
                 let frag_pages = rel.pages_at(self.pe);
                 let tree = BTreeModel::new(ctx.cfg.btree_fanout, frag_tuples);
                 let plan = match access {
-                    ScanAccess::Full => ScanPlan::relation_scan(frag_pages, frag_tuples, *selectivity),
+                    ScanAccess::Full => {
+                        ScanPlan::relation_scan(frag_pages, frag_tuples, *selectivity)
+                    }
                     ScanAccess::Clustered => {
                         ScanPlan::clustered_index_scan(tree, frag_pages, frag_tuples, *selectivity)
                     }
@@ -207,10 +203,11 @@ impl ScanTask {
         debug_assert_eq!(self.state, State::Created);
         self.plan(ctx);
         if let ScanSource::Fragment { relation, .. } = self.source {
-            let outcome =
-                ctx.pes[self.pe as usize]
-                    .locks
-                    .lock(self.txn, object::rel_lock(relation), LockMode::Shared);
+            let outcome = ctx.pes[self.pe as usize].locks.lock(
+                self.txn,
+                object::rel_lock(relation),
+                LockMode::Shared,
+            );
             if outcome == LockOutcome::Waiting {
                 self.state = State::WaitLock;
                 return;
@@ -227,7 +224,12 @@ impl ScanTask {
 
     fn begin_init(&mut self, ctx: &mut Ctx) {
         self.state = State::Init;
-        ctx.cpu(self.pe, ctx.cfg.instr.init_txn, false, self.token(Step::Init));
+        ctx.cpu(
+            self.pe,
+            ctx.cfg.instr.init_txn,
+            false,
+            self.token(Step::Init),
+        );
     }
 
     /// Dispatch a completion step to the task.
@@ -356,7 +358,11 @@ impl ScanTask {
 
     fn outs_for(&self, reads: u64, _bf: u64) -> u64 {
         match &self.source {
-            ScanSource::Fragment { access, selectivity, .. } => match access {
+            ScanSource::Fragment {
+                access,
+                selectivity,
+                ..
+            } => match access {
                 ScanAccess::Full => {
                     // Filter applies per read tuple; keep global conservation.
                     let remaining_out = self.tuples_out_total - self.out_done;

@@ -95,7 +95,12 @@ impl SortTask {
     pub fn start(&mut self, ctx: &mut Ctx) {
         debug_assert_eq!(self.state, SState::Created);
         self.state = SState::Init;
-        ctx.cpu(self.pe, ctx.cfg.instr.init_txn, false, self.token(Step::Init));
+        ctx.cpu(
+            self.pe,
+            ctx.cfg.instr.init_txn,
+            false,
+            self.token(Step::Init),
+        );
     }
 
     fn reserve(&mut self, ctx: &mut Ctx) {
@@ -131,9 +136,7 @@ impl SortTask {
             let key = Ctx::mem_key(self.job, self.pe);
             let have = self.reserved.saturating_sub(self.mem_pages);
             if have < grow {
-                let (got, writebacks) = ctx.pes[self.pe as usize]
-                    .buffer
-                    .try_grow(key, grow - have);
+                let (got, writebacks) = ctx.pes[self.pe as usize].buffer.try_grow(key, grow - have);
                 ctx.emit_writebacks(self.pe, &writebacks);
                 self.reserved += got;
             }
@@ -427,6 +430,7 @@ impl SortQueryJob {
                         psu_opt: self.psu_opt,
                         psu_noio: self.psu_noio,
                         outer_scan_nodes: srcs,
+                        stage: 0,
                     },
                 );
             }

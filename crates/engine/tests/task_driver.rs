@@ -5,7 +5,7 @@
 use dbmodel::catalog::Catalog;
 use dbmodel::lock::TxnToken;
 use dbmodel::log::LogParams;
-use engine::api::{Action, EngineConfig, JoinPhase, MsgKind, Step};
+use engine::api::{Action, EngineConfig, JoinPhase, MsgKind};
 use engine::ctx::Ctx;
 use engine::pphj::JoinTask;
 use engine::scan::{ScanAccess, ScanSource, ScanTask};
@@ -301,7 +301,10 @@ fn pphj_spills_under_tiny_memory_and_still_conserves() {
         join.spill_pages_written > 0,
         "a 20-page table cannot fit in a 5-page buffer"
     );
-    assert!(join.temp_pages_read > 0, "delayed join read partitions back");
+    assert!(
+        join.temp_pages_read > 0,
+        "delayed join read partitions back"
+    );
     // Memory released at JoinDone.
     d.pes[1].buffer.check_invariants();
     assert_eq!(d.pes[1].buffer.working_reserved(), 0);

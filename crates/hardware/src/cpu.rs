@@ -40,7 +40,8 @@ impl<T> Cpu<T> {
         } else {
             Priority::Normal
         };
-        self.server.offer(now, self.params.service(instr), prio, tag)
+        self.server
+            .offer(now, self.params.service(instr), prio, tag)
     }
 
     /// A service completion fired; returns the next grant if one was queued.

@@ -167,7 +167,13 @@ impl<T> DiskSubsystem<T> {
     }
 
     /// Submit an I/O. Returns a grant (schedule its completion) or queues.
-    pub fn request(&mut self, now: SimTime, disk: DiskId, req: IoRequest, tag: T) -> Option<Grant<T>> {
+    pub fn request(
+        &mut self,
+        now: SimTime,
+        disk: DiskId,
+        req: IoRequest,
+        tag: T,
+    ) -> Option<Grant<T>> {
         let service = self.service_for(disk, &req);
         self.units[disk.0 as usize]
             .server

@@ -95,7 +95,7 @@ mod tests {
         let mut n: Network<u8> = Network::new(NetParams::default(), 4);
         // 8 KB = 64 packets × 6.4 us = 409.6 us
         let g = n.send(at_us(0), 0, 8192, 1).unwrap();
-        assert_eq!(g.done, SimTime(409_600_0 as u64 / 10));
+        assert_eq!(g.done, SimTime(4_096_000 / 10));
         assert_eq!(n.packets_sent(), 64);
     }
 

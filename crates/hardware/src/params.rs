@@ -156,5 +156,4 @@ mod tests {
         assert_eq!(n.packets(8192), 64);
         assert_eq!(n.wire_time(8192), SimDur::from_nanos(64 * 6400));
     }
-
 }

@@ -18,6 +18,7 @@
 //! built on top is single-threaded, and two runs with equal seeds produce
 //! bit-identical results.
 
+pub mod dispatch;
 pub mod heap;
 pub mod lru;
 pub mod rng;
@@ -26,6 +27,7 @@ pub mod slab;
 pub mod stats;
 pub mod time;
 
+pub use dispatch::{Dispatcher, EventQueue, Simulation};
 pub use heap::EventHeap;
 pub use lru::LruMap;
 pub use rng::SimRng;

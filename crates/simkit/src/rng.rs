@@ -5,22 +5,58 @@
 //! not perturb the draws of existing ones (a classic simulation-hygiene
 //! requirement for comparing strategies on common random numbers).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// Seedable random source with the distributions used by the simulator.
+///
+/// The generator is a self-contained xoshiro256++ (the algorithm behind
+/// `rand`'s `SmallRng` on 64-bit targets), seeded via SplitMix64 — no
+/// external crates, so the simulator's determinism depends only on this
+/// file.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    rng: SmallRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+#[inline]
+fn splitmix64(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl SimRng {
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            rng: SmallRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut z = seed;
+        let state = [
+            splitmix64(&mut z),
+            splitmix64(&mut z),
+            splitmix64(&mut z),
+            splitmix64(&mut z),
+        ];
+        SimRng { state, seed }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// The seed this stream was created from.
@@ -42,23 +78,30 @@ impl SimRng {
         SimRng::new(z)
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` (53-bit resolution).
     #[inline]
     pub fn f64(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (bias-free rejection sampling).
     #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
         debug_assert!(n > 0);
-        self.rng.gen_range(0..n)
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return x % n;
+            }
+        }
     }
 
     /// Uniform integer in `[lo, hi)` (requires `lo < hi`).
     #[inline]
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        self.rng.gen_range(lo..hi)
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli trial with success probability `p`.
@@ -129,21 +172,6 @@ impl SimRng {
     pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
         assert!(!xs.is_empty());
         &xs[self.below(xs.len() as u64) as usize]
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.rng.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.rng.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.rng.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.rng.try_fill_bytes(dest)
     }
 }
 

@@ -88,12 +88,21 @@ impl<T> FcfsServer<T> {
     /// Offer a request needing `service` time. Returns a [`Grant`] if a unit
     /// is free (the caller schedules the completion); otherwise the request
     /// is queued and `None` is returned.
-    pub fn offer(&mut self, now: SimTime, service: SimDur, prio: Priority, tag: T) -> Option<Grant<T>> {
+    pub fn offer(
+        &mut self,
+        now: SimTime,
+        service: SimDur,
+        prio: Priority,
+        tag: T,
+    ) -> Option<Grant<T>> {
         self.advance(now);
         if self.busy < self.units {
             self.busy += 1;
             self.served += 1;
-            Some(Grant { done: now + service, tag })
+            Some(Grant {
+                done: now + service,
+                tag,
+            })
         } else {
             let p = Pending { service, tag };
             match prio {
@@ -288,6 +297,9 @@ mod tests {
         s.complete(at(10));
         s.complete(at(20));
         let q = s.mean_queue_len(at(20));
-        assert!((q - 0.5).abs() < 1e-9, "one waiter for half the horizon: {q}");
+        assert!(
+            (q - 0.5).abs() < 1e-9,
+            "one waiter for half the horizon: {q}"
+        );
     }
 }

@@ -245,7 +245,8 @@ impl BatchMeans {
         self.current_sum += x;
         self.current_n += 1;
         if self.current_n == self.batch_size {
-            self.batch_means.push(self.current_sum / self.batch_size as f64);
+            self.batch_means
+                .push(self.current_sum / self.batch_size as f64);
             self.current_sum = 0.0;
             self.current_n = 0;
         }
@@ -284,9 +285,9 @@ impl BatchMeans {
 /// 1.96 beyond 30 degrees of freedom.
 fn t_crit_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -396,7 +397,10 @@ mod tests {
         }
         assert_eq!(bm.completed_batches(), 100);
         let hw = bm.half_width_95().unwrap();
-        assert!((bm.mean() - 2.0).abs() < 3.0 * hw, "CI should cover the mean");
+        assert!(
+            (bm.mean() - 2.0).abs() < 3.0 * hw,
+            "CI should cover the mean"
+        );
         assert!(hw < 0.5);
     }
 

@@ -42,12 +42,30 @@ impl Args {
 
 fn strategy_by_name(name: &str, cfg: &SimConfig) -> Strategy {
     match name {
-        "random" => Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Random },
-        "luc" => Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Luc },
-        "lum" => Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Lum },
-        "noio-lum" => Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Lum },
-        "mu-lum" => Strategy::Isolated { degree: DegreePolicy::MuCpu, select: SelectPolicy::Lum },
-        "mu-random" => Strategy::Isolated { degree: DegreePolicy::MuCpu, select: SelectPolicy::Random },
+        "random" => Strategy::Isolated {
+            degree: DegreePolicy::SuOpt,
+            select: SelectPolicy::Random,
+        },
+        "luc" => Strategy::Isolated {
+            degree: DegreePolicy::SuOpt,
+            select: SelectPolicy::Luc,
+        },
+        "lum" => Strategy::Isolated {
+            degree: DegreePolicy::SuOpt,
+            select: SelectPolicy::Lum,
+        },
+        "noio-lum" => Strategy::Isolated {
+            degree: DegreePolicy::SuNoIo,
+            select: SelectPolicy::Lum,
+        },
+        "mu-lum" => Strategy::Isolated {
+            degree: DegreePolicy::MuCpu,
+            select: SelectPolicy::Lum,
+        },
+        "mu-random" => Strategy::Isolated {
+            degree: DegreePolicy::MuCpu,
+            select: SelectPolicy::Random,
+        },
         "min-io" => Strategy::MinIo,
         "min-io-suopt" => Strategy::MinIoSuopt,
         "opt-io-cpu" => Strategy::OptIoCpu,
@@ -115,11 +133,17 @@ fn main() {
     let t0 = std::time::Instant::now();
     let summary = run_one(cfg);
     if args.flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&summary).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).expect("serialize")
+        );
     } else {
         println!(
             "strategy {:>16} | n={} | {} events in {:?}",
-            summary.strategy, summary.n_pes, summary.events, t0.elapsed()
+            summary.strategy,
+            summary.n_pes,
+            summary.events,
+            t0.elapsed()
         );
         for c in &summary.classes {
             println!(

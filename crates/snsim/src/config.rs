@@ -5,7 +5,7 @@ use dbmodel::log::LogParams;
 use engine::EngineConfig;
 use hardware::HardwareParams;
 use lb_core::costmodel::CostParams;
-use lb_core::Strategy;
+use lb_core::{CentralBroker, PolicyConfig, ResourceBroker, Strategy};
 use serde::{Deserialize, Serialize};
 use simkit::SimDur;
 use workload::WorkloadSpec;
@@ -29,6 +29,10 @@ pub struct SimConfig {
     pub oltp_pages_per_node: u32,
     pub workload: WorkloadSpec,
     pub strategy: Strategy,
+    /// Per-work-class placement policies (scan/OLTP coordinators,
+    /// multi-join stages, adaptive-controller parameters). The default
+    /// reproduces the paper's setup.
+    pub policies: PolicyConfig,
     /// How often PEs report utilization to the control node.
     pub control_interval: SimDur,
     /// LUC adaptive feedback bump.
@@ -66,6 +70,7 @@ impl SimConfig {
             oltp_pages_per_node: 60,
             workload,
             strategy,
+            policies: PolicyConfig::default(),
             control_interval: SimDur::from_millis(100),
             luc_bump: 0.05,
             deadlock_interval: SimDur::from_secs(1),
@@ -95,6 +100,25 @@ impl SimConfig {
         self
     }
 
+    /// Set the per-work-class placement policies (per-class coordinator
+    /// strategies, multi-join stage strategy, adaptive switching).
+    pub fn with_policies(mut self, policies: PolicyConfig) -> SimConfig {
+        self.policies = policies;
+        self
+    }
+
+    /// Build the resource broker this configuration describes: the central
+    /// control node plus one placement policy per work class.
+    pub fn build_broker(&self) -> Box<dyn ResourceBroker> {
+        Box::new(CentralBroker::from_config(
+            self.n_pes as usize,
+            self.luc_bump,
+            self.buffer_pages,
+            self.strategy,
+            &self.policies,
+        ))
+    }
+
     pub fn with_sim_time(mut self, sim: SimDur, warmup: SimDur) -> SimConfig {
         self.sim_time = sim;
         self.warmup = warmup;
@@ -107,8 +131,7 @@ impl SimConfig {
     pub fn build_catalog(&self) -> Catalog {
         let mut c = Catalog::paper_default(self.n_pes);
         if !self.workload.oltp.is_empty() {
-            let tuples =
-                self.oltp_pages_per_node as u64 * 20 * self.n_pes as u64;
+            let tuples = self.oltp_pages_per_node as u64 * 20 * self.n_pes as u64;
             c.add(Relation {
                 id: RelationId(2),
                 name: "ACCOUNT".into(),

@@ -3,14 +3,14 @@
 //!
 //! Every simulation itself is single-threaded and deterministic; the
 //! harness fans independent (configuration, seed) points out over a
-//! crossbeam scope and collects [`Summary`] values behind a parking_lot
-//! mutex, so sweeps use all cores without perturbing any individual run.
+//! `std::thread::scope` and collects [`Summary`] values behind a mutex,
+//! so sweeps use all cores without perturbing any individual run.
 
 use crate::config::SimConfig;
 use crate::metrics::Summary;
 use crate::system::System;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Run one configuration to completion.
 pub fn run_one(cfg: SimConfig) -> Summary {
@@ -21,7 +21,12 @@ pub fn run_one(cfg: SimConfig) -> Summary {
 /// response times (common-random-number comparisons use the same `reps`).
 pub fn run_reps(cfg: &SimConfig, reps: u32) -> AggregateSummary {
     let summaries: Vec<Summary> = (0..reps)
-        .map(|r| run_one(cfg.clone().with_seed(cfg.seed.wrapping_add(r as u64 * 7919))))
+        .map(|r| {
+            run_one(
+                cfg.clone()
+                    .with_seed(cfg.seed.wrapping_add(r as u64 * 7919)),
+            )
+        })
         .collect();
     AggregateSummary::from(summaries)
 }
@@ -37,23 +42,23 @@ pub fn run_parallel(cfgs: Vec<SimConfig>) -> Vec<Summary> {
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n.max(1));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let next = work.lock().pop();
+            scope.spawn(|| loop {
+                let next = work.lock().expect("work queue poisoned").pop();
                 match next {
                     Some((i, cfg)) => {
                         let s = run_one(cfg);
-                        results.lock()[i] = Some(s);
+                        results.lock().expect("results poisoned")[i] = Some(s);
                     }
                     None => break,
                 }
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
     results
         .into_inner()
+        .expect("results poisoned")
         .into_iter()
         .map(|s| s.expect("all points completed"))
         .collect()
@@ -134,10 +139,7 @@ mod tests {
             "Fig X",
             "#PE",
             &["10".into(), "20".into()],
-            &[
-                ("A".into(), vec![1.0, 2.0]),
-                ("B".into(), vec![3.0, 4.5]),
-            ],
+            &[("A".into(), vec![1.0, 2.0]), ("B".into(), vec![3.0, 4.5])],
         );
         assert!(t.contains("# Fig X"));
         assert!(t.contains("#PE"));

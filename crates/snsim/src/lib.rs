@@ -5,6 +5,31 @@
 //! into the full simulation system of Rahm & Marek, VLDB 1995 (§4, Fig. 3),
 //! plus the experiment harness used to regenerate every figure of §5.
 //!
+//! ## Architecture: Dispatcher → ResourceBroker → PlacementPolicy
+//!
+//! [`System`] is orchestration glue over three explicit layers:
+//!
+//! 1. **`simkit::Dispatcher`** drives the run: it pops typed
+//!    resource-completion events off the [`simkit::EventQueue`], advances
+//!    the clock, and calls back into `System` (which implements
+//!    [`simkit::Simulation`]); after every event the engine's action/input
+//!    protocol is drained to quiescence ([`exec`] module).
+//! 2. **`lb_core::ResourceBroker`** owns the per-node CPU/memory/disk
+//!    state. `System` reports windowed utilization samples on every
+//!    control tick and forwards **all** placement decisions — two-way
+//!    joins, multi-join stages, sort operators, scan/update query
+//!    coordinators, and OLTP home nodes — as
+//!    `lb_core::PlacementRequest`s; it never matches on strategies.
+//! 3. **`lb_core::PlacementPolicy`** objects (one per work class, chosen
+//!    by `lb_core::PolicyConfig` in the [`SimConfig`]) make the actual
+//!    decisions; the `ADAPTIVE` strategy becomes an online controller
+//!    that switches policies mid-run from the broker's report rounds.
+//!
+//! Supporting modules: [`planner`] caches per-class planner numbers and
+//! fabricates engine jobs; [`metrics`] accumulates per-class statistics
+//! into the serializable [`Summary`] (which now reports
+//! `policy_switches` from adaptive controllers).
+//!
 //! ```no_run
 //! use snsim::{run_one, SimConfig};
 //! use lb_core::Strategy;
@@ -20,8 +45,10 @@
 //! ```
 
 pub mod config;
+mod exec;
 pub mod experiment;
 pub mod metrics;
+pub mod planner;
 pub mod system;
 
 pub use config::SimConfig;

@@ -67,7 +67,15 @@ impl Metrics {
         c.hist.record(rt);
     }
 
-    pub fn record_join(&mut self, degree: u32, spill: u64, temp_reads: u64, mem_waits: u32, results: u64, now: SimTime) {
+    pub fn record_join(
+        &mut self,
+        degree: u32,
+        spill: u64,
+        temp_reads: u64,
+        mem_waits: u32,
+        results: u64,
+        now: SimTime,
+    ) {
         if now < self.warmup_end {
             return;
         }
@@ -100,6 +108,8 @@ pub struct Summary {
     pub messages: u64,
     pub aborted: u64,
     pub deadlock_victims: u64,
+    /// Mid-run placement-policy switches by adaptive controllers.
+    pub policy_switches: u64,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -194,6 +204,7 @@ mod tests {
             messages: 123,
             aborted: 0,
             deadlock_victims: 0,
+            policy_switches: 0,
         };
         assert_eq!(s.join_resp_ms(), 500.0);
         assert_eq!(s.oltp_resp_ms(), Some(20.0));

@@ -1,0 +1,417 @@
+//! Query planning and job fabrication.
+//!
+//! Turns workload class definitions into cached planner numbers
+//! ([`ClassPlan`]) once per run, and stamps out engine [`Job`]s per
+//! arrival. Extracted from the old monolithic `System` so the simulator
+//! proper is orchestration glue only: the planner knows *what* to run,
+//! the broker decides *where*, and `System` wires both to the hardware.
+
+use dbmodel::catalog::Catalog;
+use engine::join::JoinJob;
+use engine::multijoin::{MultiJoinJob, StagePlan};
+use engine::oltp::OltpJob;
+use engine::query::{ScanQueryJob, UpdateJob};
+use engine::scan::{expected_scan_output, ScanAccess};
+use engine::{Job, PeId};
+use lb_core::costmodel::{CostModel, JoinProfile};
+use simkit::SimTime;
+use workload::queries::QueryKind;
+use workload::WorkloadSpec;
+
+/// Cached planner numbers per query class.
+#[derive(Debug, Clone)]
+pub enum ClassPlan {
+    Join {
+        inner: dbmodel::RelationId,
+        outer: dbmodel::RelationId,
+        selectivity: f64,
+        table_pages: f64,
+        psu_opt: u32,
+        psu_noio: u32,
+        inner_out: u64,
+        outer_out: u64,
+        skew: f64,
+    },
+    MultiJoin {
+        outer: dbmodel::RelationId,
+        selectivity: f64,
+        outer_out: u64,
+        stages: Vec<StagePlan>,
+    },
+    Scan {
+        relation: dbmodel::RelationId,
+        selectivity: f64,
+        access: ScanAccess,
+    },
+    Update {
+        relation: dbmodel::RelationId,
+        tuples: u32,
+        via_index: bool,
+    },
+    Sort {
+        relation: dbmodel::RelationId,
+        selectivity: f64,
+        table_pages: f64,
+        psu_opt: u32,
+        psu_noio: u32,
+        expected_out: u64,
+    },
+}
+
+/// Per-run plan cache + job factory.
+pub struct Planner {
+    plans: Vec<ClassPlan>,
+}
+
+impl Planner {
+    /// Plan every query class of `workload` against `catalog` once.
+    pub fn new(workload: &WorkloadSpec, catalog: &Catalog, cost: &CostModel, n: u32) -> Planner {
+        let plans = workload
+            .queries
+            .iter()
+            .map(|q| {
+                let mut plan = plan_query(&q.kind, catalog, cost, n);
+                if let ClassPlan::Join { skew, .. } = &mut plan {
+                    *skew = q.redistribution_skew;
+                }
+                plan
+            })
+            .collect();
+        Planner { plans }
+    }
+
+    pub fn plan(&self, class: usize) -> &ClassPlan {
+        &self.plans[class]
+    }
+
+    /// Fabricate the job for one arrival of query class `i`. `next_seed`
+    /// is drawn only for job types that need private randomness (updates),
+    /// matching the original seed discipline.
+    pub fn make_query_job(
+        &self,
+        i: usize,
+        class_idx: u32,
+        coord: PeId,
+        now: SimTime,
+        next_seed: &mut dyn FnMut() -> u64,
+    ) -> Job {
+        match self.plans[i].clone() {
+            ClassPlan::Join {
+                inner,
+                outer,
+                selectivity,
+                table_pages,
+                psu_opt,
+                psu_noio,
+                inner_out,
+                outer_out,
+                skew,
+            } => {
+                let mut jj = JoinJob::new(
+                    class_idx,
+                    coord,
+                    inner,
+                    outer,
+                    selectivity,
+                    now,
+                    table_pages,
+                    psu_opt,
+                    psu_noio,
+                    inner_out,
+                    outer_out,
+                );
+                jj.skew = skew;
+                Job::Join(jj)
+            }
+            ClassPlan::MultiJoin {
+                outer,
+                selectivity,
+                outer_out,
+                stages,
+            } => {
+                let s0 = stages[0];
+                let first = JoinJob::new(
+                    class_idx,
+                    coord,
+                    s0.inner,
+                    outer,
+                    selectivity,
+                    now,
+                    s0.table_pages,
+                    s0.psu_opt,
+                    s0.psu_noio,
+                    s0.inner_out,
+                    outer_out,
+                );
+                Job::MultiJoin(MultiJoinJob::new(first, stages))
+            }
+            ClassPlan::Scan {
+                relation,
+                selectivity,
+                access,
+            } => Job::ScanQ(ScanQueryJob::new(
+                class_idx,
+                coord,
+                relation,
+                selectivity,
+                access,
+                now,
+            )),
+            ClassPlan::Update {
+                relation,
+                tuples,
+                via_index,
+            } => {
+                let seed = next_seed();
+                Job::UpdateQ(UpdateJob::new(
+                    class_idx, coord, relation, tuples, via_index, now, seed,
+                ))
+            }
+            ClassPlan::Sort {
+                relation,
+                selectivity,
+                table_pages,
+                psu_opt,
+                psu_noio,
+                expected_out,
+            } => Job::SortQ(engine::sort::SortQueryJob::new(
+                class_idx,
+                coord,
+                relation,
+                selectivity,
+                now,
+                table_pages,
+                psu_opt,
+                psu_noio,
+                expected_out,
+            )),
+        }
+    }
+
+    /// Fabricate one OLTP transaction of the given class spec.
+    pub fn make_oltp_job(
+        spec: &workload::OltpClass,
+        class_idx: u32,
+        pe: PeId,
+        now: SimTime,
+        seed: u64,
+    ) -> Job {
+        Job::Oltp(OltpJob::new(
+            class_idx,
+            pe,
+            spec.relation,
+            spec.selects,
+            spec.updates,
+            now,
+            seed,
+        ))
+    }
+}
+
+fn plan_query(kind: &QueryKind, catalog: &Catalog, cost: &CostModel, n: u32) -> ClassPlan {
+    match kind {
+        QueryKind::TwoWayJoin {
+            inner,
+            outer,
+            selectivity,
+        } => {
+            let profile = profile_for(catalog, *inner, *outer, *selectivity, None);
+            ClassPlan::Join {
+                inner: *inner,
+                outer: *outer,
+                selectivity: *selectivity,
+                table_pages: cost.table_pages(&profile),
+                psu_opt: cost.psu_opt(n, &profile),
+                psu_noio: cost.psu_noio(n, &profile),
+                inner_out: profile.inner_tuples,
+                outer_out: profile.outer_tuples,
+                skew: 0.0,
+            }
+        }
+        QueryKind::MultiWayJoin {
+            relations,
+            selectivity,
+        } => {
+            assert!(relations.len() >= 2, "multi-way join needs ≥ 2 relations");
+            let outer = relations[1];
+            let outer_out = expected_scan_output(catalog, outer, *selectivity);
+            let mut stages = Vec::new();
+            let mut probe = outer_out;
+            for rel in relations
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != 1)
+                .map(|(_, r)| *r)
+            {
+                let profile = profile_for(catalog, rel, outer, *selectivity, Some(probe));
+                stages.push(StagePlan {
+                    inner: rel,
+                    table_pages: cost.table_pages(&profile),
+                    psu_opt: cost.psu_opt(n, &profile),
+                    psu_noio: cost.psu_noio(n, &profile),
+                    inner_out: profile.inner_tuples,
+                });
+                // Result of stage k has the build side's size.
+                probe = profile.inner_tuples;
+            }
+            ClassPlan::MultiJoin {
+                outer,
+                selectivity: *selectivity,
+                outer_out,
+                stages,
+            }
+        }
+        QueryKind::RelationScan {
+            relation,
+            selectivity,
+        } => ClassPlan::Scan {
+            relation: *relation,
+            selectivity: *selectivity,
+            access: ScanAccess::Full,
+        },
+        QueryKind::ClusteredIndexScan {
+            relation,
+            selectivity,
+        } => ClassPlan::Scan {
+            relation: *relation,
+            selectivity: *selectivity,
+            access: ScanAccess::Clustered,
+        },
+        QueryKind::NonClusteredIndexScan {
+            relation,
+            selectivity,
+        } => ClassPlan::Scan {
+            relation: *relation,
+            selectivity: *selectivity,
+            access: ScanAccess::NonClustered,
+        },
+        QueryKind::Update {
+            relation,
+            tuples,
+            via_index,
+        } => ClassPlan::Update {
+            relation: *relation,
+            tuples: *tuples,
+            via_index: *via_index,
+        },
+        QueryKind::ParallelSort {
+            relation,
+            selectivity,
+        } => {
+            // Sorts are planned like joins whose "table" is the sort
+            // buffer for the selection output.
+            let profile = profile_for(catalog, *relation, *relation, *selectivity, None);
+            ClassPlan::Sort {
+                relation: *relation,
+                selectivity: *selectivity,
+                table_pages: cost.table_pages(&profile),
+                psu_opt: cost.psu_opt(n, &profile),
+                psu_noio: cost.psu_noio(n, &profile),
+                expected_out: profile.inner_tuples,
+            }
+        }
+    }
+}
+
+fn profile_for(
+    catalog: &Catalog,
+    inner: dbmodel::RelationId,
+    outer: dbmodel::RelationId,
+    selectivity: f64,
+    probe_override: Option<u64>,
+) -> JoinProfile {
+    let inner_rel = catalog.relation(inner);
+    let outer_rel = catalog.relation(outer);
+    let inner_out = expected_scan_output(catalog, inner, selectivity);
+    let outer_out =
+        probe_override.unwrap_or_else(|| expected_scan_output(catalog, outer, selectivity));
+    let inner_first = inner_rel.allocation.first_pe;
+    let outer_first = outer_rel.allocation.first_pe;
+    JoinProfile {
+        inner_tuples: inner_out,
+        outer_tuples: outer_out,
+        result_tuples: inner_out,
+        inner_scan_nodes: inner_rel.allocation.pe_count,
+        outer_scan_nodes: outer_rel.allocation.pe_count,
+        inner_scan_pages_per_node: ((inner_rel.pages_at(inner_first) as f64) * selectivity).ceil()
+            as u64,
+        outer_scan_pages_per_node: ((outer_rel.pages_at(outer_first) as f64) * selectivity).ceil()
+            as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_core::Strategy;
+    use workload::WorkloadSpec;
+
+    #[test]
+    fn plans_paper_join_with_cost_model_numbers() {
+        let cfg = crate::SimConfig::paper_default(
+            80,
+            WorkloadSpec::homogeneous_join(0.01, 0.25),
+            Strategy::OptIoCpu,
+        );
+        let catalog = cfg.build_catalog();
+        let cost = CostModel::new(cfg.cost_params());
+        let p = Planner::new(&cfg.workload, &catalog, &cost, cfg.n_pes);
+        match p.plan(0) {
+            ClassPlan::Join {
+                psu_noio, psu_opt, ..
+            } => {
+                assert_eq!(*psu_noio, 3);
+                assert!((25..=35).contains(psu_opt));
+            }
+            other => panic!("expected a join plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_jobs_draw_seeds_scans_do_not() {
+        let cfg = crate::SimConfig::paper_default(
+            10,
+            WorkloadSpec {
+                queries: vec![
+                    workload::QueryClass {
+                        name: "scan".into(),
+                        kind: QueryKind::RelationScan {
+                            relation: dbmodel::RelationId(0),
+                            selectivity: 0.1,
+                        },
+                        arrival: workload::ArrivalSpec::SingleUser,
+                        coordinator: workload::CoordinatorPlacement::Random,
+                        redistribution_skew: 0.0,
+                    },
+                    workload::QueryClass {
+                        name: "upd".into(),
+                        kind: QueryKind::Update {
+                            relation: dbmodel::RelationId(0),
+                            tuples: 4,
+                            via_index: true,
+                        },
+                        arrival: workload::ArrivalSpec::SingleUser,
+                        coordinator: workload::CoordinatorPlacement::Random,
+                        redistribution_skew: 0.0,
+                    },
+                ],
+                oltp: vec![],
+            },
+            Strategy::OptIoCpu,
+        );
+        let catalog = cfg.build_catalog();
+        let cost = CostModel::new(cfg.cost_params());
+        let p = Planner::new(&cfg.workload, &catalog, &cost, cfg.n_pes);
+        let draws = std::cell::Cell::new(0u64);
+        let mut seeder = || {
+            draws.set(draws.get() + 1);
+            42
+        };
+        let scan = p.make_query_job(0, 0, 0, SimTime::ZERO, &mut seeder);
+        assert!(matches!(scan, Job::ScanQ(_)));
+        assert_eq!(draws.get(), 0, "scan jobs need no seed");
+        let upd = p.make_query_job(1, 1, 0, SimTime::ZERO, &mut seeder);
+        assert!(matches!(upd, Job::UpdateQ(_)));
+        assert_eq!(draws.get(), 1, "update jobs draw exactly one seed");
+    }
+}

@@ -1,31 +1,35 @@
-//! The integrated Shared Nothing system simulator.
+//! The integrated Shared Nothing system simulator — orchestration glue.
 //!
-//! Owns the event heap, the hardware servers (CPUs, disks, log disks,
-//! network), the engine state (PEs, jobs) and the load-balancing control
-//! node, and drives everything through the engine's action/input protocol.
+//! `System` wires three layers together and owns none of their logic:
+//!
+//! * **event dispatch** — the heap-driven loop lives in
+//!   [`simkit::Dispatcher`]; `System` implements [`simkit::Simulation`],
+//!   handling typed resource-completion events ([`Ev`]) and draining the
+//!   engine's action/input protocol after each one;
+//! * **resource brokering** — per-node CPU/memory/disk state and every
+//!   placement decision (join, multi-join stage, scan coordinator, OLTP
+//!   home node) live behind [`lb_core::ResourceBroker`]; `System` only
+//!   reports utilization samples and forwards placement requests;
+//! * **planning** — per-class planner numbers and job fabrication live in
+//!   [`crate::planner::Planner`].
+//!
 //! Single-threaded and fully deterministic for a given seed.
 
 use crate::config::SimConfig;
 use crate::metrics::{ClassSummary, Metrics, Summary};
+use crate::planner::Planner;
 use dbmodel::catalog::Catalog;
 use dbmodel::deadlock;
 use dbmodel::log::LogParams;
 use engine::api::{Action, InKind, Input, Msg, MsgKind, Step, Token, COORD_TASK};
-use engine::ctx::Ctx;
-use engine::join::JoinJob;
-use engine::multijoin::{MultiJoinJob, StagePlan};
-use engine::oltp::OltpJob;
-use engine::query::{ScanQueryJob, UpdateJob};
-use engine::scan::{expected_scan_output, ScanAccess};
 use engine::{Job, JobId, Pe, PeId};
-use hardware::{Cpu, DiskId, DiskSubsystem, IoKind, IoRequest, Network};
-use lb_core::costmodel::{CostModel, JoinProfile};
-use lb_core::{ControlNode, JoinRequest, NodeState, Strategy};
+use hardware::{Cpu, DiskId, DiskSubsystem, Network};
+use lb_core::{JoinRequest, PlacementRequest, ResourceBroker, WorkClass};
 use simkit::server::UtilizationWindow;
 use simkit::stats::OnlineStats;
-use simkit::{EventHeap, SimDur, SimRng, SimTime, Slab};
+use simkit::{Dispatcher, EventQueue, SimDur, SimRng, SimTime, Simulation, Slab};
 use std::collections::VecDeque;
-use workload::queries::{CoordinatorPlacement, QueryKind};
+use workload::queries::CoordinatorPlacement;
 use workload::ArrivalSpec;
 
 /// Reference to a workload class (queries first, then OLTP).
@@ -44,133 +48,99 @@ impl ClassRef {
     }
 }
 
-/// Simulator events.
-enum Ev {
+/// Simulator events (typed resource completions + periodic services).
+/// Public only because it is `System`'s `Simulation::Event` type; outside
+/// code never constructs these.
+#[doc(hidden)]
+pub enum Ev {
     Arrival(ClassRef),
-    CpuDone { pe: PeId, token: Token },
-    IoDone { pe: PeId, disk: u32, token: Option<Token> },
-    LogDone { pe: PeId, token: Option<Token> },
-    LinkFree { pe: PeId },
+    CpuDone {
+        pe: PeId,
+        token: Token,
+    },
+    IoDone {
+        pe: PeId,
+        disk: u32,
+        token: Option<Token>,
+    },
+    LogDone {
+        pe: PeId,
+        token: Option<Token>,
+    },
+    LinkFree {
+        pe: PeId,
+    },
     Deliver(Msg),
     ControlTick,
     DeadlockTick,
     WarmupMark,
     Retry(ClassRef, PeId),
-    Alarm { job: JobId, pe: PeId },
+    Alarm {
+        job: JobId,
+        pe: PeId,
+    },
 }
 
-/// Cached planner numbers per query class.
-#[derive(Debug, Clone)]
-enum ClassPlan {
-    Join {
-        inner: dbmodel::RelationId,
-        outer: dbmodel::RelationId,
-        selectivity: f64,
-        table_pages: f64,
-        psu_opt: u32,
-        psu_noio: u32,
-        inner_out: u64,
-        outer_out: u64,
-        skew: f64,
-    },
-    MultiJoin {
-        outer: dbmodel::RelationId,
-        selectivity: f64,
-        outer_out: u64,
-        stages: Vec<StagePlan>,
-    },
-    Scan {
-        relation: dbmodel::RelationId,
-        selectivity: f64,
-        access: ScanAccess,
-    },
-    Update {
-        relation: dbmodel::RelationId,
-        tuples: u32,
-        via_index: bool,
-    },
-    Sort {
-        relation: dbmodel::RelationId,
-        selectivity: f64,
-        table_pages: f64,
-        psu_opt: u32,
-        psu_noio: u32,
-        expected_out: u64,
-    },
+/// Job-private seed stream: SplitMix-style mix of the run seed and a
+/// monotone counter (shared by [`System::next_seed`] and the planner's
+/// seeder closure so the two can never diverge).
+fn derive_seed(seed: u64, counter: u64) -> u64 {
+    seed ^ counter.wrapping_mul(0x2545_F491_4F6C_DD1D)
 }
 
 /// The simulator.
 pub struct System {
     pub cfg: SimConfig,
-    clock: SimTime,
-    heap: EventHeap<Ev>,
-    pes: Vec<Pe>,
-    cpus: Vec<Cpu<Token>>,
-    disks: Vec<DiskSubsystem<Option<Token>>>,
-    log_disks: Vec<DiskSubsystem<Option<Token>>>,
-    net: Network<Msg>,
+    pub(crate) events: EventQueue<Ev>,
+    pub(crate) pes: Vec<Pe>,
+    pub(crate) cpus: Vec<Cpu<Token>>,
+    pub(crate) disks: Vec<DiskSubsystem<Option<Token>>>,
+    pub(crate) log_disks: Vec<DiskSubsystem<Option<Token>>>,
+    pub(crate) net: Network<Msg>,
     /// Jobs are checked out (`Option::take`) during dispatch so handlers
     /// can borrow the rest of the system without aliasing the slab.
-    jobs: Slab<Option<Job>>,
-    control: ControlNode,
-    strategy: Strategy,
-    catalog: Catalog,
-    class_plans: Vec<ClassPlan>,
-    cpu_windows: Vec<UtilizationWindow>,
+    pub(crate) jobs: Slab<Option<Job>>,
+    pub(crate) broker: Box<dyn ResourceBroker>,
+    pub(crate) planner: Planner,
+    pub(crate) catalog: Catalog,
+    pub(crate) cpu_windows: Vec<UtilizationWindow>,
+    pub(crate) disk_windows: Vec<UtilizationWindow>,
 
-    rng_arrivals: Vec<SimRng>,
-    rng_place: SimRng,
-    rng_coord: SimRng,
-    rng_seed_counter: u64,
+    pub(crate) rng_arrivals: Vec<SimRng>,
+    pub(crate) rng_place: SimRng,
+    pub(crate) rng_coord: SimRng,
+    pub(crate) rng_seed_counter: u64,
 
     pub metrics: Metrics,
-    temp_counter: u64,
-    actions: Vec<Action>,
-    pending: VecDeque<(JobId, Input)>,
-    events_processed: u64,
+    pub(crate) temp_counter: u64,
+    pub(crate) actions: Vec<Action>,
+    pub(crate) pending: VecDeque<(JobId, Input)>,
 
     // Utilization snapshots (taken at the warm-up mark).
-    cpu_busy_at_warmup: Vec<u128>,
-    disk_busy_at_warmup: u128,
-    mem_util_samples: OnlineStats,
-    warmup_time: SimTime,
+    pub(crate) cpu_busy_at_warmup: Vec<u128>,
+    pub(crate) disk_busy_at_warmup: u128,
+    pub(crate) mem_util_samples: OnlineStats,
+    pub(crate) warmup_time: SimTime,
 }
 
 impl System {
     pub fn new(cfg: SimConfig) -> System {
         let n = cfg.n_pes as usize;
         let catalog = cfg.build_catalog();
-        let cost = CostModel::new(cfg.cost_params());
-
-        // Per-class planner numbers.
-        let mut class_plans = Vec::new();
-        for q in &cfg.workload.queries {
-            let mut plan = Self::plan_query(&q.kind, &catalog, &cost, cfg.n_pes);
-            if let ClassPlan::Join { skew, .. } = &mut plan {
-                *skew = q.redistribution_skew;
-            }
-            class_plans.push(plan);
-        }
-
-        let mut control = ControlNode::new(n);
-        control.luc_bump = cfg.luc_bump;
-        // Seed the control node with idle, fully-free state.
-        for pe in 0..n {
-            control.report(
-                pe as u32,
-                NodeState {
-                    cpu_util: 0.0,
-                    free_pages: cfg.buffer_pages,
-                },
-            );
-        }
+        let cost = lb_core::CostModel::new(cfg.cost_params());
+        let planner = Planner::new(&cfg.workload, &catalog, &cost, cfg.n_pes);
+        let broker = cfg.build_broker();
 
         let root = SimRng::new(cfg.seed);
         let class_count = cfg.workload.class_count();
         let rng_arrivals = (0..class_count).map(|i| root.fork(10 + i as u64)).collect();
 
-        let mut class_names: Vec<String> =
-            cfg.workload.queries.iter().map(|q| q.name.clone()).collect();
+        let mut class_names: Vec<String> = cfg
+            .workload
+            .queries
+            .iter()
+            .map(|q| q.name.clone())
+            .collect();
         class_names.extend(cfg.workload.oltp.iter().map(|o| o.name.clone()));
         let warmup_time = SimTime::ZERO + cfg.warmup;
         let metrics = Metrics::new(class_names, warmup_time);
@@ -187,8 +157,7 @@ impl System {
         };
 
         let mut sys = System {
-            clock: SimTime::ZERO,
-            heap: EventHeap::with_capacity(1 << 16),
+            events: EventQueue::with_capacity(1 << 16),
             pes: (0..n)
                 .map(|i| {
                     Pe::new(
@@ -209,11 +178,11 @@ impl System {
                 .collect(),
             net: Network::new(cfg.hw.net.clone(), n),
             jobs: Slab::new(),
-            control,
-            strategy: cfg.strategy,
+            broker,
+            planner,
             catalog,
-            class_plans,
             cpu_windows: vec![UtilizationWindow::default(); n],
+            disk_windows: vec![UtilizationWindow::default(); n],
             rng_arrivals,
             rng_place: root.fork(1),
             rng_coord: root.fork(2),
@@ -222,7 +191,6 @@ impl System {
             temp_counter: 0,
             actions: Vec::with_capacity(64),
             pending: VecDeque::new(),
-            events_processed: 0,
             cpu_busy_at_warmup: vec![0; n],
             disk_busy_at_warmup: 0,
             mem_util_samples: OnlineStats::new(),
@@ -233,155 +201,21 @@ impl System {
         sys
     }
 
-    fn plan_query(kind: &QueryKind, catalog: &Catalog, cost: &CostModel, n: u32) -> ClassPlan {
-        match kind {
-            QueryKind::TwoWayJoin {
-                inner,
-                outer,
-                selectivity,
-            } => {
-                let profile = Self::profile_for(catalog, *inner, *outer, *selectivity, None);
-                ClassPlan::Join {
-                    inner: *inner,
-                    outer: *outer,
-                    selectivity: *selectivity,
-                    table_pages: cost.table_pages(&profile),
-                    psu_opt: cost.psu_opt(n, &profile),
-                    psu_noio: cost.psu_noio(n, &profile),
-                    inner_out: profile.inner_tuples,
-                    outer_out: profile.outer_tuples,
-                    skew: 0.0,
-                }
-            }
-            QueryKind::MultiWayJoin {
-                relations,
-                selectivity,
-            } => {
-                assert!(relations.len() >= 2, "multi-way join needs ≥ 2 relations");
-                let outer = relations[1];
-                let outer_out = expected_scan_output(catalog, outer, *selectivity);
-                let mut stages = Vec::new();
-                let mut probe = outer_out;
-                for (k, rel) in relations
-                    .iter()
-                    .enumerate()
-                    .filter(|&(k, _)| k != 1)
-                    .map(|(_, r)| r)
-                    .enumerate()
-                    .map(|(k, r)| (k, *r))
-                {
-                    let profile =
-                        Self::profile_for(catalog, rel, outer, *selectivity, Some(probe));
-                    stages.push(StagePlan {
-                        inner: rel,
-                        table_pages: cost.table_pages(&profile),
-                        psu_opt: cost.psu_opt(n, &profile),
-                        psu_noio: cost.psu_noio(n, &profile),
-                        inner_out: profile.inner_tuples,
-                    });
-                    // Result of stage k has the build side's size.
-                    probe = profile.inner_tuples;
-                    let _ = k;
-                }
-                ClassPlan::MultiJoin {
-                    outer,
-                    selectivity: *selectivity,
-                    outer_out,
-                    stages,
-                }
-            }
-            QueryKind::RelationScan {
-                relation,
-                selectivity,
-            } => ClassPlan::Scan {
-                relation: *relation,
-                selectivity: *selectivity,
-                access: ScanAccess::Full,
-            },
-            QueryKind::ClusteredIndexScan {
-                relation,
-                selectivity,
-            } => ClassPlan::Scan {
-                relation: *relation,
-                selectivity: *selectivity,
-                access: ScanAccess::Clustered,
-            },
-            QueryKind::NonClusteredIndexScan {
-                relation,
-                selectivity,
-            } => ClassPlan::Scan {
-                relation: *relation,
-                selectivity: *selectivity,
-                access: ScanAccess::NonClustered,
-            },
-            QueryKind::Update {
-                relation,
-                tuples,
-                via_index,
-            } => ClassPlan::Update {
-                relation: *relation,
-                tuples: *tuples,
-                via_index: *via_index,
-            },
-            QueryKind::ParallelSort {
-                relation,
-                selectivity,
-            } => {
-                // Sorts are planned like joins whose "table" is the sort
-                // buffer for the selection output.
-                let profile = Self::profile_for(catalog, *relation, *relation, *selectivity, None);
-                ClassPlan::Sort {
-                    relation: *relation,
-                    selectivity: *selectivity,
-                    table_pages: cost.table_pages(&profile),
-                    psu_opt: cost.psu_opt(n, &profile),
-                    psu_noio: cost.psu_noio(n, &profile),
-                    expected_out: profile.inner_tuples,
-                }
-            }
-        }
-    }
-
-    fn profile_for(
-        catalog: &Catalog,
-        inner: dbmodel::RelationId,
-        outer: dbmodel::RelationId,
-        selectivity: f64,
-        probe_override: Option<u64>,
-    ) -> JoinProfile {
-        let inner_rel = catalog.relation(inner);
-        let outer_rel = catalog.relation(outer);
-        let inner_out = expected_scan_output(catalog, inner, selectivity);
-        let outer_out = probe_override
-            .unwrap_or_else(|| expected_scan_output(catalog, outer, selectivity));
-        let inner_first = inner_rel.allocation.first_pe;
-        let outer_first = outer_rel.allocation.first_pe;
-        JoinProfile {
-            inner_tuples: inner_out,
-            outer_tuples: outer_out,
-            result_tuples: inner_out,
-            inner_scan_nodes: inner_rel.allocation.pe_count,
-            outer_scan_nodes: outer_rel.allocation.pe_count,
-            inner_scan_pages_per_node: ((inner_rel.pages_at(inner_first) as f64) * selectivity)
-                .ceil() as u64,
-            outer_scan_pages_per_node: ((outer_rel.pages_at(outer_first) as f64) * selectivity)
-                .ceil() as u64,
-        }
-    }
-
     /// Schedule initial events.
     fn prime(&mut self) {
         let n = self.cfg.n_pes;
         for (i, q) in self.cfg.workload.queries.clone().iter().enumerate() {
             match q.arrival {
                 ArrivalSpec::SingleUser => {
-                    self.heap.push(SimTime::ZERO, Ev::Arrival(ClassRef::Query(i)));
+                    self.events
+                        .at(SimTime::ZERO, Ev::Arrival(ClassRef::Query(i)));
                 }
                 spec => {
                     let gap = workload::ArrivalProcess::new(spec, n)
                         .next_interarrival(&mut self.rng_arrivals[i]);
                     if let Some(gap) = gap {
-                        self.heap.push(SimTime::ZERO + gap, Ev::Arrival(ClassRef::Query(i)));
+                        self.events
+                            .at(SimTime::ZERO + gap, Ev::Arrival(ClassRef::Query(i)));
                     }
                 }
             }
@@ -391,14 +225,15 @@ impl System {
             let rate = o.total_tps(n);
             if rate > 0.0 {
                 let gap = SimDur::from_secs_f64(self.rng_arrivals[nq + i].exp(1.0 / rate));
-                self.heap.push(SimTime::ZERO + gap, Ev::Arrival(ClassRef::Oltp(i)));
+                self.events
+                    .at(SimTime::ZERO + gap, Ev::Arrival(ClassRef::Oltp(i)));
             }
         }
-        self.heap
-            .push(SimTime::ZERO + self.cfg.control_interval, Ev::ControlTick);
-        self.heap
-            .push(SimTime::ZERO + self.cfg.deadlock_interval, Ev::DeadlockTick);
-        self.heap.push(self.warmup_time, Ev::WarmupMark);
+        self.events
+            .at(SimTime::ZERO + self.cfg.control_interval, Ev::ControlTick);
+        self.events
+            .at(SimTime::ZERO + self.cfg.deadlock_interval, Ev::DeadlockTick);
+        self.events.at(self.warmup_time, Ev::WarmupMark);
     }
 
     // -----------------------------------------------------------------
@@ -407,100 +242,37 @@ impl System {
 
     fn next_seed(&mut self) -> u64 {
         self.rng_seed_counter += 1;
-        self.cfg.seed ^ self.rng_seed_counter.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    fn pick_coordinator(&mut self, placement: CoordinatorPlacement) -> PeId {
-        match placement {
-            CoordinatorPlacement::Random => self.rng_coord.below(self.cfg.n_pes as u64) as PeId,
-            CoordinatorPlacement::Fixed(pe) => pe.min(self.cfg.n_pes - 1),
-        }
+        derive_seed(self.cfg.seed, self.rng_seed_counter)
     }
 
     fn spawn(&mut self, class: ClassRef, pe_hint: Option<PeId>) {
         self.metrics.arrivals += 1;
         let nq = self.cfg.workload.queries.len();
         let class_idx = class.index(nq) as u32;
-        let now = self.clock;
+        let now = self.events.now();
         let job = match class {
             ClassRef::Query(i) => {
                 let coord = match pe_hint {
                     Some(pe) => pe,
-                    None => {
-                        let placement = self.cfg.workload.queries[i].coordinator;
-                        self.pick_coordinator(placement)
-                    }
+                    None => match self.cfg.workload.queries[i].coordinator {
+                        CoordinatorPlacement::Fixed(pe) => pe.min(self.cfg.n_pes - 1),
+                        CoordinatorPlacement::Random => {
+                            let req =
+                                PlacementRequest::coordinator(WorkClass::Scan, 0, self.cfg.n_pes);
+                            self.broker.place(&req, &mut self.rng_coord).nodes[0]
+                        }
+                    },
                 };
-                match self.class_plans[i].clone() {
-                    ClassPlan::Join {
-                        inner,
-                        outer,
-                        selectivity,
-                        table_pages,
-                        psu_opt,
-                        psu_noio,
-                        inner_out,
-                        outer_out,
-                        skew,
-                    } => {
-                        let mut jj = JoinJob::new(
-                            class_idx, coord, inner, outer, selectivity, now, table_pages,
-                            psu_opt, psu_noio, inner_out, outer_out,
-                        );
-                        jj.skew = skew;
-                        Job::Join(jj)
-                    }
-                    ClassPlan::MultiJoin {
-                        outer,
-                        selectivity,
-                        outer_out,
-                        stages,
-                    } => {
-                        let s0 = stages[0];
-                        let first = JoinJob::new(
-                            class_idx,
-                            coord,
-                            s0.inner,
-                            outer,
-                            selectivity,
-                            now,
-                            s0.table_pages,
-                            s0.psu_opt,
-                            s0.psu_noio,
-                            s0.inner_out,
-                            outer_out,
-                        );
-                        Job::MultiJoin(MultiJoinJob::new(first, stages))
-                    }
-                    ClassPlan::Scan {
-                        relation,
-                        selectivity,
-                        access,
-                    } => Job::ScanQ(ScanQueryJob::new(
-                        class_idx, coord, relation, selectivity, access, now,
-                    )),
-                    ClassPlan::Update {
-                        relation,
-                        tuples,
-                        via_index,
-                    } => {
-                        let seed = self.next_seed();
-                        Job::UpdateQ(UpdateJob::new(
-                            class_idx, coord, relation, tuples, via_index, now, seed,
-                        ))
-                    }
-                    ClassPlan::Sort {
-                        relation,
-                        selectivity,
-                        table_pages,
-                        psu_opt,
-                        psu_noio,
-                        expected_out,
-                    } => Job::SortQ(engine::sort::SortQueryJob::new(
-                        class_idx, coord, relation, selectivity, now, table_pages,
-                        psu_opt, psu_noio, expected_out,
-                    )),
-                }
+                let seed_base = self.cfg.seed;
+                let mut counter = self.rng_seed_counter;
+                let job = self
+                    .planner
+                    .make_query_job(i, class_idx, coord, now, &mut || {
+                        counter += 1;
+                        seed_base ^ counter.wrapping_mul(0x2545_F491_4F6C_DD1D)
+                    });
+                self.rng_seed_counter = counter;
+                job
             }
             ClassRef::Oltp(i) => {
                 let spec = self.cfg.workload.oltp[i].clone();
@@ -508,19 +280,13 @@ impl System {
                     Some(pe) => pe,
                     None => {
                         let (first, count) = spec.nodes.resolve(self.cfg.n_pes);
-                        (first + self.rng_coord.below(count as u64) as u32).min(self.cfg.n_pes - 1)
+                        let req = PlacementRequest::coordinator(WorkClass::Oltp, first, count);
+                        self.broker.place(&req, &mut self.rng_coord).nodes[0]
+                            .min(self.cfg.n_pes - 1)
                     }
                 };
                 let seed = self.next_seed();
-                Job::Oltp(OltpJob::new(
-                    class_idx,
-                    pe,
-                    spec.relation,
-                    spec.selects,
-                    spec.updates,
-                    now,
-                    seed,
-                ))
+                Planner::make_oltp_job(&spec, class_idx, pe, now, seed)
             }
         };
         let coord = job.coord_pe();
@@ -548,41 +314,32 @@ impl System {
                 if let Some(gap) = workload::ArrivalProcess::new(spec, n)
                     .next_interarrival(&mut self.rng_arrivals[i])
                 {
-                    self.heap.push(self.clock + gap, Ev::Arrival(class));
+                    self.events.after(gap, Ev::Arrival(class));
                 }
             }
             ClassRef::Oltp(i) => {
                 let rate = self.cfg.workload.oltp[i].total_tps(n);
                 if rate > 0.0 {
                     let gap = SimDur::from_secs_f64(self.rng_arrivals[nq + i].exp(1.0 / rate));
-                    self.heap.push(self.clock + gap, Ev::Arrival(class));
+                    self.events.after(gap, Ev::Arrival(class));
                 }
             }
         }
     }
 
     // -----------------------------------------------------------------
-    // Event loop
+    // Event handling (driven by simkit::Dispatcher)
     // -----------------------------------------------------------------
 
-    /// Run until `sim_time`; returns the summary.
+    /// Run until the configured horizon; returns the summary.
     pub fn run(&mut self) -> Summary {
         let end = SimTime::ZERO + self.cfg.sim_time;
-        while let Some(t) = self.heap.peek_time() {
-            if t > end {
-                break;
-            }
-            let (t, ev) = self.heap.pop().expect("peeked");
-            self.clock = t;
-            self.events_processed += 1;
-            self.dispatch_event(ev);
-            self.drain();
-        }
-        self.clock = end;
+        Dispatcher::run_until(self, end);
         self.finalize()
     }
 
     fn dispatch_event(&mut self, ev: Ev) {
+        let now = self.events.now();
         match ev {
             Ev::Arrival(class) => {
                 self.spawn(class, None);
@@ -602,8 +359,8 @@ impl System {
             }
             Ev::CpuDone { pe, token } => {
                 // Pump the CPU queue first (frees the unit at this instant).
-                if let Some(next) = self.cpus[pe as usize].complete(self.clock) {
-                    self.heap.push(
+                if let Some(next) = self.cpus[pe as usize].complete(now) {
+                    self.events.at(
                         next.done,
                         Ev::CpuDone {
                             pe,
@@ -614,8 +371,8 @@ impl System {
                 self.handle_cpu_token(pe, token);
             }
             Ev::IoDone { pe, disk, token } => {
-                if let Some(next) = self.disks[pe as usize].complete(self.clock, DiskId(disk)) {
-                    self.heap.push(
+                if let Some(next) = self.disks[pe as usize].complete(now, DiskId(disk)) {
+                    self.events.at(
                         next.done,
                         Ev::IoDone {
                             pe,
@@ -629,8 +386,8 @@ impl System {
                 }
             }
             Ev::LogDone { pe, token } => {
-                if let Some(next) = self.log_disks[pe as usize].complete(self.clock, DiskId(0)) {
-                    self.heap.push(
+                if let Some(next) = self.log_disks[pe as usize].complete(now, DiskId(0)) {
+                    self.events.at(
                         next.done,
                         Ev::LogDone {
                             pe,
@@ -655,117 +412,59 @@ impl System {
                 }
             }
             Ev::LinkFree { pe } => {
-                if let Some(next) = self.net.link_free(self.clock, pe as usize) {
+                if let Some(next) = self.net.link_free(now, pe as usize) {
                     let latency = self.net.latency();
-                    self.heap
-                        .push(next.done + latency, Ev::Deliver(next.tag));
-                    self.heap.push(next.done, Ev::LinkFree { pe });
+                    self.events.at(next.done + latency, Ev::Deliver(next.tag));
+                    self.events.at(next.done, Ev::LinkFree { pe });
                 }
             }
             Ev::Deliver(msg) => self.deliver(msg),
             Ev::ControlTick => {
                 self.control_tick();
-                self.heap
-                    .push(self.clock + self.cfg.control_interval, Ev::ControlTick);
+                self.events
+                    .after(self.cfg.control_interval, Ev::ControlTick);
             }
             Ev::DeadlockTick => {
                 self.deadlock_tick();
-                self.heap
-                    .push(self.clock + self.cfg.deadlock_interval, Ev::DeadlockTick);
+                self.events
+                    .after(self.cfg.deadlock_interval, Ev::DeadlockTick);
             }
             Ev::WarmupMark => {
-                let now = self.clock;
                 for (i, cpu) in self.cpus.iter_mut().enumerate() {
                     self.cpu_busy_at_warmup[i] = cpu.busy_integral(now);
                 }
-                self.disk_busy_at_warmup = self
-                    .disks
-                    .iter_mut()
-                    .map(|d| d.busy_integral(now))
-                    .sum();
+                self.disk_busy_at_warmup =
+                    self.disks.iter_mut().map(|d| d.busy_integral(now)).sum();
             }
         }
     }
 
-    /// A CPU grant completed: route by step.
-    fn handle_cpu_token(&mut self, _pe: PeId, token: Token) {
-        match token.step {
-            Step::SendCpu => {
-                let msg = *token.msg.expect("send token carries the message");
-                let from = msg.from as usize;
-                let bytes = msg.bytes;
-                if let Some(grant) = self.net.send(self.clock, from, bytes, msg) {
-                    let latency = self.net.latency();
-                    self.heap.push(grant.done + latency, Ev::Deliver(grant.tag));
-                    self.heap
-                        .push(grant.done, Ev::LinkFree { pe: from as PeId });
-                }
-            }
-            Step::MsgCpu => {
-                let msg = *token.msg.clone().expect("msg token carries the message");
-                if matches!(msg.kind, MsgKind::ControlReq { .. }) {
-                    self.handle_control_req(msg);
-                } else {
-                    self.route_token(token, Some(msg));
-                }
-            }
-            _ => self.route_token(token, None),
-        }
-    }
-
-    /// Deliver a message: charge receive CPU at the destination.
-    fn deliver(&mut self, msg: Msg) {
-        if msg.from == msg.to {
-            // Local messages skip the network and CPU costs entirely.
-            let to = msg.to;
-            let token = Token {
-                job: msg.job,
-                task: msg.task,
-                step: Step::MsgCpu,
-                msg: Some(Box::new(msg)),
-            };
-            self.handle_cpu_token(to, token);
-            return;
-        }
-        let to = msg.to;
-        let instr = self.cfg.engine.recv_instr(msg.bytes);
-        let token = Token {
-            job: msg.job,
-            task: msg.task,
-            step: Step::MsgCpu,
-            msg: Some(Box::new(msg)),
-        };
-        if let Some(grant) = self.cpus[to as usize].request(self.clock, instr, false, token) {
-            self.heap.push(
-                grant.done,
-                Ev::CpuDone {
-                    pe: to,
-                    token: grant.tag,
-                },
-            );
-        }
-    }
-
-    /// The control node computes a placement (strategy decision point).
-    fn handle_control_req(&mut self, msg: Msg) {
+    /// The broker computes a placement (strategy decision point). All four
+    /// placed work classes flow through here or through [`System::spawn`]:
+    /// two-way joins and sorts arrive with `stage == 0`, multi-join stages
+    /// with `stage > 0`.
+    pub(crate) fn handle_control_req(&mut self, msg: Msg) {
         let MsgKind::ControlReq {
             table_pages,
             psu_opt,
             psu_noio,
             outer_scan_nodes,
+            stage,
         } = msg.kind
         else {
             unreachable!()
         };
-        let req = JoinRequest {
-            table_pages,
-            psu_opt,
-            psu_noio,
-            outer_scan_nodes,
-        };
-        let placement = self
-            .strategy
-            .place(&req, &mut self.control, &mut self.rng_place);
+        let req = PlacementRequest::join(
+            stage,
+            JoinRequest {
+                table_pages,
+                psu_opt,
+                psu_noio,
+                outer_scan_nodes,
+            },
+            self.cfg.n_pes,
+        );
+        let placement = self.broker.place(&req, &mut self.rng_place);
         let bytes = self.cfg.engine.ctrl_msg_bytes + 4 * placement.nodes.len() as u32;
         let reply = Msg {
             from: self.cfg.control_pe,
@@ -781,210 +480,15 @@ impl System {
         self.drain_actions();
     }
 
-    /// Route a completed token into the owning job.
-    fn route_token(&mut self, token: Token, msg: Option<Msg>) {
-        let kind = match msg {
-            Some(m) => InKind::Msg(m),
-            None => InKind::Step(token.step),
-        };
-        self.pending.push_back((
-            token.job,
-            Input {
-                task: token.task,
-                kind,
-            },
-        ));
-    }
-
-    /// Drain pending inputs and actions until quiescent.
-    fn drain(&mut self) {
-        let mut guard = 0u64;
-        while let Some((job, input)) = self.pending.pop_front() {
-            guard += 1;
-            assert!(
-                guard < 10_000_000,
-                "engine dispatch loop does not converge"
-            );
-            // Check the job out of the slab (stable key, no aliasing).
-            let Some(mut body) = self.jobs.get_mut(job).and_then(Option::take) else {
-                self.metrics.stale_tokens += 1;
-                continue;
-            };
-            {
-                let mut ctx = Ctx {
-                    now: self.clock,
-                    cfg: &self.cfg.engine,
-                    catalog: &self.catalog,
-                    pes: &mut self.pes,
-                    rng: &mut self.rng_coord,
-                    out: &mut self.actions,
-                    temp_counter: &mut self.temp_counter,
-                    control_pe: self.cfg.control_pe,
-                };
-                body.handle(job, input, &mut ctx);
-            }
-            if let Some(slot) = self.jobs.get_mut(job) {
-                *slot = Some(body);
-            }
-            self.drain_actions();
-        }
-    }
-
-    /// Execute queued engine actions against the hardware.
-    fn drain_actions(&mut self) {
-        let mut actions = std::mem::take(&mut self.actions);
-        let mut i = 0;
-        while i < actions.len() {
-            let action = actions[i].clone();
-            i += 1;
-            self.exec_action(action);
-            if !self.actions.is_empty() {
-                // Nested actions (e.g. the control reply): append in order.
-                actions.append(&mut self.actions);
-            }
-        }
-        actions.clear();
-        self.actions = actions;
-    }
-
-    fn exec_action(&mut self, action: Action) {
-        match action {
-            Action::Cpu {
-                pe,
-                instr,
-                oltp,
-                token,
-            } => {
-                if let Some(grant) = self.cpus[pe as usize].request(self.clock, instr, oltp, token)
-                {
-                    self.heap.push(
-                        grant.done,
-                        Ev::CpuDone {
-                            pe,
-                            token: grant.tag,
-                        },
-                    );
-                }
-            }
-            Action::Io {
-                pe,
-                disk,
-                req,
-                token,
-            } => {
-                if let Some(grant) =
-                    self.disks[pe as usize].request(self.clock, DiskId(disk), req, Some(token))
-                {
-                    self.heap.push(
-                        grant.done,
-                        Ev::IoDone {
-                            pe,
-                            disk,
-                            token: grant.tag,
-                        },
-                    );
-                }
-            }
-            Action::IoAsync { pe, disk, req } => {
-                if let Some(grant) =
-                    self.disks[pe as usize].request(self.clock, DiskId(disk), req, None)
-                {
-                    self.heap.push(
-                        grant.done,
-                        Ev::IoDone {
-                            pe,
-                            disk,
-                            token: grant.tag,
-                        },
-                    );
-                }
-            }
-            Action::LogWrite { pe, pages, token } => {
-                let page = self.pes[pe as usize].log.alloc_pages(pages);
-                let req = IoRequest {
-                    object: u64::MAX,
-                    page,
-                    kind: IoKind::Write { pages },
-                };
-                if let Some(grant) =
-                    self.log_disks[pe as usize].request(self.clock, DiskId(0), req, Some(token))
-                {
-                    self.heap.push(
-                        grant.done,
-                        Ev::LogDone {
-                            pe,
-                            token: grant.tag,
-                        },
-                    );
-                }
-            }
-            Action::Send(msg) => {
-                if msg.from == msg.to {
-                    self.heap.push(self.clock, Ev::Deliver(msg));
-                } else {
-                    let instr = self.cfg.engine.send_instr(msg.bytes);
-                    let from = msg.from;
-                    let token = Token {
-                        job: msg.job,
-                        task: msg.task,
-                        step: Step::SendCpu,
-                        msg: Some(Box::new(msg)),
-                    };
-                    if let Some(grant) =
-                        self.cpus[from as usize].request(self.clock, instr, false, token)
-                    {
-                        self.heap.push(
-                            grant.done,
-                            Ev::CpuDone {
-                                pe: from,
-                                token: grant.tag,
-                            },
-                        );
-                    }
-                }
-            }
-            Action::JobDone { job } => self.job_done(job),
-            Action::MemoryGranted { job, pe, pages } => {
-                self.pending.push_back((
-                    job,
-                    Input {
-                        task: COORD_TASK,
-                        kind: InKind::MemGrant { pe, pages },
-                    },
-                ));
-            }
-            Action::MemoryStolen { job, pe, pages } => {
-                self.pending.push_back((
-                    job,
-                    Input {
-                        task: COORD_TASK,
-                        kind: InKind::MemSteal { pe, pages },
-                    },
-                ));
-            }
-            Action::LockGranted { job, pe, object } => {
-                self.pending.push_back((
-                    job,
-                    Input {
-                        task: COORD_TASK,
-                        kind: InKind::LockGrant { pe, object },
-                    },
-                ));
-            }
-            Action::Alarm { job, pe, after } => {
-                self.heap.push(self.clock + after, Ev::Alarm { job, pe });
-            }
-        }
-    }
-
     /// A job completed: metrics, MPL slot, single-user relaunch.
-    fn job_done(&mut self, job: JobId) {
+    pub(crate) fn job_done(&mut self, job: JobId) {
         let Some(body) = self.jobs.remove(job).flatten() else {
             return;
         };
+        let now = self.events.now();
         let class = body.class();
         let submitted = body.submitted();
-        self.metrics.record_completion(class, submitted, self.clock);
+        self.metrics.record_completion(class, submitted, now);
         if let Job::Join(j) = &body {
             let o = j.outcome();
             self.metrics.record_join(
@@ -993,7 +497,7 @@ impl System {
                 o.temp_reads,
                 o.mem_waits,
                 o.result_tuples,
-                self.clock,
+                now,
             );
         }
         if let Job::MultiJoin(m) = &body {
@@ -1004,7 +508,7 @@ impl System {
                 o.temp_reads,
                 o.mem_waits,
                 o.result_tuples,
-                self.clock,
+                now,
             );
         }
         let coord = body.coord_pe();
@@ -1020,7 +524,9 @@ impl System {
         // Single-user classes: launch the next instance immediately.
         let nq = self.cfg.workload.queries.len();
         if (class as usize) < nq
-            && self.cfg.workload.queries[class as usize].arrival.is_single_user()
+            && self.cfg.workload.queries[class as usize]
+                .arrival
+                .is_single_user()
         {
             self.spawn(ClassRef::Query(class as usize), None);
         }
@@ -1030,28 +536,32 @@ impl System {
     // Periodic services
     // -----------------------------------------------------------------
 
+    /// One report round: every PE samples its windowed CPU, memory and
+    /// disk state into the broker, then adaptive policies observe the
+    /// refreshed state.
     fn control_tick(&mut self) {
-        let now = self.clock;
+        let now = self.events.now();
         for pe in 0..self.cfg.n_pes as usize {
             let integral = self.cpus[pe].busy_integral(now);
             let units = self.cpus[pe].units();
             let cpu_util = self.cpu_windows[pe].sample(now, integral, units);
+            let disk_integral = self.disks[pe].busy_integral(now);
+            let disk_units = self.disks[pe].disks();
+            let disk_util = self.disk_windows[pe].sample(now, disk_integral, disk_units);
             let free_pages = self.pes[pe].buffer.free_pages_reported();
-            self.control.report(
+            self.broker.report(
                 pe as u32,
-                NodeState {
+                lb_core::NodeState {
                     cpu_util,
                     free_pages,
                 },
             );
+            self.broker.report_disk(pe as u32, disk_util);
             self.pes[pe].buffer.roll_epoch();
         }
+        self.broker.end_report_round();
         if now >= self.warmup_time {
-            let mem: f64 = self
-                .pes
-                .iter()
-                .map(|p| p.buffer.utilization())
-                .sum::<f64>()
+            let mem: f64 = self.pes.iter().map(|p| p.buffer.utilization()).sum::<f64>()
                 / self.pes.len() as f64;
             self.mem_util_samples.record(mem);
         }
@@ -1115,10 +625,8 @@ impl System {
         } else {
             ClassRef::Oltp(class as usize - nq)
         };
-        self.heap.push(
-            self.clock + SimDur::from_millis(1),
-            Ev::Retry(class_ref, pe),
-        );
+        self.events
+            .after(SimDur::from_millis(1), Ev::Retry(class_ref, pe));
         self.drain();
     }
 
@@ -1127,7 +635,7 @@ impl System {
     // -----------------------------------------------------------------
 
     fn finalize(&mut self) -> Summary {
-        let now = self.clock;
+        let now = self.events.now();
         let measured = now.since(self.warmup_time);
         let measured_s = measured.as_secs_f64().max(1e-9);
         let window_units = measured.as_nanos() as u128;
@@ -1136,16 +644,16 @@ impl System {
         for (i, cpu) in self.cpus.iter_mut().enumerate() {
             let delta = cpu.busy_integral(now) - self.cpu_busy_at_warmup[i];
             let cap = window_units * cpu.units() as u128;
-            cpu_utils.push(if cap == 0 { 0.0 } else { delta as f64 / cap as f64 });
+            cpu_utils.push(if cap == 0 {
+                0.0
+            } else {
+                delta as f64 / cap as f64
+            });
         }
         let avg_cpu = cpu_utils.iter().sum::<f64>() / cpu_utils.len().max(1) as f64;
         let max_cpu = cpu_utils.iter().copied().fold(0.0, f64::max);
 
-        let disk_units: u128 = self
-            .disks
-            .iter()
-            .map(|d| d.disks() as u128)
-            .sum();
+        let disk_units: u128 = self.disks.iter().map(|d| d.disks() as u128).sum();
         let disk_delta: u128 = self
             .disks
             .iter_mut()
@@ -1173,10 +681,13 @@ impl System {
 
         Summary {
             n_pes: self.cfg.n_pes,
-            strategy: self.strategy.name(),
+            strategy: self
+                .broker
+                .policy_name(WorkClass::Join { stage: 0 })
+                .to_string(),
             sim_seconds: now.as_secs_f64(),
             measured_seconds: measured_s,
-            events: self.events_processed,
+            events: self.events.processed(),
             classes,
             avg_cpu_util: avg_cpu,
             max_cpu_util: max_cpu,
@@ -1189,10 +700,14 @@ impl System {
             messages: self.net.messages_sent(),
             aborted: self.metrics.aborted,
             deadlock_victims: self.metrics.deadlock_victims,
+            policy_switches: self.broker.policy_switches(),
         }
     }
 
-    /// Verification hooks for integration tests.
+    // -----------------------------------------------------------------
+    // Verification hooks for integration tests / diagnostics
+    // -----------------------------------------------------------------
+
     pub fn quiescent_locks(&self) -> bool {
         self.pes.iter().all(|p| p.locks.is_quiescent())
     }
@@ -1202,7 +717,7 @@ impl System {
     }
 
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.events.processed()
     }
 
     pub fn check_buffer_invariants(&self) {
@@ -1213,61 +728,27 @@ impl System {
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.clock
+        self.events.now()
     }
 
-    /// Summaries of up to `max` live jobs (stuck-state diagnostics).
-    pub fn debug_live_jobs(&self, max: usize) -> Vec<String> {
-        self.jobs
-            .iter()
-            .take(max)
-            .map(|(_, j)| match j {
-                Some(Job::Join(j)) => {
-                    format!("submitted={} {}", j.submitted, j.debug_state())
-                }
-                Some(Job::MultiJoin(m)) => format!(
-                    "submitted={} multi[{}] {}",
-                    m.join.submitted,
-                    m.stages_done(),
-                    m.join.debug_state()
-                ),
-                Some(Job::Oltp(o)) => format!("oltp pe={} submitted={}", o.pe, o.submitted),
-                Some(Job::ScanQ(s)) => format!("scanq submitted={}", s.submitted),
-                Some(Job::UpdateQ(u)) => format!("updateq submitted={}", u.submitted),
-                Some(Job::SortQ(s)) => format!("sortq submitted={}", s.submitted),
-                None => "checked-out".into(),
-            })
-            .collect()
+    /// The broker (placement-layer diagnostics).
+    pub fn broker(&self) -> &dyn ResourceBroker {
+        &*self.broker
     }
 }
 
-impl System {
-    /// Tasks of the first stuck join job (diagnostics).
-    pub fn debug_live_tasks_of_first_stuck(&self) -> Vec<(usize, String)> {
-        for (_, j) in self.jobs.iter() {
-            if let Some(Job::Join(j)) = j {
-                let lines = j.debug_tasks();
-                return lines.into_iter().enumerate().collect();
-            }
-        }
-        Vec::new()
-    }
-}
+impl Simulation for System {
+    type Event = Ev;
 
-impl System {
-    /// Hardware server occupancy (diagnostics): (pe, cpu_in_service,
-    /// cpu_queued, disk_outstanding) for PEs with anything in flight.
-    pub fn debug_server_state(&self) -> Vec<(u32, u32, usize, usize)> {
-        (0..self.pes.len())
-            .map(|i| {
-                (
-                    i as u32,
-                    self.cpus[i].in_service(),
-                    self.cpus[i].queued(),
-                    self.disks[i].outstanding(),
-                )
-            })
-            .filter(|&(_, a, b, c)| a > 0 || b > 0 || c > 0)
-            .collect()
+    fn queue_mut(&mut self) -> &mut EventQueue<Ev> {
+        &mut self.events
+    }
+
+    fn handle(&mut self, _now: SimTime, ev: Ev) {
+        self.dispatch_event(ev);
+    }
+
+    fn quiesce(&mut self) {
+        self.drain();
     }
 }

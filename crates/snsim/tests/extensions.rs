@@ -143,7 +143,11 @@ fn parallel_sort_runs_and_conserves() {
         }],
         oltp: vec![],
     };
-    let s = run_one(quick(SimConfig::paper_default(20, wl.clone(), Strategy::OptIoCpu)));
+    let s = run_one(quick(SimConfig::paper_default(
+        20,
+        wl.clone(),
+        Strategy::OptIoCpu,
+    )));
     assert!(s.classes[0].completed > 5, "{}", s.classes[0].completed);
     assert!(
         s.classes[0].mean_ms > 100.0 && s.classes[0].mean_ms < 20_000.0,

@@ -1,0 +1,166 @@
+//! Minimal vendored stand-in for the `bytes` crate (offline build).
+//!
+//! Provides [`Bytes`], [`BytesMut`] and the [`Buf`] / [`BufMut`] traits
+//! with the little-endian accessors the workload trace codec uses. Backed
+//! by plain `Vec<u8>` — no refcounted zero-copy splitting, which the
+//! workspace does not need.
+
+/// Immutable byte buffer with a read cursor (for [`Buf`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    cursor: usize,
+}
+
+impl Bytes {
+    pub fn from_vec(data: Vec<u8>) -> Bytes {
+        Bytes { data, cursor: 0 }
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.cursor
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A new buffer holding the given sub-range of the unconsumed bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::from_vec(self.data[self.cursor..][range].to_vec())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes::from_vec(data)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.cursor..]
+    }
+}
+
+/// Growable byte buffer (for [`BufMut`]).
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.data)
+    }
+}
+
+/// Sequential reader over a byte buffer.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8>;
+
+    fn get_u8(&mut self) -> u8 {
+        self.copy_bytes(1)[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.copy_bytes(2).try_into().expect("2 bytes"))
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.copy_bytes(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.copy_bytes(8).try_into().expect("8 bytes"))
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8> {
+        assert!(self.len() >= n, "buffer underflow");
+        let out = self.data[self.cursor..self.cursor + n].to_vec();
+        self.cursor += n;
+        out
+    }
+}
+
+/// Sequential writer into a byte buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u64_le(0xDEAD_BEEF_CAFE_F00D);
+        b.put_u16_le(7);
+        b.put_u8(3);
+        b.put_u32_le(42);
+        let mut r = b.freeze();
+        assert_eq!(r.len(), 15);
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(r.get_u16_le(), 7);
+        assert_eq!(r.get_u8(), 3);
+        assert_eq!(r.get_u32_le(), 42);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_reslices_unconsumed() {
+        let b = Bytes::from_vec(vec![0, 1, 2, 3, 4]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_ref(), &[1, 2, 3]);
+    }
+}

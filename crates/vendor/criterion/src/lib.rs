@@ -1,0 +1,167 @@
+//! Minimal vendored stand-in for `criterion` (offline build).
+//!
+//! Implements the subset used by this workspace's benches: `Criterion`,
+//! `benchmark_group` with `sample_size`, `bench_function`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! Timing is wall-clock with automatic iteration scaling; results are
+//! printed as `name … median ns/iter (min … max)`. There is no statistical
+//! analysis, plotting, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement budget per benchmark (per sample).
+const SAMPLE_BUDGET: Duration = Duration::from_millis(40);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (upstream default is 100;
+    /// this stand-in favors fast `cargo bench` runs).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            prefix: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    prefix: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name);
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    // Calibrate: find an iteration count that fills the sample budget.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_BUDGET || iters >= 1 << 24 {
+            break;
+        }
+        let scale = if b.elapsed.is_zero() {
+            16
+        } else {
+            (SAMPLE_BUDGET.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+        };
+        iters = iters.saturating_mul(scale);
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    println!(
+        "{name:<50} {} / iter (min {}, max {})",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

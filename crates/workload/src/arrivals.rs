@@ -107,8 +107,14 @@ mod tests {
             4,
         );
         let mut rng = SimRng::new(5);
-        assert_eq!(p.next_interarrival(&mut rng), Some(SimDur::from_millis(100)));
-        assert_eq!(p.next_interarrival(&mut rng), Some(SimDur::from_millis(100)));
+        assert_eq!(
+            p.next_interarrival(&mut rng),
+            Some(SimDur::from_millis(100))
+        );
+        assert_eq!(
+            p.next_interarrival(&mut rng),
+            Some(SimDur::from_millis(100))
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl WorkloadSpec {
                 selectivity,
                 ArrivalSpec::PoissonPerPe { rate: qps_per_pe },
             )],
-            oltp: vec![OltpClass::paper_oltp(oltp_relation, tps_per_node, oltp_nodes)],
+            oltp: vec![OltpClass::paper_oltp(
+                oltp_relation,
+                tps_per_node,
+                oltp_nodes,
+            )],
         }
     }
 

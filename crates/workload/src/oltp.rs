@@ -92,7 +92,14 @@ mod tests {
 
     #[test]
     fn range_filter_clamped() {
-        assert_eq!(NodeFilter::Range { first: 5, count: 100 }.resolve(10), (5, 5));
+        assert_eq!(
+            NodeFilter::Range {
+                first: 5,
+                count: 100
+            }
+            .resolve(10),
+            (5, 5)
+        );
     }
 
     #[test]

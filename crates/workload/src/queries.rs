@@ -17,11 +17,20 @@ pub enum CoordinatorPlacement {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum QueryKind {
     /// Full scan of a relation with a selection predicate.
-    RelationScan { relation: RelationId, selectivity: f64 },
+    RelationScan {
+        relation: RelationId,
+        selectivity: f64,
+    },
     /// Range selection via the clustered B+-tree.
-    ClusteredIndexScan { relation: RelationId, selectivity: f64 },
+    ClusteredIndexScan {
+        relation: RelationId,
+        selectivity: f64,
+    },
     /// Selection via a non-clustered B+-tree (random tuple accesses).
-    NonClusteredIndexScan { relation: RelationId, selectivity: f64 },
+    NonClusteredIndexScan {
+        relation: RelationId,
+        selectivity: f64,
+    },
     /// Two-way hash join: both inputs are reduced by clustered-index
     /// selections, then redistributed to the join processors (§2).
     TwoWayJoin {
@@ -38,7 +47,10 @@ pub enum QueryKind {
     },
     /// Parallel sort of a selection's output, redistributed to
     /// dynamically chosen sort processors (§7 extension).
-    ParallelSort { relation: RelationId, selectivity: f64 },
+    ParallelSort {
+        relation: RelationId,
+        selectivity: f64,
+    },
     /// Index-supported update statement: select via index, modify, log.
     Update {
         relation: RelationId,
@@ -136,7 +148,11 @@ mod tests {
     fn paper_join_profile() {
         let q = QueryClass::paper_join(0.01, ArrivalSpec::PoissonPerPe { rate: 0.25 });
         match &q.kind {
-            QueryKind::TwoWayJoin { inner, outer, selectivity } => {
+            QueryKind::TwoWayJoin {
+                inner,
+                outer,
+                selectivity,
+            } => {
                 assert_eq!(*inner, RelationId(0));
                 assert_eq!(*outer, RelationId(1));
                 assert_eq!(*selectivity, 0.01);

@@ -98,8 +98,20 @@ mod tests {
     #[test]
     fn round_trip() {
         let records = vec![
-            TraceRecord { at: SimTime(12345), class: 1, kind: 0, coordinator: 7, payload: 10_000 },
-            TraceRecord { at: SimTime(99999), class: 0, kind: 1, coordinator: 0, payload: 0 },
+            TraceRecord {
+                at: SimTime(12345),
+                class: 1,
+                kind: 0,
+                coordinator: 7,
+                payload: 10_000,
+            },
+            TraceRecord {
+                at: SimTime(99999),
+                class: 0,
+                kind: 1,
+                coordinator: 0,
+                payload: 0,
+            },
         ];
         let bytes = encode(&records);
         assert_eq!(bytes.len(), 2 * RECORD_BYTES);

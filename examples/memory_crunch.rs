@@ -26,14 +26,10 @@ fn main() {
         Strategy::MinIoSuopt,
         Strategy::Adaptive,
     ] {
-        let cfg = SimConfig::paper_default(
-            n,
-            WorkloadSpec::homogeneous_join(0.01, 0.05),
-            strategy,
-        )
-        .with_buffer_pages(5)
-        .with_disks(1)
-        .with_sim_time(SimDur::from_secs(60), SimDur::from_secs(10));
+        let cfg = SimConfig::paper_default(n, WorkloadSpec::homogeneous_join(0.01, 0.05), strategy)
+            .with_buffer_pages(5)
+            .with_disks(1)
+            .with_sim_time(SimDur::from_secs(60), SimDur::from_secs(10));
         let s = run_one(cfg);
         println!(
             "{:>16} {:>9.0} {:>8.1} {:>8.1} {:>9} {:>10} {:>10}",

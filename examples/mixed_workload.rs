@@ -30,7 +30,10 @@ fn main() {
         Strategy::Adaptive,
     ];
 
-    println!("mixed workload on {n} PEs: joins + {} TPS OLTP total\n", 100 * 32);
+    println!(
+        "mixed workload on {n} PEs: joins + {} TPS OLTP total\n",
+        100 * 32
+    );
     for strategy in strategies {
         let cfg = SimConfig::paper_default(n, workload.clone(), strategy)
             .with_disks(5)

@@ -17,14 +17,38 @@ fn main() {
         .unwrap_or(40);
 
     let all = [
-        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Random },
-        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Luc },
-        Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Lum },
-        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Random },
-        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Luc },
-        Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Lum },
-        Strategy::Isolated { degree: DegreePolicy::MuCpu, select: SelectPolicy::Random },
-        Strategy::Isolated { degree: DegreePolicy::MuCpu, select: SelectPolicy::Lum },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuNoIo,
+            select: SelectPolicy::Random,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuNoIo,
+            select: SelectPolicy::Luc,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuNoIo,
+            select: SelectPolicy::Lum,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuOpt,
+            select: SelectPolicy::Random,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuOpt,
+            select: SelectPolicy::Luc,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::SuOpt,
+            select: SelectPolicy::Lum,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::MuCpu,
+            select: SelectPolicy::Random,
+        },
+        Strategy::Isolated {
+            degree: DegreePolicy::MuCpu,
+            select: SelectPolicy::Lum,
+        },
         Strategy::MinIo,
         Strategy::MinIoSuopt,
         Strategy::OptIoCpu,
@@ -37,12 +61,8 @@ fn main() {
     );
     let mut best: Option<(String, f64)> = None;
     for strategy in all {
-        let cfg = SimConfig::paper_default(
-            n,
-            WorkloadSpec::homogeneous_join(0.01, 0.25),
-            strategy,
-        )
-        .with_sim_time(SimDur::from_secs(40), SimDur::from_secs(8));
+        let cfg = SimConfig::paper_default(n, WorkloadSpec::homogeneous_join(0.01, 0.25), strategy)
+            .with_sim_time(SimDur::from_secs(40), SimDur::from_secs(8));
         let s = run_one(cfg);
         println!(
             "{:>18} {:>9.0} {:>6.1} {:>6.1} {:>6.1} {:>7.1} {:>9} {:>7}",
@@ -55,7 +75,11 @@ fn main() {
             s.spill_pages,
             s.classes[0].completed,
         );
-        if best.as_ref().map(|(_, rt)| s.join_resp_ms() < *rt).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|(_, rt)| s.join_resp_ms() < *rt)
+            .unwrap_or(true)
+        {
             best = Some((s.strategy.clone(), s.join_resp_ms()));
         }
     }

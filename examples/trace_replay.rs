@@ -31,13 +31,16 @@ fn main() {
     let span = decoded.last().unwrap().at.as_secs_f64();
     let joins = decoded.iter().filter(|r| r.kind == 0).count();
     let oltp = decoded.len() - joins;
-    let mut per_pe = vec![0u32; 40];
+    let mut per_pe = [0u32; 40];
     for r in &decoded {
         per_pe[r.coordinator as usize] += 1;
     }
     let max_pe = per_pe.iter().max().unwrap();
     let min_pe = per_pe.iter().min().unwrap();
-    println!("span: {span:.1}s  joins: {joins} ({:.1}/s)  oltp: {oltp}", joins as f64 / span);
+    println!(
+        "span: {span:.1}s  joins: {joins} ({:.1}/s)  oltp: {oltp}",
+        joins as f64 / span
+    );
     println!("coordinator spread: min {min_pe} / max {max_pe} events per PE");
     println!("codec round-trip OK");
 }

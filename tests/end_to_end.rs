@@ -60,7 +60,11 @@ fn multi_user_strategies_all_run_clean() {
             s.strategy,
             s.classes[0].completed
         );
-        assert_eq!(s.deadlock_victims, 0, "{}: join-only workloads cannot deadlock", s.strategy);
+        assert_eq!(
+            s.deadlock_victims, 0,
+            "{}: join-only workloads cannot deadlock",
+            s.strategy
+        );
         sys.check_buffer_invariants();
     }
 }
@@ -79,7 +83,11 @@ fn deterministic_given_seed() {
     let b = snsim::run_one(mk());
     assert_eq!(a.events, b.events, "event counts differ");
     assert_eq!(a.classes[0].completed, b.classes[0].completed);
-    assert_eq!(a.join_resp_ms(), b.join_resp_ms(), "bit-identical results expected");
+    assert_eq!(
+        a.join_resp_ms(),
+        b.join_resp_ms(),
+        "bit-identical results expected"
+    );
     assert_eq!(a.messages, b.messages);
 }
 
@@ -100,13 +108,7 @@ fn different_seeds_differ() {
 
 #[test]
 fn mixed_workload_runs_oltp_and_joins() {
-    let wl = WorkloadSpec::mixed(
-        0.01,
-        0.05,
-        dbmodel::RelationId(2),
-        50.0,
-        NodeFilter::BNodes,
-    );
+    let wl = WorkloadSpec::mixed(0.01, 0.05, dbmodel::RelationId(2), 50.0, NodeFilter::BNodes);
     let cfg = quick(20, wl, Strategy::OptIoCpu).with_disks(5);
     let mut sys = System::new(cfg);
     let s = sys.run();
@@ -123,9 +125,13 @@ fn mixed_workload_runs_oltp_and_joins() {
 
 #[test]
 fn memory_bound_environment_spills_and_survives() {
-    let cfg = quick(20, WorkloadSpec::homogeneous_join(0.01, 0.04), Strategy::MinIoSuopt)
-        .with_buffer_pages(5)
-        .with_disks(1);
+    let cfg = quick(
+        20,
+        WorkloadSpec::homogeneous_join(0.01, 0.04),
+        Strategy::MinIoSuopt,
+    )
+    .with_buffer_pages(5)
+    .with_disks(1);
     let s = snsim::run_one(cfg);
     assert!(s.classes[0].completed > 3);
     assert!(
@@ -170,11 +176,7 @@ fn utilization_grows_with_load() {
 
 #[test]
 fn single_user_has_no_memory_contention() {
-    let cfg = quick(
-        20,
-        WorkloadSpec::single_user_join(0.01),
-        Strategy::MinIo,
-    );
+    let cfg = quick(20, WorkloadSpec::single_user_join(0.01), Strategy::MinIo);
     let s = snsim::run_one(cfg);
     assert_eq!(s.mem_waits, 0, "one query at a time never waits for memory");
     assert_eq!(s.spill_pages, 0, "psu-noIO-sized memory avoids spills");
