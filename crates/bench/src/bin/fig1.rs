@@ -1,50 +1,37 @@
 //! Fig. 1 — "Parallel join processing in single- and multi-user mode:
 //! basic response time development and optimal number of join processors".
 //!
-//! Sweeps the degree of join parallelism p = 1..n with a *fixed* degree
-//! strategy under three regimes:
-//!   (a) single-user mode — the classic U-curve with optimum p_su-opt;
-//!   (b) CPU bottleneck (high arrival rate) — the optimum shifts LEFT;
-//!   (c) memory bottleneck (buffer/10, 1 disk) — the optimum shifts RIGHT.
+//! Thin wrapper over three bundled specs sweeping a *fixed* degree
+//! strategy (`fixed(p)+RANDOM`) under the three regimes:
+//!   (a) `scenarios/fig1_single_user.json` — the classic U-curve;
+//!   (b) `scenarios/fig1_cpu_bound.json` — the optimum shifts LEFT;
+//!   (c) `scenarios/fig1_memory_bound.json` — the optimum shifts RIGHT.
 //!
 //! Also prints the analytic cost model's curve for comparison with the
 //! simulated single-user curve.
 //!
 //! Run: `cargo run --release -p bench --bin fig1 [--full]`
 
-use bench::{check, with_mode, write_results_json, Mode};
+use bench::lab::{self, RunLength};
+use bench::{check, write_results_json};
 use lb_core::costmodel::{paper_join_profile, CostModel};
-use lb_core::{DegreePolicy, SelectPolicy, Strategy};
-use snsim::{format_table, run_parallel, SimConfig};
+use lb_core::Strategy;
+use snsim::{format_table, SimConfig, Summary};
 use workload::WorkloadSpec;
 
 const N: u32 = 40;
 const DEGREES: [u32; 8] = [1, 2, 4, 8, 15, 22, 30, 40];
 
-fn sweep(
-    mode: Mode,
-    wl: WorkloadSpec,
-    buffer: Option<u32>,
-    disks: Option<u32>,
-) -> Vec<snsim::Summary> {
-    let cfgs: Vec<SimConfig> = DEGREES
-        .iter()
-        .map(|&p| {
-            let strat = Strategy::Isolated {
-                degree: DegreePolicy::Fixed(p),
-                select: SelectPolicy::Random,
-            };
-            let mut cfg = SimConfig::paper_default(N, wl.clone(), strat);
-            if let Some(b) = buffer {
-                cfg = cfg.with_buffer_pages(b);
-            }
-            if let Some(d) = disks {
-                cfg = cfg.with_disks(d);
-            }
-            with_mode(cfg, mode)
-        })
-        .collect();
-    run_parallel(cfgs)
+const SPEC_SU: &str = include_str!("../../../../scenarios/fig1_single_user.json");
+const SPEC_CPU: &str = include_str!("../../../../scenarios/fig1_cpu_bound.json");
+const SPEC_MEM: &str = include_str!("../../../../scenarios/fig1_memory_bound.json");
+
+/// The specs sweep the strategy axis over `fixed(p)` degrees: each run is
+/// one point of the degree curve, in expansion order.
+fn sweep(json: &str, name: &str, len: RunLength) -> Vec<Summary> {
+    let (_, rows) = lab::run_embedded(json, name, len);
+    assert_eq!(rows.len(), DEGREES.len(), "{name}: one run per degree");
+    rows.into_iter().map(|r| r.summary).collect()
 }
 
 fn argmin(v: &[f64]) -> usize {
@@ -56,16 +43,11 @@ fn argmin(v: &[f64]) -> usize {
 }
 
 fn main() {
-    let mode = Mode::from_args();
+    let len = RunLength::from_args();
 
-    let su = sweep(mode, WorkloadSpec::single_user_join(0.01), None, None);
-    let cpu = sweep(mode, WorkloadSpec::homogeneous_join(0.01, 0.3), None, None);
-    let mem = sweep(
-        mode,
-        WorkloadSpec::homogeneous_join(0.01, 0.05),
-        Some(5),
-        Some(1),
-    );
+    let su = sweep(SPEC_SU, "fig1_single_user", len);
+    let cpu = sweep(SPEC_CPU, "fig1_cpu_bound", len);
+    let mem = sweep(SPEC_MEM, "fig1_memory_bound", len);
 
     let model = CostModel::new(
         SimConfig::paper_default(N, WorkloadSpec::single_user_join(0.01), Strategy::MinIo)

@@ -1,55 +1,29 @@
 //! Fig. 5 — "Static degree of parallelism"
 //! (multi-user join 0.25 QPS/PE; 1% scan selectivity).
 //!
-//! Series: p_su-noIO (= 3) and p_su-opt (= 30) join processors, each with
-//! RANDOM / LUC / LUM selection, plus the single-user baseline with
-//! p_su-opt. X-axis: system size 10..80 PE.
+//! Thin wrapper over the bundled `scenarios/fig5.json` and
+//! `scenarios/single_user_baseline.json` specs: the scenario lab runs the
+//! sweep, this binary re-checks the paper's qualitative claims.
 //!
 //! Run: `cargo run --release -p bench --bin fig5 [--full]`
 
-use bench::{check, fig5_strategies, with_mode, write_results_json, Mode, PE_SWEEP};
-use lb_core::{DegreePolicy, SelectPolicy, Strategy};
-use snsim::{format_table, run_parallel, SimConfig};
-use workload::WorkloadSpec;
+use bench::lab::{self, RunLength};
+use bench::{check, write_results_json};
+use snsim::{format_table, Summary};
+
+const SPEC: &str = include_str!("../../../../scenarios/fig5.json");
+const BASELINE: &str = include_str!("../../../../scenarios/single_user_baseline.json");
 
 fn main() {
-    let mode = Mode::from_args();
-    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut raw = Vec::new();
-
-    let mut strategies = fig5_strategies();
-    strategies.push(Strategy::Isolated {
-        degree: DegreePolicy::SuOpt,
-        select: SelectPolicy::Random,
-    }); // single-user baseline runs last with a different workload
-
-    for (si, strat) in strategies.iter().enumerate() {
-        let single_user = si == strategies.len() - 1;
-        let cfgs: Vec<SimConfig> = PE_SWEEP
-            .iter()
-            .map(|&n| {
-                let wl = if single_user {
-                    WorkloadSpec::single_user_join(0.01)
-                } else {
-                    WorkloadSpec::homogeneous_join(0.01, 0.25)
-                };
-                with_mode(SimConfig::paper_default(n, wl, *strat), mode)
-            })
-            .collect();
-        let sums = run_parallel(cfgs);
-        let name = if single_user {
-            "single-user(psu-opt)".to_string()
-        } else {
-            strat.name().to_string()
-        };
-        series.push((
-            name.clone(),
-            sums.iter().map(|s| s.join_resp_ms()).collect(),
-        ));
-        raw.push((name, sums));
+    let len = RunLength::from_args();
+    let (_, mut rows) = lab::run_embedded(SPEC, "fig5", len);
+    let (_, baseline) = lab::run_embedded(BASELINE, "single_user_baseline", len);
+    for mut row in baseline {
+        row.strategy = "single-user(psu-opt)".into();
+        rows.push(row);
     }
 
-    let xs: Vec<String> = PE_SWEEP.iter().map(|n| n.to_string()).collect();
+    let (xs, series) = lab::series_by_strategy(&rows, Summary::join_resp_ms);
     println!(
         "{}",
         format_table(
@@ -63,7 +37,7 @@ fn main() {
     // Qualitative claims from §5.2.
     let get =
         |name: &str| -> &Vec<f64> { &series.iter().find(|(n, _)| n == name).expect("series").1 };
-    let at80 = |name: &str| get(name)[PE_SWEEP.len() - 1];
+    let at80 = |name: &str| get(name)[xs.len() - 1];
     let at10 = |name: &str| get(name)[0];
     check(
         "light load (≤ 20 PE): psu-opt beats psu-noIO (CPU parallelism underused)",
@@ -89,5 +63,5 @@ fn main() {
         .all(|s| at80(s) > at80("single-user(psu-opt)")),
     );
 
-    write_results_json("fig5", &raw);
+    write_results_json("fig5", &lab::rows_by_strategy(&rows));
 }

@@ -1,60 +1,29 @@
 //! Fig. 6 — "Dynamic degree of join parallelism"
 //! (multi-user join 0.25 QPS/PE; 1% scan selectivity).
 //!
-//! Series: MIN-IO, MIN-IO-SUOPT, p_mu-cpu+RANDOM, p_mu-cpu+LUM,
-//! OPT-IO-CPU, plus the single-user baseline. X-axis: 10..80 PE.
+//! Thin wrapper over the bundled `scenarios/fig6.json` and
+//! `scenarios/single_user_baseline.json` specs: the scenario lab runs the
+//! sweep, this binary re-checks the paper's qualitative claims.
 //!
 //! Run: `cargo run --release -p bench --bin fig6 [--full]`
 
-use bench::{check, with_mode, write_results_json, Mode, PE_SWEEP};
-use lb_core::{DegreePolicy, SelectPolicy, Strategy};
-use snsim::{format_table, run_parallel, SimConfig};
-use workload::WorkloadSpec;
+use bench::lab::{self, RunLength};
+use bench::{check, write_results_json};
+use snsim::{format_table, Summary};
+
+const SPEC: &str = include_str!("../../../../scenarios/fig6.json");
+const BASELINE: &str = include_str!("../../../../scenarios/single_user_baseline.json");
 
 fn main() {
-    let mode = Mode::from_args();
-    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut raw = Vec::new();
-
-    for strat in Strategy::fig6_set() {
-        let cfgs: Vec<SimConfig> = PE_SWEEP
-            .iter()
-            .map(|&n| {
-                with_mode(
-                    SimConfig::paper_default(n, WorkloadSpec::homogeneous_join(0.01, 0.25), strat),
-                    mode,
-                )
-            })
-            .collect();
-        let sums = run_parallel(cfgs);
-        series.push((
-            strat.name().to_string(),
-            sums.iter().map(|s| s.join_resp_ms()).collect(),
-        ));
-        raw.push((strat.name().to_string(), sums));
+    let len = RunLength::from_args();
+    let (_, mut rows) = lab::run_embedded(SPEC, "fig6", len);
+    let (_, baseline) = lab::run_embedded(BASELINE, "single_user_baseline", len);
+    for mut row in baseline {
+        row.strategy = "single-user(psu-opt)".into();
+        rows.push(row);
     }
-    // Single-user baseline.
-    let su = Strategy::Isolated {
-        degree: DegreePolicy::SuOpt,
-        select: SelectPolicy::Random,
-    };
-    let cfgs: Vec<SimConfig> = PE_SWEEP
-        .iter()
-        .map(|&n| {
-            with_mode(
-                SimConfig::paper_default(n, WorkloadSpec::single_user_join(0.01), su),
-                mode,
-            )
-        })
-        .collect();
-    let sums = run_parallel(cfgs);
-    series.push((
-        "single-user(psu-opt)".into(),
-        sums.iter().map(|s| s.join_resp_ms()).collect(),
-    ));
-    raw.push(("single-user(psu-opt)".into(), sums));
 
-    let xs: Vec<String> = PE_SWEEP.iter().map(|n| n.to_string()).collect();
+    let (xs, series) = lab::series_by_strategy(&rows, Summary::join_resp_ms);
     println!(
         "{}",
         format_table(
@@ -68,7 +37,7 @@ fn main() {
     // Qualitative claims from §5.2.
     let get =
         |name: &str| -> &Vec<f64> { &series.iter().find(|(n, _)| n == name).expect("series").1 };
-    let last = PE_SWEEP.len() - 1;
+    let last = xs.len() - 1;
     check(
         "MIN-IO and MIN-IO-SUOPT are the worst dynamic strategies at 80 PE",
         get("MIN-IO")[last] > get("pmu-cpu+LUM")[last]
@@ -89,5 +58,5 @@ fn main() {
             <= get("single-user(psu-opt)")[last] * 8.0,
     );
 
-    write_results_json("fig6", &raw);
+    write_results_json("fig6", &lab::rows_by_strategy(&rows));
 }

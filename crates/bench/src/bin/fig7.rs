@@ -1,75 +1,43 @@
 //! Fig. 7 — "Memory-bound environment" (1% scan selectivity).
 //!
-//! Buffer reduced by 10× (5 pages/PE), a single disk per PE; arrival
-//! rates 0.05 and 0.025 QPS/PE plus the single-user baseline. Strategies:
-//! MIN-IO-SUOPT vs p_mu-cpu+LUM. The table also reports the average degree
-//! of join parallelism — the paper's headline here is that MIN-IO-SUOPT
-//! *raises* the degree with the system size (up to 42 at 80 PE) to buy
-//! aggregate memory, while p_mu-cpu stays at p_su-opt.
+//! Thin wrapper over `scenarios/fig7.json` (multi-user arrival-rate ×
+//! strategy × system-size sweep with buffer/10 and one disk per PE) and
+//! `scenarios/fig7_baseline.json` (the single-user baseline). The table
+//! also reports the average degree of join parallelism — the paper's
+//! headline here is that MIN-IO-SUOPT *raises* the degree with the system
+//! size to buy aggregate memory, while p_mu-cpu stays at p_su-opt.
 //!
 //! Run: `cargo run --release -p bench --bin fig7 [--full]`
 
-use bench::{check, with_mode, write_results_json, Mode};
-use lb_core::{DegreePolicy, SelectPolicy, Strategy};
-use snsim::{format_table, run_parallel, SimConfig};
-use workload::WorkloadSpec;
+use bench::lab::{self, LabRow, RunLength};
+use bench::{check, write_results_json};
+use snsim::{format_table, Summary};
 
-const PES: [u32; 5] = [20, 30, 40, 60, 80];
+const SPEC: &str = include_str!("../../../../scenarios/fig7.json");
+const BASELINE: &str = include_str!("../../../../scenarios/fig7_baseline.json");
+
+/// Relabel rows as `<load>/<strategy>` series over the `n_pes` axis.
+fn relabel(rows: Vec<LabRow>, load: impl Fn(&LabRow) -> String) -> Vec<LabRow> {
+    rows.into_iter()
+        .map(|mut r| {
+            r.strategy = format!("{}/{}", load(&r), r.strategy);
+            r.x = r.axis("n_pes").expect("n_pes axis").to_string();
+            r
+        })
+        .collect()
+}
 
 fn main() {
-    let mode = Mode::from_args();
-    let strategies = [
-        (
-            "pmu-cpu+LUM",
-            Strategy::Isolated {
-                degree: DegreePolicy::MuCpu,
-                select: SelectPolicy::Lum,
-            },
-        ),
-        ("MIN-IO-SUOPT", Strategy::MinIoSuopt),
-    ];
-    let loads: [(&str, Option<f64>); 3] = [
-        ("su", None),
-        ("mu-0.025", Some(0.025)),
-        ("mu-0.05", Some(0.05)),
-    ];
+    let len = RunLength::from_args();
+    let (_, mu_rows) = lab::run_embedded(SPEC, "fig7", len);
+    let (_, su_rows) = lab::run_embedded(BASELINE, "fig7_baseline", len);
+    let mut rows = relabel(su_rows, |_| "su".into());
+    rows.extend(relabel(mu_rows, |r| {
+        format!("mu-{}", r.axis("qps_per_pe").expect("qps axis"))
+    }));
 
-    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut degree_series: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut raw = Vec::new();
-
-    for (lname, rate) in loads {
-        for (sname, strat) in strategies {
-            let cfgs: Vec<SimConfig> = PES
-                .iter()
-                .map(|&n| {
-                    let wl = match rate {
-                        None => WorkloadSpec::single_user_join(0.01),
-                        Some(r) => WorkloadSpec::homogeneous_join(0.01, r),
-                    };
-                    with_mode(
-                        SimConfig::paper_default(n, wl, strat)
-                            .with_buffer_pages(5)
-                            .with_disks(1),
-                        mode,
-                    )
-                })
-                .collect();
-            let sums = run_parallel(cfgs);
-            let label = format!("{lname}/{sname}");
-            series.push((
-                label.clone(),
-                sums.iter().map(|s| s.join_resp_ms()).collect(),
-            ));
-            degree_series.push((
-                label.clone(),
-                sums.iter().map(|s| s.avg_join_degree).collect(),
-            ));
-            raw.push((label, sums));
-        }
-    }
-
-    let xs: Vec<String> = PES.iter().map(|n| n.to_string()).collect();
+    let (xs, series) = lab::series_by_strategy(&rows, Summary::join_resp_ms);
+    let (_, degree_series) = lab::series_by_strategy(&rows, |s| s.avg_join_degree);
     println!(
         "{}",
         format_table(
@@ -92,7 +60,7 @@ fn main() {
     let get = |name: &str, v: &[(String, Vec<f64>)]| -> Vec<f64> {
         v.iter().find(|(n, _)| n == name).expect("series").1.clone()
     };
-    let last = PES.len() - 1;
+    let last = xs.len() - 1;
     check(
         "multi-user 0.05: MIN-IO-SUOPT beats pmu-cpu+LUM at one or more \
          system sizes (our degree overshoots the paper's 42 at 60–80 PE, \
@@ -113,5 +81,5 @@ fn main() {
             >= get("mu-0.05/MIN-IO-SUOPT", &degree_series)[0],
     );
 
-    write_results_json("fig7", &raw);
+    write_results_json("fig7", &lab::rows_by_strategy(&rows));
 }

@@ -1,88 +1,44 @@
 //! Fig. 8 — "Influence of join complexity" (60 PE).
 //!
-//! Scan selectivity varied over 0.1 / 1 / 2 / 5 %; per complexity the
-//! arrival rate is chosen so the system is highly utilized (the paper:
-//! "at least one of the physical resources was highly loaded (>75%)").
+//! Thin wrapper over `scenarios/fig8.json`: the spec pairs each scan
+//! selectivity (0.1 / 1 / 2 / 5 %) with an arrival rate keeping the
+//! system highly utilized (the paper: "at least one of the physical
+//! resources was highly loaded (>75%)") via the `paired` sweep axis.
 //! Reported: relative response-time improvement of each dynamic strategy
 //! vs. the static baseline `p_su-opt + RANDOM`.
 //!
 //! Run: `cargo run --release -p bench --bin fig8 [--full]`
 
-use bench::{check, with_mode, write_results_json, Mode};
-use lb_core::{DegreePolicy, SelectPolicy, Strategy};
-use snsim::{format_table, run_parallel, SimConfig};
-use workload::WorkloadSpec;
+use bench::lab::{self, RunLength};
+use bench::{check, write_results_json};
+use snsim::{format_table, Summary};
 
-const N: u32 = 60;
-
-/// (selectivity, arrival rate QPS/PE): rates drop as queries grow so one
-/// resource stays highly utilized without overload collapse.
-const POINTS: [(f64, f64); 4] = [(0.001, 1.0), (0.01, 0.25), (0.02, 0.10), (0.05, 0.035)];
+const SPEC: &str = include_str!("../../../../scenarios/fig8.json");
+const BASELINE: &str = "psu-opt+RANDOM";
 
 fn main() {
-    let mode = Mode::from_args();
-    let baseline = Strategy::Isolated {
-        degree: DegreePolicy::SuOpt,
-        select: SelectPolicy::Random,
-    };
-    let dynamics = [
-        (
-            "psu-noIO+LUM",
-            Strategy::Isolated {
-                degree: DegreePolicy::SuNoIo,
-                select: SelectPolicy::Lum,
-            },
-        ),
-        ("MIN-IO-SUOPT", Strategy::MinIoSuopt),
-        ("MIN-IO", Strategy::MinIo),
-        (
-            "pmu-cpu+LUM",
-            Strategy::Isolated {
-                degree: DegreePolicy::MuCpu,
-                select: SelectPolicy::Lum,
-            },
-        ),
-        ("OPT-IO-CPU", Strategy::OptIoCpu),
-    ];
+    let len = RunLength::from_args();
+    let (_, rows) = lab::run_embedded(SPEC, "fig8", len);
 
-    // Baseline response times per selectivity.
-    let base_cfgs: Vec<SimConfig> = POINTS
+    let (xs, resp) = lab::series_by_strategy(&rows, Summary::join_resp_ms);
+    let base = &resp
         .iter()
-        .map(|&(sel, rate)| {
-            with_mode(
-                SimConfig::paper_default(N, WorkloadSpec::homogeneous_join(sel, rate), baseline),
-                mode,
-            )
+        .find(|(n, _)| n == BASELINE)
+        .expect("baseline series")
+        .1;
+    let series: Vec<(String, Vec<f64>)> = resp
+        .iter()
+        .filter(|(n, _)| n != BASELINE)
+        .map(|(n, ys)| {
+            let improvement = ys
+                .iter()
+                .zip(base.iter())
+                .map(|(y, b)| (1.0 - y / b) * 100.0)
+                .collect();
+            (n.clone(), improvement)
         })
         .collect();
-    let base = run_parallel(base_cfgs);
-    let mut raw = vec![("baseline psu-opt+RANDOM".to_string(), base.clone())];
 
-    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
-    for (name, strat) in dynamics {
-        let cfgs: Vec<SimConfig> = POINTS
-            .iter()
-            .map(|&(sel, rate)| {
-                with_mode(
-                    SimConfig::paper_default(N, WorkloadSpec::homogeneous_join(sel, rate), strat),
-                    mode,
-                )
-            })
-            .collect();
-        let sums = run_parallel(cfgs);
-        let improvement: Vec<f64> = sums
-            .iter()
-            .zip(&base)
-            .map(|(s, b)| (1.0 - s.join_resp_ms() / b.join_resp_ms()) * 100.0)
-            .collect();
-        series.push((name.to_string(), improvement));
-        raw.push((name.to_string(), sums));
-    }
-
-    let xs: Vec<String> = POINTS
-        .iter()
-        .map(|(sel, _)| format!("{}%", sel * 100.0))
-        .collect();
     println!(
         "{}",
         format_table(
@@ -111,5 +67,5 @@ fn main() {
             .all(|s| get(s)[3] < get(s)[0]),
     );
 
-    write_results_json("fig8", &raw);
+    write_results_json("fig8", &lab::rows_by_strategy(&rows));
 }

@@ -2,49 +2,29 @@
 //! (multi-user join 0.075 QPS/PE; 5 disks per PE; OLTP at 100 TPS per
 //! OLTP node).
 //!
-//! (a) OLTP on the A-nodes (20% of PEs); (b) OLTP on the B-nodes (80%).
-//! Series: psu-opt+RANDOM, psu-noIO+RANDOM, psu-noIO+LUM, pmu-cpu+LUM,
-//! OPT-IO-CPU. X-axis: 10..80 PE.
+//! Thin wrapper over `scenarios/fig9a.json` (OLTP on the A-nodes, 20% of
+//! PEs) and `scenarios/fig9b.json` (OLTP on the B-nodes, 80%).
 //!
 //! Run: `cargo run --release -p bench --bin fig9 [--full]`
 
-use bench::{check, fig9_strategies, with_mode, write_results_json, Mode, PE_SWEEP};
-use dbmodel::RelationId;
-use snsim::{format_table, run_parallel, SimConfig};
-use workload::{NodeFilter, WorkloadSpec};
+use bench::lab::{self, RunLength};
+use bench::{check, write_results_json};
+use snsim::{format_table, Summary};
+
+const SPEC_A: &str = include_str!("../../../../scenarios/fig9a.json");
+const SPEC_B: &str = include_str!("../../../../scenarios/fig9b.json");
 
 fn main() {
-    let mode = Mode::from_args();
-    for (panel, nodes) in [
-        ("9a (OLTP on A-nodes)", NodeFilter::ANodes),
-        ("9b (OLTP on B-nodes)", NodeFilter::BNodes),
+    let len = RunLength::from_args();
+    for (panel, json, name) in [
+        ("9a (OLTP on A-nodes)", SPEC_A, "fig9a"),
+        ("9b (OLTP on B-nodes)", SPEC_B, "fig9b"),
     ] {
-        let mut series: Vec<(String, Vec<f64>)> = Vec::new();
-        let mut oltp_series: Vec<(String, Vec<f64>)> = Vec::new();
-        let mut raw = Vec::new();
-        for strat in fig9_strategies() {
-            let cfgs: Vec<SimConfig> = PE_SWEEP
-                .iter()
-                .map(|&n| {
-                    let wl = WorkloadSpec::mixed(0.01, 0.075, RelationId(2), 100.0, nodes);
-                    with_mode(SimConfig::paper_default(n, wl, strat).with_disks(5), mode)
-                })
-                .collect();
-            let sums = run_parallel(cfgs);
-            series.push((
-                strat.name().to_string(),
-                sums.iter().map(|s| s.join_resp_ms()).collect(),
-            ));
-            oltp_series.push((
-                strat.name().to_string(),
-                sums.iter()
-                    .map(|s| s.oltp_resp_ms().unwrap_or(f64::NAN))
-                    .collect(),
-            ));
-            raw.push((strat.name().to_string(), sums));
-        }
+        let (_, rows) = lab::run_embedded(json, name, len);
+        let (xs, series) = lab::series_by_strategy(&rows, Summary::join_resp_ms);
+        let (_, oltp_series) =
+            lab::series_by_strategy(&rows, |s| s.oltp_resp_ms().unwrap_or(f64::NAN));
 
-        let xs: Vec<String> = PE_SWEEP.iter().map(|n| n.to_string()).collect();
         println!(
             "{}",
             format_table(
@@ -67,7 +47,7 @@ fn main() {
         let get = |name: &str| -> &Vec<f64> {
             &series.iter().find(|(n, _)| n == name).expect("series").1
         };
-        let last = PE_SWEEP.len() - 1;
+        let last = xs.len() - 1;
         check(
             "dynamic strategies beat static RANDOM schemes at 80 PE",
             get("OPT-IO-CPU")[last] < get("psu-opt+RANDOM")[last]
@@ -90,13 +70,6 @@ fn main() {
                 get("OPT-IO-CPU")[0] <= get("pmu-cpu+LUM")[0] * 1.05,
             );
         }
-        write_results_json(
-            if panel.starts_with("9a") {
-                "fig9a"
-            } else {
-                "fig9b"
-            },
-            &raw,
-        );
+        write_results_json(name, &lab::rows_by_strategy(&rows));
     }
 }

@@ -1,0 +1,82 @@
+//! The scenario lab — run declarative experiment specs.
+//!
+//! ```text
+//! cargo run --release --bin lab -- [flags] scenarios/<spec>.json ...
+//!
+//!   --dry-run   expand the sweep and list the runs without simulating
+//!   --full      override run lengths with figure-quality 120 s runs
+//!   --smoke     override run lengths with 8 s smoke runs (CI)
+//! ```
+//!
+//! Each spec file holds one scenario (see `scenarios/` and README.md for
+//! the format). Results land in `results/<scenario>.runs.json` and
+//! `results/<scenario>.csv`; the headline table is printed per scenario.
+
+use bench::lab::{self, RunLength};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| a.starts_with("--") && !matches!(a.as_str(), "--dry-run" | "--full" | "--smoke"))
+    {
+        eprintln!("error: unknown flag `{unknown}`");
+        eprintln!("usage: lab [--dry-run] [--full|--smoke] <spec.json> ...");
+        std::process::exit(2);
+    }
+    let dry_run = args.iter().any(|a| a == "--dry-run");
+    let len = RunLength::from_args();
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        eprintln!("usage: lab [--dry-run] [--full|--smoke] <spec.json> ...");
+        eprintln!("bundled specs live under scenarios/");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for path in paths {
+        let path = std::path::Path::new(path);
+        let spec = match lab::load_spec(path) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        println!(
+            "== scenario `{}` — {} run(s){}",
+            spec.name,
+            spec.run_count(),
+            if spec.description.is_empty() {
+                String::new()
+            } else {
+                format!(" — {}", spec.description)
+            }
+        );
+        if dry_run {
+            for (i, run) in spec.runs().iter().enumerate() {
+                println!("  [{i:>3}] {}", run.label());
+            }
+            continue;
+        }
+        let rows = lab::run_scenario(&spec, len);
+        lab::print_tables(&spec, &rows);
+        match (
+            lab::write_lab_json(&spec.name, &rows),
+            lab::write_lab_csv(&spec.name, &rows),
+        ) {
+            (Some(json), Some(csv)) => {
+                eprintln!(
+                    "results written to {} and {}",
+                    json.display(),
+                    csv.display()
+                );
+            }
+            _ => failed = true,
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,387 @@
+//! The scenario-lab runner: execute declarative [`ScenarioSpec`]s and
+//! collect labelled result rows.
+//!
+//! This is the engine behind `cargo run --release --bin lab` and behind
+//! the thin `fig*` wrappers: a spec is expanded (`workload::scenario`),
+//! lowered to configurations (`snsim::scenario`), fanned out over all
+//! cores (`snsim::run_parallel`), and the per-run [`Summary`] values come
+//! back as [`LabRow`]s carrying their sweep-axis labels. Results are
+//! written under `results/<scenario>.runs.json` and
+//! `results/<scenario>.csv` (the `.runs.json` suffix keeps lab output
+//! from clobbering the legacy `results/<fig>.json` series files written
+//! by [`crate::write_results_json`]).
+
+use snsim::{run_parallel, SimConfig, Summary};
+use std::path::{Path, PathBuf};
+use workload::scenario::{ScenarioRun, ScenarioSpec};
+
+/// Run-length selection for a whole scenario execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunLength {
+    /// Use each run's `sim_secs` / `warmup_secs` from the spec.
+    Spec,
+    /// Override with the long figure-quality runs (120 s / 20 s).
+    Full,
+    /// Override with very short smoke runs (8 s / 2 s) for CI.
+    Smoke,
+}
+
+impl RunLength {
+    /// Parse from process args (`--full`, `--smoke`).
+    pub fn from_args() -> RunLength {
+        let mut len = RunLength::Spec;
+        for a in std::env::args() {
+            match a.as_str() {
+                "--full" => len = RunLength::Full,
+                "--smoke" => len = RunLength::Smoke,
+                _ => {}
+            }
+        }
+        len
+    }
+
+    fn apply(self, cfg: SimConfig) -> SimConfig {
+        use simkit::SimDur;
+        match self {
+            RunLength::Spec => cfg,
+            RunLength::Full => cfg.with_sim_time(SimDur::from_secs(120), SimDur::from_secs(20)),
+            RunLength::Smoke => cfg.with_sim_time(SimDur::from_secs(8), SimDur::from_secs(2)),
+        }
+    }
+}
+
+/// One completed run: its sweep-axis labels plus the simulator summary.
+#[derive(Debug, Clone)]
+pub struct LabRow {
+    /// `(axis, value)` pairs in expansion order.
+    pub axes: Vec<(String, String)>,
+    /// Series key: the `strategy` axis value, or the base strategy label.
+    pub strategy: String,
+    /// X key: all non-strategy axis values joined with `/` (`"base"` if
+    /// nothing else was swept).
+    pub x: String,
+    /// The simulator's output for this run.
+    pub summary: Summary,
+}
+
+impl LabRow {
+    /// Value of one sweep axis, if it was swept.
+    pub fn axis(&self, name: &str) -> Option<&str> {
+        self.axes
+            .iter()
+            .find(|(a, _)| a == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse a scenario spec from JSON text, defaulting an empty `name` to
+/// `fallback_name` (the file stem).
+pub fn parse_spec(json: &str, fallback_name: &str) -> Result<ScenarioSpec, String> {
+    let mut spec: ScenarioSpec =
+        serde_json::from_str(json).map_err(|e| format!("invalid scenario spec: {e}"))?;
+    if spec.name.is_empty() {
+        spec.name = fallback_name.to_string();
+    }
+    Ok(spec)
+}
+
+/// Load a scenario spec from a JSON file.
+pub fn load_spec(path: &Path) -> Result<ScenarioSpec, String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("scenario");
+    parse_spec(&json, stem)
+}
+
+fn row_keys(run: &ScenarioRun) -> (String, String) {
+    let strategy = run
+        .axis("strategy")
+        .map(str::to_string)
+        .unwrap_or_else(|| run.knobs.strategy.label());
+    let rest: Vec<&str> = run
+        .axes
+        .iter()
+        .filter(|(a, _)| a != "strategy")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    let x = if rest.is_empty() {
+        "base".to_string()
+    } else {
+        rest.join("/")
+    };
+    (strategy, x)
+}
+
+/// Execute every run of a scenario in parallel, preserving expansion
+/// order in the returned rows.
+pub fn run_scenario(spec: &ScenarioSpec, len: RunLength) -> Vec<LabRow> {
+    let lowered = snsim::scenario::configs(spec);
+    let (runs, cfgs): (Vec<ScenarioRun>, Vec<SimConfig>) = lowered
+        .into_iter()
+        .map(|(run, cfg)| (run, len.apply(cfg)))
+        .unzip();
+    let summaries = run_parallel(cfgs);
+    runs.into_iter()
+        .zip(summaries)
+        .map(|(run, summary)| {
+            let (strategy, x) = row_keys(&run);
+            LabRow {
+                axes: run.axes,
+                strategy,
+                x,
+                summary,
+            }
+        })
+        .collect()
+}
+
+/// Group rows into figure-style series: one series per strategy key, one
+/// x-entry per distinct x key, both in first-appearance order. `metric`
+/// extracts the plotted value.
+pub fn series_by_strategy(
+    rows: &[LabRow],
+    metric: impl Fn(&Summary) -> f64,
+) -> (Vec<String>, Vec<(String, Vec<f64>)>) {
+    let mut xs: Vec<String> = Vec::new();
+    for row in rows {
+        if !xs.contains(&row.x) {
+            xs.push(row.x.clone());
+        }
+    }
+    // xs is complete at this point, so every series vector can be
+    // allocated at its final length up front.
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for row in rows {
+        let xi = xs.iter().position(|x| *x == row.x).expect("x registered");
+        let entry = match series.iter_mut().find(|(name, _)| *name == row.strategy) {
+            Some(e) => e,
+            None => {
+                series.push((row.strategy.clone(), vec![f64::NAN; xs.len()]));
+                series.last_mut().expect("just pushed")
+            }
+        };
+        entry.1[xi] = metric(&row.summary);
+    }
+    (xs, series)
+}
+
+/// Convert lab rows to the `(series, points)` shape of
+/// [`crate::write_results_json`], grouping by strategy.
+pub fn rows_by_strategy(rows: &[LabRow]) -> Vec<(String, Vec<Summary>)> {
+    let mut grouped: Vec<(String, Vec<Summary>)> = Vec::new();
+    for row in rows {
+        match grouped.iter_mut().find(|(name, _)| *name == row.strategy) {
+            Some((_, sums)) => sums.push(row.summary.clone()),
+            None => grouped.push((row.strategy.clone(), vec![row.summary.clone()])),
+        }
+    }
+    grouped
+}
+
+/// Print the scenario's headline table (join response time, plus OLTP
+/// response time when any run has an OLTP class).
+pub fn print_tables(spec: &ScenarioSpec, rows: &[LabRow]) {
+    let (xs, series) = series_by_strategy(rows, Summary::join_resp_ms);
+    println!(
+        "{}",
+        snsim::format_table(
+            &format!("{} — join response time [ms]", spec.name),
+            "x",
+            &xs,
+            &series,
+        )
+    );
+    if rows.iter().any(|r| r.summary.oltp_resp_ms().is_some()) {
+        let (xs, series) = series_by_strategy(rows, |s| s.oltp_resp_ms().unwrap_or(f64::NAN));
+        println!(
+            "{}",
+            snsim::format_table(
+                &format!("{} — OLTP response time [ms]", spec.name),
+                "x",
+                &xs,
+                &series,
+            )
+        );
+    }
+}
+
+/// Serialize rows (axes + full summaries) to `results/<name>.runs.json`.
+pub fn write_lab_json(name: &str, rows: &[LabRow]) -> Option<PathBuf> {
+    let payload: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "axes": serde_json::Value::Object(
+                    r.axes
+                        .iter()
+                        .map(|(a, v)| (a.clone(), serde_json::Value::Str(v.clone())))
+                        .collect(),
+                ),
+                "strategy": r.strategy,
+                "x": r.x,
+                "summary": r.summary,
+            })
+        })
+        .collect();
+    let dir = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.runs.json"));
+    match serde_json::to_string_pretty(&payload) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: could not write {}: {e}", path.display());
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("warning: could not serialize {name}: {e}");
+            None
+        }
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Write the headline metrics to `results/<name>.csv`, one row per run
+/// with one column per sweep axis.
+pub fn write_lab_csv(name: &str, rows: &[LabRow]) -> Option<PathBuf> {
+    use std::fmt::Write;
+    // The strategy axis gets its own fixed column below.
+    let axis_names: Vec<String> = rows
+        .first()
+        .map(|r| {
+            r.axes
+                .iter()
+                .map(|(a, _)| a.clone())
+                .filter(|a| a != "strategy")
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut out = String::new();
+    let _ = write!(out, "scenario");
+    for a in &axis_names {
+        let _ = write!(out, ",{}", csv_escape(a));
+    }
+    let _ = writeln!(
+        out,
+        ",strategy,n_pes,join_resp_ms,oltp_resp_ms,avg_cpu_util,avg_disk_util,\
+         avg_mem_util,avg_join_degree,policy_switches,events"
+    );
+    for r in rows {
+        let _ = write!(out, "{}", csv_escape(name));
+        for a in &axis_names {
+            let v = r
+                .axes
+                .iter()
+                .find(|(name, _)| name == a)
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("");
+            let _ = write!(out, ",{}", csv_escape(v));
+        }
+        let s = &r.summary;
+        let oltp = s
+            .oltp_resp_ms()
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            ",{},{},{:.3},{oltp},{:.4},{:.4},{:.4},{:.3},{},{}",
+            csv_escape(&r.strategy),
+            s.n_pes,
+            s.join_resp_ms(),
+            s.avg_cpu_util,
+            s.avg_disk_util,
+            s.avg_mem_util,
+            s.avg_join_degree,
+            s.policy_switches,
+            s.events,
+        );
+    }
+    let dir = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::write(&path, out) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Run a bundled figure spec (embedded JSON) and return its rows: the
+/// shared path of the thin `fig*` wrappers.
+pub fn run_embedded(json: &str, name: &str, len: RunLength) -> (ScenarioSpec, Vec<LabRow>) {
+    let spec = parse_spec(json, name).unwrap_or_else(|e| panic!("bundled spec {name}: {e}"));
+    let rows = run_scenario(&spec, len);
+    (spec, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::scenario::{Knobs, StrategySpec, Sweep};
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "tiny".into(),
+            base: Knobs {
+                n_pes: 10,
+                sim_secs: 4.0,
+                warmup_secs: 1.0,
+                ..Knobs::default()
+            },
+            sweep: Sweep {
+                strategy: vec![
+                    StrategySpec(lb_core::Strategy::MinIo),
+                    StrategySpec(lb_core::Strategy::OptIoCpu),
+                ],
+                n_pes: vec![10, 20],
+                ..Sweep::default()
+            },
+            ..ScenarioSpec::default()
+        }
+    }
+
+    #[test]
+    fn scenario_rows_carry_axes_and_group_into_series() {
+        let spec = tiny_spec();
+        let rows = run_scenario(&spec, RunLength::Spec);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.summary.events > 0));
+        let (xs, series) = series_by_strategy(&rows, Summary::join_resp_ms);
+        assert_eq!(xs, vec!["10", "20"]);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, "MIN-IO");
+        assert_eq!(series[1].0, "OPT-IO-CPU");
+        assert!(series.iter().all(|(_, ys)| ys.len() == 2));
+        let grouped = rows_by_strategy(&rows);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].1.len(), 2);
+    }
+
+    #[test]
+    fn spec_name_falls_back_to_file_stem() {
+        let spec = parse_spec("{}", "from-file").unwrap();
+        assert_eq!(spec.name, "from-file");
+        assert_eq!(spec.run_count(), 1);
+        assert!(parse_spec("{", "x").is_err());
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -24,6 +24,42 @@ use crate::strategy::{Placement, Strategy};
 use simkit::SimRng;
 
 /// Object-safe broker interface: resource reporting in, placements out.
+///
+/// ```
+/// use lb_core::{
+///     CentralBroker, JoinRequest, NodeState, PlacementRequest, PolicyConfig,
+///     ResourceBroker, Strategy, WorkClass,
+/// };
+/// use simkit::SimRng;
+///
+/// // A central broker for 8 nodes running the MIN-IO strategy.
+/// let mut broker: Box<dyn ResourceBroker> = Box::new(CentralBroker::from_config(
+///     8,
+///     0.05,
+///     50,
+///     Strategy::MinIo,
+///     &PolicyConfig::default(),
+/// ));
+///
+/// // One report round: every node reports CPU and free memory.
+/// for node in 0..8 {
+///     broker.report(node, NodeState { cpu_util: 0.1, free_pages: 50 });
+///     broker.report_disk(node, 0.2);
+/// }
+/// broker.end_report_round();
+///
+/// // Ask for a placement: a 120-page join over all 8 nodes. With 50 free
+/// // pages per node MIN-IO needs 3 processors (3 · 50 > 120).
+/// let req = PlacementRequest::join(
+///     0,
+///     JoinRequest { table_pages: 120.0, psu_opt: 6, psu_noio: 3, outer_scan_nodes: 6 },
+///     8,
+/// );
+/// let mut rng = SimRng::new(1);
+/// let placement = broker.place(&req, &mut rng);
+/// assert_eq!(placement.degree(), 3);
+/// assert_eq!(broker.policy_name(WorkClass::Join { stage: 0 }), "MIN-IO");
+/// ```
 pub trait ResourceBroker {
     /// Number of nodes under management.
     fn node_count(&self) -> usize;

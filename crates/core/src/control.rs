@@ -50,6 +50,7 @@ pub struct ControlNode {
 }
 
 impl ControlNode {
+    /// A control node for `n` PEs with no reports received yet.
     pub fn new(n: usize) -> Self {
         ControlNode {
             nodes: vec![NodeState::default(); n],
@@ -65,10 +66,12 @@ impl ControlNode {
         (id + n - self.rr % n) % n
     }
 
+    /// Number of nodes under control.
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
 
+    /// Is the node set empty?
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }

@@ -9,7 +9,7 @@
 //! `p_su-opt`, is obtained by setting the derivative of the response time
 //! formula to zero." (§2)
 //!
-//! Reference [17] (German BTW'95 paper) is unavailable; we reconstruct the
+//! Reference \[17\] (German BTW'95 paper) is unavailable; we reconstruct the
 //! formula from the same Fig. 4 cost parameters — see DESIGN.md
 //! "Substitutions". The model decomposes single-user response time as
 //!
@@ -42,16 +42,27 @@ use serde::{Deserialize, Serialize};
 /// Per-operation instruction costs (Fig. 4, "avg. no. of instructions").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InstrCosts {
+    /// Start a transaction / query (BOT).
     pub init_txn: u64,
+    /// Terminate a transaction / query (EOT).
     pub term_txn: u64,
+    /// Initiate one disk I/O.
     pub io: u64,
+    /// Send one message.
     pub send_msg: u64,
+    /// Receive one message.
     pub recv_msg: u64,
+    /// Copy one 8 KB page/message buffer.
     pub copy_8k: u64,
+    /// Read one tuple from a page.
     pub read_tuple: u64,
+    /// Hash one tuple (partitioning / build).
     pub hash_tuple: u64,
+    /// Insert one tuple into the hash table.
     pub insert_ht: u64,
+    /// Write one tuple to the output buffer.
     pub write_out: u64,
+    /// Probe the hash table with one tuple.
     pub probe_ht: u64,
 }
 
@@ -76,6 +87,7 @@ impl Default for InstrCosts {
 /// Cost-model parameters shared by all queries.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CostParams {
+    /// Per-operation instruction costs.
     pub instr: InstrCosts,
     /// CPU speed in MIPS.
     pub mips: u32,
@@ -136,10 +148,12 @@ impl JoinProfile {
 /// The analytic model.
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel {
+    /// The parameters the model evaluates under.
     pub params: CostParams,
 }
 
 impl CostModel {
+    /// Build the model for one parameter set.
     pub fn new(params: CostParams) -> Self {
         CostModel { params }
     }

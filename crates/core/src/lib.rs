@@ -23,7 +23,7 @@
 //! * [`integrated`] — the integrated multi-resource policies MIN-IO
 //!   (eq. 3.3), MIN-IO-SUOPT and OPT-IO-CPU that determine degree *and*
 //!   placement in a single step from the memory/CPU state;
-//! * [`strategy`] — the [`Strategy`](strategy::Strategy) enum uniting all of
+//! * [`strategy`] — the [`Strategy`] enum uniting all of
 //!   the above behind one `place()` call, plus the `Adaptive` meta-policy
 //!   sketched in the paper's conclusions ("a family of load balancing
 //!   strategies so that the most appropriate policy can be selected
@@ -34,23 +34,25 @@
 //! On top of the strategy family, two layers make placement a pluggable
 //! run-time service instead of enum dispatch inside the simulator:
 //!
-//! * [`policy`] — the object-safe [`PlacementPolicy`](policy::PlacementPolicy)
+//! * [`policy`] — the object-safe [`PlacementPolicy`]
 //!   trait covering **all** placed work classes (two-way joins, multi-join
 //!   stages, scan/sort/update query coordinators, OLTP home nodes), the
-//!   [`CoordinatorPolicy`](policy::CoordinatorPolicy) family, and the
-//!   [`AdaptiveController`](policy::AdaptiveController) — an online
+//!   [`CoordinatorPolicy`] family, and the
+//!   [`AdaptiveController`] — an online
 //!   controller that switches the active join strategy mid-run from broker
 //!   feedback (with hysteresis);
-//! * [`broker`] — the [`ResourceBroker`](broker::ResourceBroker) trait and
+//! * [`broker`] — the [`ResourceBroker`] trait and
 //!   its central implementation: owns the per-node CPU/memory/disk state,
 //!   receives the periodic utilization reports, notifies adaptive policies
 //!   at the end of each report round, and routes every
-//!   [`PlacementRequest`](policy::PlacementRequest) to the policy
+//!   [`PlacementRequest`] to the policy
 //!   registered for its work class.
 //!
 //! The simulator (`snsim`) holds a `Box<dyn ResourceBroker>` and never
 //! inspects strategies directly; the event loop itself lives one layer
 //! further down in `simkit::Dispatcher`.
+
+#![deny(missing_docs)]
 
 pub mod broker;
 pub mod control;

@@ -35,7 +35,10 @@ pub enum WorkClass {
     /// A (hash-join-like) operator placed by the load balancer. `stage` is
     /// 0 for two-way joins and sorts, `k > 0` for the k-th follow-on stage
     /// of a multi-way join — stages may be governed by their own policy.
-    Join { stage: u32 },
+    Join {
+        /// 0 for the primary join; `k > 0` for the k-th follow-on stage.
+        stage: u32,
+    },
     /// Coordinator placement for scan / sort / update query classes.
     Scan,
     /// Home-node placement for an OLTP transaction.
@@ -45,6 +48,7 @@ pub enum WorkClass {
 /// One placement request, built by the simulator at query run time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlacementRequest {
+    /// What kind of work is being placed.
     pub class: WorkClass,
     /// Planner numbers; present for `WorkClass::Join`.
     pub join: Option<JoinRequest>,
@@ -83,6 +87,31 @@ impl PlacementRequest {
 /// policies can apply the paper's adaptive feedback (immediately adjusting
 /// the control data for selected nodes, avoiding herd effects between
 /// reports).
+///
+/// Every [`Strategy`] is itself a `PlacementPolicy` for join work, and
+/// coordinator placements go through the same trait:
+///
+/// ```
+/// use lb_core::{
+///     ControlNode, CoordPolicyKind, CoordinatorPolicy, NodeState, PlacementPolicy,
+///     PlacementRequest, WorkClass,
+/// };
+/// use simkit::SimRng;
+///
+/// let mut ctl = ControlNode::new(4);
+/// for node in 0..4 {
+///     ctl.report(node, NodeState { cpu_util: 0.0, free_pages: 50 });
+/// }
+/// let mut rng = SimRng::new(7);
+///
+/// // Round-robin coordinator placement over nodes [1, 4).
+/// let mut policy = CoordinatorPolicy::new(CoordPolicyKind::RoundRobin);
+/// let req = PlacementRequest::coordinator(WorkClass::Scan, 1, 3);
+/// let picks: Vec<u32> = (0..4).map(|_| policy.place(&req, &mut ctl, &mut rng).nodes[0]).collect();
+/// assert_eq!(picks, vec![1, 2, 3, 1]);
+/// assert_eq!(policy.name(), "coord-RR");
+/// assert_eq!(policy.switches(), 0, "stateless policies never switch");
+/// ```
 pub trait PlacementPolicy {
     /// Name used in experiment reports.
     fn name(&self) -> &'static str;
@@ -152,10 +181,12 @@ pub struct CoordinatorPolicy {
 }
 
 impl CoordinatorPolicy {
+    /// Wrap a policy kind with fresh rotation state.
     pub fn new(kind: CoordPolicyKind) -> CoordinatorPolicy {
         CoordinatorPolicy { kind, rr: 0 }
     }
 
+    /// The wrapped policy kind.
     pub fn kind(&self) -> CoordPolicyKind {
         self.kind
     }
@@ -266,6 +297,7 @@ pub struct AdaptiveController {
 }
 
 impl AdaptiveController {
+    /// A controller starting on the isolated `pmu-cpu + LUM` policy.
     pub fn new(cfg: AdaptiveConfig) -> AdaptiveController {
         AdaptiveController {
             cfg,

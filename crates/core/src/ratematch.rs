@@ -31,6 +31,7 @@ pub struct RateMatch {
 }
 
 impl RateMatch {
+    /// Build the baseline for one cost-parameter set.
     pub fn new(params: CostParams) -> RateMatch {
         RateMatch { params }
     }

@@ -3,7 +3,7 @@
 //! * RANDOM — state-oblivious uniform choice ("expected to spread the
 //!   workload equally across all available nodes");
 //! * LUC — "we select the processors with the lowest CPU utilization as
-//!   join processors", with the adaptive feedback of [26];
+//!   join processors", with the adaptive feedback of \[26\];
 //! * LUM — "join processes are assigned to the nodes with the most
 //!   available main memory", again with direct adaptation of the control
 //!   node's information.
@@ -15,6 +15,7 @@ use simkit::SimRng;
 /// Processor-selection policy (second step of an isolated strategy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SelectPolicy {
+    /// State-oblivious uniform choice over all nodes.
     Random,
     /// Least Utilized CPUs.
     Luc,
@@ -54,6 +55,7 @@ impl SelectPolicy {
         nodes
     }
 
+    /// Name used in experiment reports (matches the paper's labels).
     pub fn name(&self) -> &'static str {
         match self {
             SelectPolicy::Random => "RANDOM",

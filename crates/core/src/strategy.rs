@@ -54,7 +54,9 @@ impl Placement {
 pub enum Strategy {
     /// Two-step strategy: degree policy then selection policy.
     Isolated {
+        /// First step: how many join processors.
         degree: DegreePolicy,
+        /// Second step: which nodes run them.
         select: SelectPolicy,
     },
     /// Integrated: minimal degree avoiding temporary file I/O (eq. 3.3).
@@ -146,6 +148,73 @@ impl Strategy {
             Strategy::MinIoSuopt => "MIN-IO-SUOPT",
             Strategy::OptIoCpu => "OPT-IO-CPU",
             Strategy::Adaptive => "ADAPTIVE",
+        }
+    }
+
+    /// Parse a strategy from its report label — the inverse of
+    /// [`Strategy::name`], used by the scenario lab so JSON specs can say
+    /// `"pmu-cpu+LUM"` instead of spelling out the enum encoding.
+    ///
+    /// Accepted forms (ASCII-case-insensitive):
+    ///
+    /// * the integrated labels `MIN-IO`, `MIN-IO-SUOPT`, `OPT-IO-CPU` and
+    ///   the meta-policy `ADAPTIVE`;
+    /// * `<degree>+<selection>` for isolated strategies, with degree one
+    ///   of `psu-opt`, `psu-noIO`, `pmu-cpu` or `fixed(p)` (also spelled
+    ///   `p-fixed(p)`) and selection one of `RANDOM`, `LUC`, `LUM`.
+    ///
+    /// `RateMatch` degrees carry cost-model parameters and have no label
+    /// form; returns `None` for them and for anything else unrecognized.
+    pub fn parse(label: &str) -> Option<Strategy> {
+        let t = label.trim();
+        for (name, s) in [
+            ("MIN-IO", Strategy::MinIo),
+            ("MIN-IO-SUOPT", Strategy::MinIoSuopt),
+            ("OPT-IO-CPU", Strategy::OptIoCpu),
+            ("ADAPTIVE", Strategy::Adaptive),
+        ] {
+            if t.eq_ignore_ascii_case(name) {
+                return Some(s);
+            }
+        }
+        let (deg, sel) = t.split_once('+')?;
+        let deg = deg.trim();
+        let degree = if deg.eq_ignore_ascii_case("psu-opt") {
+            DegreePolicy::SuOpt
+        } else if deg.eq_ignore_ascii_case("psu-noIO") {
+            DegreePolicy::SuNoIo
+        } else if deg.eq_ignore_ascii_case("pmu-cpu") {
+            DegreePolicy::MuCpu
+        } else {
+            let inner = deg
+                .strip_prefix("p-fixed(")
+                .or_else(|| deg.strip_prefix("fixed("))?
+                .strip_suffix(')')?;
+            DegreePolicy::Fixed(inner.trim().parse().ok()?)
+        };
+        let select = match sel.trim() {
+            s if s.eq_ignore_ascii_case("RANDOM") => SelectPolicy::Random,
+            s if s.eq_ignore_ascii_case("LUC") => SelectPolicy::Luc,
+            s if s.eq_ignore_ascii_case("LUM") => SelectPolicy::Lum,
+            _ => return None,
+        };
+        Some(Strategy::Isolated { degree, select })
+    }
+
+    /// Exact, round-trippable label: like [`Strategy::name`] but keeping
+    /// the numeric degree of `Fixed(p)` (`"fixed(22)+RANDOM"`). `None` for
+    /// `RateMatch`, whose cost parameters cannot be expressed as a label.
+    pub fn spec_label(&self) -> Option<String> {
+        match self {
+            Strategy::Isolated {
+                degree: DegreePolicy::Fixed(p),
+                select,
+            } => Some(format!("fixed({p})+{}", select.name())),
+            Strategy::Isolated {
+                degree: DegreePolicy::RateMatch(_),
+                ..
+            } => None,
+            other => Some(other.name().to_string()),
         }
     }
 
@@ -260,6 +329,51 @@ mod tests {
             Strategy::Adaptive.adaptive_choice(&req(), &c),
             Strategy::Isolated { .. }
         ));
+    }
+
+    #[test]
+    fn parse_inverts_name_for_the_label_family() {
+        // Every labelled strategy round-trips through parse(name()).
+        let mut all = vec![
+            Strategy::MinIo,
+            Strategy::MinIoSuopt,
+            Strategy::OptIoCpu,
+            Strategy::Adaptive,
+        ];
+        for degree in [
+            DegreePolicy::SuOpt,
+            DegreePolicy::SuNoIo,
+            DegreePolicy::MuCpu,
+        ] {
+            for select in [SelectPolicy::Random, SelectPolicy::Luc, SelectPolicy::Lum] {
+                all.push(Strategy::Isolated { degree, select });
+            }
+        }
+        for s in all {
+            assert_eq!(Strategy::parse(s.name()), Some(s), "label {}", s.name());
+            assert_eq!(s.spec_label().as_deref(), Some(s.name()));
+        }
+    }
+
+    #[test]
+    fn parse_handles_fixed_degrees_and_case() {
+        let fixed = Strategy::Isolated {
+            degree: DegreePolicy::Fixed(22),
+            select: SelectPolicy::Random,
+        };
+        assert_eq!(fixed.spec_label().as_deref(), Some("fixed(22)+RANDOM"));
+        assert_eq!(Strategy::parse("fixed(22)+RANDOM"), Some(fixed));
+        assert_eq!(Strategy::parse("p-fixed( 22 )+random"), Some(fixed));
+        assert_eq!(Strategy::parse("min-io"), Some(Strategy::MinIo));
+        assert_eq!(
+            Strategy::parse("PSU-OPT+lum"),
+            Some(Strategy::Isolated {
+                degree: DegreePolicy::SuOpt,
+                select: SelectPolicy::Lum,
+            })
+        );
+        assert_eq!(Strategy::parse("bogus"), None);
+        assert_eq!(Strategy::parse("fixed(x)+LUM"), None);
     }
 
     #[test]

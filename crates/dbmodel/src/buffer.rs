@@ -14,7 +14,7 @@
 //! scheduling policy. […] Since all hash join queries are assumed to have
 //! equal priority, the memory allocation of a running query is not changed
 //! due to newly arriving joins."* — only *higher-priority OLTP* steals
-//! frames from running joins (the memory-adaptive PPHJ contract, [23]).
+//! frames from running joins (the memory-adaptive PPHJ contract, \[23\]).
 //!
 //! ### Frame accounting
 //!

@@ -7,7 +7,7 @@
 //!   buffer manager, lock table and log;
 //! * [`scan`] — scan subqueries (relation / clustered / non-clustered) with
 //!   PAROP-style redistribution into per-destination 8 KB message buffers;
-//! * [`pphj`] — the Partially Preemptible Hash Join [23]: memory-adaptive
+//! * [`pphj`] — the Partially Preemptible Hash Join \[23\]: memory-adaptive
 //!   partitions that spill under pressure and re-join deferred partitions
 //!   after the probe phase;
 //! * [`join`] — the parallel hash-join coordinator (placement request,

@@ -1,5 +1,5 @@
 //! Partially Preemptible Hash Join (PPHJ) — the memory-adaptive local join
-//! algorithm of Pang, Carey & Livny [23], as used by the paper:
+//! algorithm of Pang, Carey & Livny \[23\], as used by the paper:
 //!
 //! "The PPHJ algorithm partitions both join inputs into p partitions with
 //! p = ⌈√(F·b_i)⌉ … To make sure that each A partition can be held in

@@ -194,7 +194,7 @@ impl Histogram {
         self.count
     }
 
-    /// Approximate quantile (bucket upper bound), q in [0,1].
+    /// Approximate quantile (bucket upper bound), q in \[0,1\].
     pub fn quantile(&self, q: f64) -> SimDur {
         if self.count == 0 {
             return SimDur::ZERO;

@@ -33,6 +33,12 @@ pub struct SimConfig {
     /// multi-join stages, adaptive-controller parameters). The default
     /// reproduces the paper's setup.
     pub policies: PolicyConfig,
+    /// Per-PE CPU speed factors relative to `hw.cpu.mips` (heterogeneous
+    /// systems). Empty = all PEs at nominal speed; shorter vectors apply
+    /// to the leading PEs with the rest at nominal speed. The planner's
+    /// cost model intentionally keeps using the nominal speed — dynamic
+    /// load balancing, not the optimizer, has to absorb the heterogeneity.
+    pub node_speed: Vec<f64>,
     /// How often PEs report utilization to the control node.
     pub control_interval: SimDur,
     /// LUC adaptive feedback bump.
@@ -71,6 +77,7 @@ impl SimConfig {
             workload,
             strategy,
             policies: PolicyConfig::default(),
+            node_speed: Vec::new(),
             control_interval: SimDur::from_millis(100),
             luc_bump: 0.05,
             deadlock_interval: SimDur::from_secs(1),
@@ -105,6 +112,24 @@ impl SimConfig {
     pub fn with_policies(mut self, policies: PolicyConfig) -> SimConfig {
         self.policies = policies;
         self
+    }
+
+    /// Set per-PE CPU speed factors (heterogeneous node speeds). The
+    /// factor of PE `i` is `node_speed[i]`, defaulting to 1.0 beyond the
+    /// end of the vector.
+    pub fn with_node_speed(mut self, node_speed: Vec<f64>) -> SimConfig {
+        self.node_speed = node_speed;
+        self
+    }
+
+    /// CPU parameters of one PE, with its heterogeneity factor applied
+    /// (at least 1 MIPS).
+    pub fn cpu_params_for(&self, pe: usize) -> hardware::CpuParams {
+        let mut p = self.hw.cpu.clone();
+        if let Some(&factor) = self.node_speed.get(pe) {
+            p.mips = ((p.mips as f64 * factor).round() as u32).max(1);
+        }
+        p
     }
 
     /// Build the resource broker this configuration describes: the central

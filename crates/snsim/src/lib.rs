@@ -13,7 +13,7 @@
 //!    resource-completion events off the [`simkit::EventQueue`], advances
 //!    the clock, and calls back into `System` (which implements
 //!    [`simkit::Simulation`]); after every event the engine's action/input
-//!    protocol is drained to quiescence ([`exec`] module).
+//!    protocol is drained to quiescence (the private `exec` module).
 //! 2. **`lb_core::ResourceBroker`** owns the per-node CPU/memory/disk
 //!    state. `System` reports windowed utilization samples on every
 //!    control tick and forwards **all** placement decisions — two-way
@@ -49,6 +49,7 @@ mod exec;
 pub mod experiment;
 pub mod metrics;
 pub mod planner;
+pub mod scenario;
 pub mod system;
 
 pub use config::SimConfig;

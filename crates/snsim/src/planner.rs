@@ -380,6 +380,7 @@ mod tests {
                             selectivity: 0.1,
                         },
                         arrival: workload::ArrivalSpec::SingleUser,
+                        modulation: workload::Modulation::None,
                         coordinator: workload::CoordinatorPlacement::Random,
                         redistribution_skew: 0.0,
                     },
@@ -391,6 +392,7 @@ mod tests {
                             via_index: true,
                         },
                         arrival: workload::ArrivalSpec::SingleUser,
+                        modulation: workload::Modulation::None,
                         coordinator: workload::CoordinatorPlacement::Random,
                         redistribution_skew: 0.0,
                     },

@@ -1,0 +1,109 @@
+//! Config plumbing for the scenario lab: lowering declarative
+//! [`ScenarioSpec`] runs (from the `workload` crate) to concrete
+//! [`SimConfig`]s the simulator executes.
+//!
+//! The split keeps `workload::scenario` simulator-agnostic: it knows how
+//! to expand sweeps into [`ScenarioRun`]s, while this module knows how a
+//! run's knobs map onto the paper's Fig. 4 configuration (buffer size,
+//! disks, heterogeneous node speeds, per-class policies, run length).
+//! Lowering is a pure function of the spec, so a serialized → reparsed
+//! spec produces byte-identical configurations (see the round-trip tests
+//! in `crates/snsim/tests/scenario.rs`).
+
+use crate::config::SimConfig;
+use simkit::SimDur;
+use workload::scenario::{Knobs, ScenarioRun, ScenarioSpec};
+
+/// Lower one run point to the simulator configuration it describes.
+pub fn build_config(knobs: &Knobs) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(knobs.n_pes, knobs.workload_spec(), knobs.strategy.0)
+        .with_disks(knobs.disks_per_pe)
+        .with_buffer_pages(knobs.buffer_pages)
+        .with_seed(knobs.seed)
+        .with_sim_time(
+            SimDur::from_secs_f64(knobs.sim_secs),
+            SimDur::from_secs_f64(knobs.warmup_secs),
+        )
+        .with_node_speed(knobs.node_speed.resolve(knobs.n_pes));
+    if let Some(policies) = knobs.policies {
+        cfg = cfg.with_policies(policies);
+    }
+    cfg
+}
+
+/// Expand a scenario and lower every run: the input to
+/// `snsim::run_parallel`, with the run labels kept alongside.
+pub fn configs(spec: &ScenarioSpec) -> Vec<(ScenarioRun, SimConfig)> {
+    spec.runs()
+        .into_iter()
+        .map(|run| {
+            let cfg = build_config(&run.knobs);
+            (run, cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_core::Strategy;
+    use workload::scenario::{NodeSpeed, StrategySpec, Sweep, WorkloadShape};
+
+    #[test]
+    fn knobs_map_onto_sim_config() {
+        let knobs = Knobs {
+            n_pes: 20,
+            strategy: StrategySpec(Strategy::MinIoSuopt),
+            workload: WorkloadShape::Mixed,
+            buffer_pages: 5,
+            disks_per_pe: 1,
+            seed: 42,
+            sim_secs: 12.0,
+            warmup_secs: 3.0,
+            node_speed: NodeSpeed::SlowFraction {
+                fraction: 0.5,
+                factor: 0.5,
+            },
+            ..Knobs::default()
+        };
+        let cfg = build_config(&knobs);
+        assert_eq!(cfg.n_pes, 20);
+        assert_eq!(cfg.strategy, Strategy::MinIoSuopt);
+        assert_eq!(cfg.buffer_pages, 5);
+        assert_eq!(cfg.hw.disk.disks_per_pe, 1);
+        assert_eq!(cfg.engine.disks_per_pe, 1);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.sim_time, SimDur::from_secs(12));
+        assert_eq!(cfg.warmup, SimDur::from_secs(3));
+        assert_eq!(cfg.node_speed.len(), 20);
+        assert_eq!(cfg.node_speed[0], 0.5);
+        assert_eq!(cfg.node_speed[19], 1.0);
+        assert_eq!(cfg.workload.oltp.len(), 1, "Mixed shape has OLTP");
+        // Heterogeneity reaches the per-PE CPU parameters.
+        assert_eq!(cfg.cpu_params_for(0).mips, 10);
+        assert_eq!(cfg.cpu_params_for(19).mips, 20);
+    }
+
+    #[test]
+    fn expansion_labels_match_configs() {
+        let spec = ScenarioSpec {
+            name: "t".into(),
+            sweep: Sweep {
+                strategy: vec![
+                    StrategySpec(Strategy::MinIo),
+                    StrategySpec(Strategy::OptIoCpu),
+                ],
+                n_pes: vec![10, 20],
+                ..Sweep::default()
+            },
+            ..ScenarioSpec::default()
+        };
+        let lowered = configs(&spec);
+        assert_eq!(lowered.len(), 4);
+        for (run, cfg) in &lowered {
+            assert_eq!(run.knobs.n_pes, cfg.n_pes);
+            assert_eq!(run.knobs.strategy.0, cfg.strategy);
+            assert_eq!(run.axis("n_pes").unwrap(), cfg.n_pes.to_string());
+        }
+    }
+}

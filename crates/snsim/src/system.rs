@@ -81,6 +81,19 @@ pub enum Ev {
     },
 }
 
+/// OLTP arrivals as a modulated Poisson stream over the class's total
+/// system rate (same sampling as the inline `rng.exp` it replaced, so
+/// unmodulated runs stay bit-identical).
+fn oltp_arrivals(class: &workload::OltpClass, n: u32) -> workload::ArrivalProcess {
+    workload::ArrivalProcess::new(
+        ArrivalSpec::PoissonTotal {
+            rate: class.total_tps(n),
+        },
+        n,
+    )
+    .with_modulation(class.modulation)
+}
+
 /// Job-private seed stream: SplitMix-style mix of the run seed and a
 /// monotone counter (shared by [`System::next_seed`] and the planner's
 /// seeder closure so the two can never diverge).
@@ -169,7 +182,7 @@ impl System {
                     )
                 })
                 .collect(),
-            cpus: (0..n).map(|_| Cpu::new(cfg.hw.cpu.clone())).collect(),
+            cpus: (0..n).map(|i| Cpu::new(cfg.cpu_params_for(i))).collect(),
             disks: (0..n)
                 .map(|_| DiskSubsystem::new(cfg.hw.disk.clone()))
                 .collect(),
@@ -212,7 +225,8 @@ impl System {
                 }
                 spec => {
                     let gap = workload::ArrivalProcess::new(spec, n)
-                        .next_interarrival(&mut self.rng_arrivals[i]);
+                        .with_modulation(q.modulation)
+                        .next_interarrival_at(SimTime::ZERO, &mut self.rng_arrivals[i]);
                     if let Some(gap) = gap {
                         self.events
                             .at(SimTime::ZERO + gap, Ev::Arrival(ClassRef::Query(i)));
@@ -222,9 +236,9 @@ impl System {
         }
         let nq = self.cfg.workload.queries.len();
         for (i, o) in self.cfg.workload.oltp.clone().iter().enumerate() {
-            let rate = o.total_tps(n);
-            if rate > 0.0 {
-                let gap = SimDur::from_secs_f64(self.rng_arrivals[nq + i].exp(1.0 / rate));
+            let gap = oltp_arrivals(o, n)
+                .next_interarrival_at(SimTime::ZERO, &mut self.rng_arrivals[nq + i]);
+            if let Some(gap) = gap {
                 self.events
                     .at(SimTime::ZERO + gap, Ev::Arrival(ClassRef::Oltp(i)));
             }
@@ -305,22 +319,25 @@ impl System {
     fn schedule_next_arrival(&mut self, class: ClassRef) {
         let n = self.cfg.n_pes;
         let nq = self.cfg.workload.queries.len();
+        let now = self.events.now();
         match class {
             ClassRef::Query(i) => {
-                let spec = self.cfg.workload.queries[i].arrival;
+                let q = &self.cfg.workload.queries[i];
+                let (spec, modulation) = (q.arrival, q.modulation);
                 if spec.is_single_user() {
                     return; // next instance launched on completion
                 }
                 if let Some(gap) = workload::ArrivalProcess::new(spec, n)
-                    .next_interarrival(&mut self.rng_arrivals[i])
+                    .with_modulation(modulation)
+                    .next_interarrival_at(now, &mut self.rng_arrivals[i])
                 {
                     self.events.after(gap, Ev::Arrival(class));
                 }
             }
             ClassRef::Oltp(i) => {
-                let rate = self.cfg.workload.oltp[i].total_tps(n);
-                if rate > 0.0 {
-                    let gap = SimDur::from_secs_f64(self.rng_arrivals[nq + i].exp(1.0 / rate));
+                let process = oltp_arrivals(&self.cfg.workload.oltp[i], n);
+                if let Some(gap) = process.next_interarrival_at(now, &mut self.rng_arrivals[nq + i])
+                {
                     self.events.after(gap, Ev::Arrival(class));
                 }
             }

@@ -130,6 +130,7 @@ fn size_aware_placement_helps_under_skew() {
 #[test]
 fn parallel_sort_runs_and_conserves() {
     use workload::queries::{CoordinatorPlacement, QueryClass, QueryKind};
+    use workload::Modulation;
     let wl = WorkloadSpec {
         queries: vec![QueryClass {
             name: "sort-1%".into(),
@@ -138,6 +139,7 @@ fn parallel_sort_runs_and_conserves() {
                 selectivity: 0.01,
             },
             arrival: workload::ArrivalSpec::PoissonPerPe { rate: 0.1 },
+            modulation: Modulation::None,
             coordinator: CoordinatorPlacement::Random,
             redistribution_skew: 0.0,
         }],

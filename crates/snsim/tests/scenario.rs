@@ -1,0 +1,162 @@
+//! Scenario-spec round-trip and sweep-expansion guarantees: a spec that
+//! is serialized and reparsed must lower to *identical* simulator
+//! configurations, and sweeps must expand to the exact cross-product.
+
+use lb_core::Strategy;
+use workload::scenario::{
+    Knobs, NodeSpeed, Patch, ScenarioSpec, StrategySpec, Sweep, WorkloadShape,
+};
+use workload::Modulation;
+
+fn full_featured_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "round_trip".into(),
+        description: "every knob family in one spec".into(),
+        base: Knobs {
+            n_pes: 20,
+            workload: WorkloadShape::Mixed,
+            qps_per_pe: 0.05,
+            tps_per_node: 60.0,
+            oltp_nodes: workload::NodeFilter::BNodes,
+            skew_theta: 0.3,
+            query_modulation: Modulation::Shift {
+                factor: 2.0,
+                at_secs: 15.0,
+            },
+            oltp_modulation: Modulation::Burst {
+                factor: 4.0,
+                period_secs: 10.0,
+                duty: 0.25,
+            },
+            buffer_pages: 25,
+            disks_per_pe: 5,
+            node_speed: NodeSpeed::SlowFraction {
+                fraction: 0.25,
+                factor: 0.5,
+            },
+            sim_secs: 12.0,
+            warmup_secs: 2.0,
+            seed: 99,
+            ..Knobs::default()
+        },
+        sweep: Sweep {
+            strategy: vec![
+                StrategySpec(Strategy::MinIoSuopt),
+                StrategySpec(Strategy::Adaptive),
+            ],
+            n_pes: vec![10, 20],
+            paired: vec![
+                Patch {
+                    label: Some("calm".into()),
+                    ..Patch::default()
+                },
+                Patch {
+                    label: Some("storm".into()),
+                    tps_per_node: Some(120.0),
+                    ..Patch::default()
+                },
+            ],
+            ..Sweep::default()
+        },
+    }
+}
+
+/// serialize → parse → identical `SimConfig` for every expanded run.
+#[test]
+fn spec_round_trips_to_identical_sim_configs() {
+    let spec = full_featured_spec();
+    let json = serde_json::to_string_pretty(&spec).expect("serialize");
+    let reparsed: ScenarioSpec = serde_json::from_str(&json).expect("parse");
+    assert_eq!(spec, reparsed);
+
+    let a = snsim::scenario::configs(&spec);
+    let b = snsim::scenario::configs(&reparsed);
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), 8, "2 strategies × 2 paired × 2 sizes");
+    for ((run_a, cfg_a), (run_b, cfg_b)) in a.iter().zip(&b) {
+        assert_eq!(run_a, run_b);
+        let ja = serde_json::to_string(cfg_a).expect("cfg serialize");
+        let jb = serde_json::to_string(cfg_b).expect("cfg serialize");
+        assert_eq!(ja, jb, "lowered configs must be byte-identical");
+    }
+}
+
+/// The whole `SimConfig` (including the new `node_speed` and modulated
+/// workload classes) survives its own JSON round-trip.
+#[test]
+fn lowered_config_round_trips_json() {
+    let spec = full_featured_spec();
+    let (_, cfg) = &snsim::scenario::configs(&spec)[0];
+    let json = serde_json::to_string(cfg).expect("serialize");
+    let back: snsim::SimConfig = serde_json::from_str(&json).expect("parse");
+    assert_eq!(
+        serde_json::to_string(&back).expect("re-serialize"),
+        json,
+        "SimConfig JSON round-trip is lossless"
+    );
+    assert_eq!(back.node_speed.len(), 10);
+    assert!(matches!(
+        back.workload.oltp[0].modulation,
+        Modulation::Burst { .. }
+    ));
+}
+
+/// Sweep expansion is the exact cross-product with deterministic order
+/// and correctly applied knobs.
+#[test]
+fn sweep_expansion_is_exact_cross_product() {
+    let spec = full_featured_spec();
+    let runs = spec.runs();
+    assert_eq!(runs.len(), spec.run_count());
+
+    // Axis order: strategy, paired, n_pes.
+    let expected: Vec<(&str, &str, &str)> = vec![
+        ("MIN-IO-SUOPT", "calm", "10"),
+        ("MIN-IO-SUOPT", "calm", "20"),
+        ("MIN-IO-SUOPT", "storm", "10"),
+        ("MIN-IO-SUOPT", "storm", "20"),
+        ("ADAPTIVE", "calm", "10"),
+        ("ADAPTIVE", "calm", "20"),
+        ("ADAPTIVE", "storm", "10"),
+        ("ADAPTIVE", "storm", "20"),
+    ];
+    for (run, (strategy, paired, n_pes)) in runs.iter().zip(&expected) {
+        assert_eq!(run.axis("strategy"), Some(*strategy));
+        assert_eq!(run.axis("paired"), Some(*paired));
+        assert_eq!(run.axis("n_pes"), Some(*n_pes));
+        assert_eq!(run.knobs.n_pes.to_string(), *n_pes);
+        let want_tps = if *paired == "storm" { 120.0 } else { 60.0 };
+        assert_eq!(run.knobs.tps_per_node, want_tps, "patch applied");
+        // Un-swept knobs stay at the base value.
+        assert_eq!(run.knobs.buffer_pages, 25);
+        assert_eq!(run.knobs.seed, 99);
+    }
+}
+
+/// `PolicyConfig` (the per-work-class policy table) round-trips through
+/// a spec's `policies` knob.
+#[test]
+fn policy_config_round_trips_through_spec() {
+    use lb_core::{CoordPolicyKind, PolicyConfig};
+    let spec = ScenarioSpec {
+        name: "policies".into(),
+        base: Knobs {
+            policies: Some(PolicyConfig {
+                scan_coord: CoordPolicyKind::RoundRobin,
+                oltp_coord: CoordPolicyKind::LeastCpu,
+                stage_strategy: Some(Strategy::MinIo),
+                ..PolicyConfig::default()
+            }),
+            ..Knobs::default()
+        },
+        ..ScenarioSpec::default()
+    };
+    let json = serde_json::to_string(&spec).expect("serialize");
+    let back: ScenarioSpec = serde_json::from_str(&json).expect("parse");
+    let policies = back.base.policies.expect("policies survive");
+    assert_eq!(policies.scan_coord, CoordPolicyKind::RoundRobin);
+    assert_eq!(policies.oltp_coord, CoordPolicyKind::LeastCpu);
+    assert_eq!(policies.stage_strategy, Some(Strategy::MinIo));
+    let (_, cfg) = &snsim::scenario::configs(&back)[0];
+    assert_eq!(cfg.policies.scan_coord, CoordPolicyKind::RoundRobin);
+}

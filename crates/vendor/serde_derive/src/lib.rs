@@ -7,8 +7,15 @@
 //! * tuple structs (arity 1 is treated as a transparent newtype),
 //! * enums whose variants are unit, tuple, or struct-like,
 //!
-//! with **no** field attributes, generics, or lifetimes. Unsupported
-//! shapes panic at expansion time with a clear message.
+//! with no generics or lifetimes. Unsupported shapes panic at expansion
+//! time with a clear message.
+//!
+//! One container attribute is honoured: `#[serde(default)]` on a struct
+//! with named fields makes deserialization start from
+//! `<T as Default>::default()` and overwrite only the fields present in
+//! the JSON object (the type must implement `Default`). This is what the
+//! declarative scenario specs rely on so hand-written JSON can omit every
+//! knob it does not care about. Field-level attributes remain unsupported.
 //!
 //! Encoding (mirrored by `serde::Deserialize` impls generated here):
 //!
@@ -22,13 +29,13 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item).parse().expect("generated impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -61,17 +68,41 @@ enum Body {
 struct Item {
     name: String,
     body: Body,
+    /// Container-level `#[serde(default)]`: deserialize named structs by
+    /// overlaying present fields onto `Default::default()`.
+    container_default: bool,
+}
+
+/// Does this attribute `[...]` group spell `serde(default)`?
+fn is_serde_default_attr(group: &TokenTree) -> bool {
+    let TokenTree::Group(g) = group else {
+        return false;
+    };
+    let mut inner = g.stream().into_iter();
+    match (inner.next(), inner.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(ref i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
 }
 
 fn parse_item(input: TokenStream) -> Item {
     let mut toks = input.into_iter().peekable();
+    let mut container_default = false;
 
     // Skip outer attributes and visibility.
     loop {
         match toks.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 toks.next();
-                toks.next(); // the [...] group
+                if let Some(group) = toks.next() {
+                    container_default |= is_serde_default_attr(&group);
+                }
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                 toks.next();
@@ -119,7 +150,15 @@ fn parse_item(input: TokenStream) -> Item {
         other => panic!("serde_derive: unsupported item kind `{other}`"),
     };
 
-    Item { name, body }
+    if container_default && !matches!(body, Body::Struct(Fields::Named(_))) {
+        panic!("serde_derive: #[serde(default)] is only supported on structs with named fields");
+    }
+
+    Item {
+        name,
+        body,
+        container_default,
+    }
 }
 
 /// Parse `attr* vis? ident : type` fields separated by top-level commas.
@@ -343,6 +382,19 @@ fn gen_deserialize(item: &Item) -> String {
             format!(
                 "let a = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?; Ok({name}({}))",
                 items.join(", ")
+            )
+        }
+        Body::Struct(Fields::Named(fields)) if item.container_default => {
+            let arms: Vec<String> = fields
+                .iter()
+                .map(|f| format!("\"{f}\" => out.{f} = ::serde::Deserialize::from_value(val)?,"))
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?; \
+                 let mut out = <{name} as ::std::default::Default>::default(); \
+                 for (key, val) in obj {{ match key.as_str() {{ {} _ => {{}} }} }} \
+                 Ok(out)",
+                arms.join(" ")
             )
         }
         Body::Struct(Fields::Named(fields)) => {

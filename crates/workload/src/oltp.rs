@@ -11,6 +11,7 @@
 //! conflicts with join queries, OLTP transactions access different
 //! relations than A and B." (§5.3)
 
+use crate::arrivals::Modulation;
 use dbmodel::RelationId;
 use serde::{Deserialize, Serialize};
 
@@ -53,6 +54,9 @@ pub struct OltpClass {
     pub updates: u32,
     /// Transactions per second *per node in the filter*.
     pub tps_per_node: f64,
+    /// Time-variation of the transaction rate (bursty OLTP traffic);
+    /// [`Modulation::None`] reproduces the paper's stationary streams.
+    pub modulation: Modulation,
     pub nodes: NodeFilter,
 }
 
@@ -66,6 +70,7 @@ impl OltpClass {
             selects: 4,
             updates: 4,
             tps_per_node,
+            modulation: Modulation::None,
             nodes,
         }
     }

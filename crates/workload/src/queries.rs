@@ -1,6 +1,6 @@
 //! Query classes: the six query types of §4.
 
-use crate::arrivals::ArrivalSpec;
+use crate::arrivals::{ArrivalSpec, Modulation};
 use dbmodel::RelationId;
 use serde::{Deserialize, Serialize};
 
@@ -83,6 +83,9 @@ pub struct QueryClass {
     pub name: String,
     pub kind: QueryKind,
     pub arrival: ArrivalSpec,
+    /// Time-variation of the arrival rate (bursts, phase shifts);
+    /// [`Modulation::None`] reproduces the paper's stationary streams.
+    pub modulation: Modulation,
     pub coordinator: CoordinatorPlacement,
     /// Redistribution skew (Zipf theta over the join processors): the
     /// partitioning function sends unequal subjoin shares. 0.0 = uniform
@@ -103,6 +106,7 @@ impl QueryClass {
                 selectivity,
             },
             arrival,
+            modulation: Modulation::None,
             coordinator: CoordinatorPlacement::Random,
             redistribution_skew: 0.0,
         }

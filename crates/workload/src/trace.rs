@@ -1,6 +1,6 @@
 //! Trace records: a compact binary format for workload traces.
 //!
-//! The paper mentions "the use of real-life database traces [18]" as a
+//! The paper mentions "the use of real-life database traces \[18\]" as a
 //! supported workload source. Those traces are not available; this module
 //! provides the equivalent machinery — a trace format with writer/reader
 //! and a synthesizer producing statistically similar traces — so trace
@@ -20,7 +20,7 @@ use simkit::{SimDur, SimRng, SimTime};
 pub struct TraceRecord {
     /// Arrival time.
     pub at: SimTime,
-    /// Workload class index (into the owning [`WorkloadSpec`]'s classes,
+    /// Workload class index (into the owning [`crate::WorkloadSpec`]'s classes,
     /// queries first, then OLTP).
     pub class: u16,
     /// 0 = query, 1 = OLTP.

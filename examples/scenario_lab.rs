@@ -1,0 +1,55 @@
+//! Building and running a scenario *in code* — the same machinery the
+//! `lab` binary drives from `scenarios/*.json`.
+//!
+//! Run: `cargo run --release --example scenario_lab`
+
+use lb_core::Strategy;
+use parallel_lb::prelude::*;
+use workload::scenario::{Knobs, ScenarioSpec, StrategySpec, Sweep};
+
+fn main() {
+    // A small head-to-head: three strategies across two system sizes,
+    // under a join arrival rate that doubles mid-run.
+    let spec = ScenarioSpec {
+        name: "example".into(),
+        description: "strategy face-off under a mid-run rate doubling".into(),
+        base: Knobs {
+            qps_per_pe: 0.1,
+            query_modulation: workload::Modulation::Shift {
+                factor: 2.0,
+                at_secs: 15.0,
+            },
+            sim_secs: 30.0,
+            warmup_secs: 5.0,
+            ..Knobs::default()
+        },
+        sweep: Sweep {
+            strategy: vec![
+                StrategySpec(Strategy::parse("psu-opt+RANDOM").expect("label")),
+                StrategySpec(Strategy::OptIoCpu),
+                StrategySpec(Strategy::Adaptive),
+            ],
+            n_pes: vec![20, 40],
+            ..Sweep::default()
+        },
+    };
+
+    // Specs are plain data: this is exactly what a scenarios/*.json
+    // file contains.
+    println!("{}\n", serde_json::to_string_pretty(&spec).expect("json"));
+
+    // Expand the sweep, lower to SimConfigs, run across all cores.
+    let lowered = snsim::scenario::configs(&spec);
+    let cfgs: Vec<SimConfig> = lowered.iter().map(|(_, cfg)| cfg.clone()).collect();
+    let summaries = run_parallel(cfgs);
+
+    println!("{:>34}  {:>12}  {:>8}", "run", "join RT [ms]", "switches");
+    for ((run, _), summary) in lowered.iter().zip(&summaries) {
+        println!(
+            "{:>34}  {:>12.1}  {:>8}",
+            run.label(),
+            summary.join_resp_ms(),
+            summary.policy_switches,
+        );
+    }
+}

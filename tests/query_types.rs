@@ -5,6 +5,7 @@
 use dbmodel::RelationId;
 use parallel_lb::prelude::*;
 use workload::queries::{CoordinatorPlacement, QueryClass, QueryKind};
+use workload::Modulation;
 
 fn one_class(kind: QueryKind, rate: f64) -> WorkloadSpec {
     WorkloadSpec {
@@ -12,6 +13,7 @@ fn one_class(kind: QueryKind, rate: f64) -> WorkloadSpec {
             name: "q".into(),
             kind,
             arrival: ArrivalSpec::PoissonPerPe { rate },
+            modulation: Modulation::None,
             coordinator: CoordinatorPlacement::Random,
             redistribution_skew: 0.0,
         }],
@@ -142,6 +144,7 @@ fn mixed_query_classes_coexist() {
                     selectivity: 0.01,
                 },
                 arrival: ArrivalSpec::PoissonPerPe { rate: 0.05 },
+                modulation: Modulation::None,
                 coordinator: CoordinatorPlacement::Random,
                 redistribution_skew: 0.0,
             },
@@ -152,6 +155,7 @@ fn mixed_query_classes_coexist() {
                     selectivity: 0.005,
                 },
                 arrival: ArrivalSpec::PoissonPerPe { rate: 0.1 },
+                modulation: Modulation::None,
                 coordinator: CoordinatorPlacement::Random,
                 redistribution_skew: 0.0,
             },
