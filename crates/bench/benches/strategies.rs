@@ -27,6 +27,7 @@ fn bench_placements(c: &mut Criterion) {
         psu_opt: 30,
         psu_noio: 3,
         outer_scan_nodes: 64,
+        inner_rel: 0,
     };
     for (name, strat) in [
         (

@@ -3,9 +3,13 @@
 //! ```text
 //! cargo run --release --bin lab -- [flags] scenarios/<spec>.json ...
 //!
-//!   --dry-run   expand the sweep and list the runs without simulating
-//!   --full      override run lengths with figure-quality 120 s runs
-//!   --smoke     override run lengths with 8 s smoke runs (CI)
+//!   --dry-run        expand the sweep and list the runs without simulating
+//!   --full           override run lengths with figure-quality 120 s runs
+//!   --smoke          override run lengths with 8 s smoke runs (CI)
+//!   --bench <file>   write a wall-clock throughput baseline (simulated
+//!                    events per wall second, per scenario and total) to
+//!                    `<file>` — the perf-trajectory anchor CI publishes
+//!                    as BENCH_lab.json
 //! ```
 //!
 //! Each spec file holds one scenario (see `scenarios/` and README.md for
@@ -15,25 +19,37 @@
 use bench::lab::{self, RunLength};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--bench <file>` takes a value: extract the pair before flag checks.
+    let bench_out: Option<String> = args.iter().position(|a| a == "--bench").map(|i| {
+        if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+            eprintln!("error: --bench needs an output file");
+            std::process::exit(2);
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        path
+    });
     if let Some(unknown) = args
         .iter()
         .find(|a| a.starts_with("--") && !matches!(a.as_str(), "--dry-run" | "--full" | "--smoke"))
     {
         eprintln!("error: unknown flag `{unknown}`");
-        eprintln!("usage: lab [--dry-run] [--full|--smoke] <spec.json> ...");
+        eprintln!("usage: lab [--dry-run] [--full|--smoke] [--bench <file>] <spec.json> ...");
         std::process::exit(2);
     }
     let dry_run = args.iter().any(|a| a == "--dry-run");
     let len = RunLength::from_args();
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if paths.is_empty() {
-        eprintln!("usage: lab [--dry-run] [--full|--smoke] <spec.json> ...");
+        eprintln!("usage: lab [--dry-run] [--full|--smoke] [--bench <file>] <spec.json> ...");
         eprintln!("bundled specs live under scenarios/");
         std::process::exit(2);
     }
 
     let mut failed = false;
+    let mut bench_rows: Vec<serde_json::Value> = Vec::new();
+    let (mut bench_events, mut bench_wall) = (0u64, 0.0f64);
     for path in paths {
         let path = std::path::Path::new(path);
         let spec = match lab::load_spec(path) {
@@ -60,7 +76,21 @@ fn main() {
             }
             continue;
         }
+        let started = std::time::Instant::now();
         let rows = lab::run_scenario(&spec, len);
+        let wall = started.elapsed().as_secs_f64();
+        if bench_out.is_some() {
+            let events: u64 = rows.iter().map(|r| r.summary.events).sum();
+            bench_events += events;
+            bench_wall += wall;
+            bench_rows.push(serde_json::json!({
+                "scenario": spec.name,
+                "runs": rows.len() as u64,
+                "events": events,
+                "wall_secs": wall,
+                "events_per_sec": events as f64 / wall.max(1e-9),
+            }));
+        }
         lab::print_tables(&spec, &rows);
         match (
             lab::write_lab_json(&spec.name, &rows),
@@ -74,6 +104,29 @@ fn main() {
                 );
             }
             _ => failed = true,
+        }
+    }
+    if let Some(out) = bench_out {
+        let payload = serde_json::json!({
+            "bench": "lab",
+            "scenarios": serde_json::Value::Array(bench_rows),
+            "total_events": bench_events,
+            "total_wall_secs": bench_wall,
+            "events_per_sec": bench_events as f64 / bench_wall.max(1e-9),
+        });
+        match serde_json::to_string_pretty(&payload) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&out, json) {
+                    eprintln!("error: could not write {out}: {e}");
+                    failed = true;
+                } else {
+                    eprintln!("bench baseline written to {out}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: could not serialize bench baseline: {e}");
+                failed = true;
+            }
         }
     }
     if failed {

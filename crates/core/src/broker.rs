@@ -52,7 +52,13 @@ use simkit::SimRng;
 /// // pages per node MIN-IO needs 3 processors (3 · 50 > 120).
 /// let req = PlacementRequest::join(
 ///     0,
-///     JoinRequest { table_pages: 120.0, psu_opt: 6, psu_noio: 3, outer_scan_nodes: 6 },
+///     JoinRequest {
+///         table_pages: 120.0,
+///         psu_opt: 6,
+///         psu_noio: 3,
+///         outer_scan_nodes: 6,
+///         inner_rel: 0,
+///     },
 ///     8,
 /// );
 /// let mut rng = SimRng::new(1);
@@ -88,6 +94,15 @@ pub trait ResourceBroker {
 
     /// Last reported disk utilization of a node.
     fn disk_util(&self, node: u32) -> f64;
+
+    /// Register / refresh the data-placement layer's locality view
+    /// (tuples of each relation per node). Called by the simulator at
+    /// startup and after every fragment migration, so placement policies
+    /// can see where the data currently lives.
+    fn set_locality(&mut self, locality: crate::control::DataLocality);
+
+    /// Per-node disk utilizations (rebalancing input).
+    fn disk_utils(&self) -> &[f64];
 }
 
 /// The designated-control-node broker of the paper: central state, one
@@ -213,6 +228,14 @@ impl ResourceBroker for CentralBroker {
     fn disk_util(&self, node: u32) -> f64 {
         self.disk[node as usize]
     }
+
+    fn set_locality(&mut self, locality: crate::control::DataLocality) {
+        self.ctl.set_locality(locality);
+    }
+
+    fn disk_utils(&self) -> &[f64] {
+        &self.disk
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +255,7 @@ mod tests {
             psu_opt: 6,
             psu_noio: 3,
             outer_scan_nodes: 6,
+            inner_rel: 0,
         }
     }
 

@@ -29,6 +29,28 @@ pub struct NodeState {
     pub free_pages: u32,
 }
 
+/// Where the data currently lives: tuples of each relation per node,
+/// `tuples[relation][node]`. Registered with the broker by the simulator
+/// (from the catalog's `PartitionMap`) and refreshed after every fragment
+/// migration, so placement policies can weigh data locality the way
+/// Garofalakis & Ioannidis schedule against site-bound demand.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DataLocality {
+    /// Per-relation, per-node tuple counts.
+    pub tuples: Vec<Vec<u64>>,
+}
+
+impl DataLocality {
+    /// Tuples of `rel` homed at `node` (0 for unknown relations/nodes).
+    pub fn local_tuples(&self, rel: u32, node: u32) -> u64 {
+        self.tuples
+            .get(rel as usize)
+            .and_then(|v| v.get(node as usize))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
 /// Control-node view of the whole system.
 #[derive(Debug, Clone)]
 pub struct ControlNode {
@@ -47,6 +69,9 @@ pub struct ControlNode {
     /// fixed id-order tie-break would pile every placement onto the
     /// lowest-numbered nodes. The cursor advances with each assignment.
     rr: u32,
+    /// Registered data-locality view (fragment tuples per node), when the
+    /// simulator has a placement layer to report.
+    locality: Option<DataLocality>,
 }
 
 impl ControlNode {
@@ -57,7 +82,34 @@ impl ControlNode {
             promised: vec![0; n],
             luc_bump: 0.1,
             rr: 0,
+            locality: None,
         }
+    }
+
+    /// Register / refresh the data-locality view.
+    pub fn set_locality(&mut self, locality: DataLocality) {
+        self.locality = Some(locality);
+    }
+
+    /// The registered data-locality view, if any.
+    pub fn locality(&self) -> Option<&DataLocality> {
+        self.locality.as_ref()
+    }
+
+    /// Nodes sorted descending by local tuples of `rel` (ties rotated like
+    /// every other ranking). Data-locality-aware selection uses this to
+    /// co-locate join processors with the build input's fragments.
+    pub fn by_local_data(&self, rel: u32) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = (0..self.nodes.len() as u32)
+            .map(|i| {
+                (
+                    i,
+                    self.locality.as_ref().map_or(0, |l| l.local_tuples(rel, i)),
+                )
+            })
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(self.rank(a.0).cmp(&self.rank(b.0))));
+        v
     }
 
     /// Tie-break rank: distance of `id` ahead of the rotation cursor.

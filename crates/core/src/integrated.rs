@@ -152,6 +152,7 @@ mod tests {
             psu_opt,
             psu_noio: 3,
             outer_scan_nodes: 8,
+            inner_rel: 0,
         }
     }
 

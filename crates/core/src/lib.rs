@@ -44,9 +44,15 @@
 //! * [`broker`] — the [`ResourceBroker`] trait and
 //!   its central implementation: owns the per-node CPU/memory/disk state,
 //!   receives the periodic utilization reports, notifies adaptive policies
-//!   at the end of each report round, and routes every
+//!   at the end of each report round, routes every
 //!   [`PlacementRequest`] to the policy
-//!   registered for its work class.
+//!   registered for its work class, and carries the data-placement
+//!   layer's [`DataLocality`] view so policies can weigh where fragments
+//!   currently live (`SelectPolicy::DataLocal`);
+//! * [`rebalance`] — the online [`RebalanceController`]: clocked by the
+//!   same report rounds, it detects per-node data imbalance (utilization
+//!   breaks ties) and plans concurrent fragment migrations the simulator
+//!   executes as real disk/network traffic.
 //!
 //! The simulator (`snsim`) holds a `Box<dyn ResourceBroker>` and never
 //! inspects strategies directly; the event loop itself lives one layer
@@ -61,11 +67,12 @@ pub mod degree;
 pub mod integrated;
 pub mod policy;
 pub mod ratematch;
+pub mod rebalance;
 pub mod select;
 pub mod strategy;
 
 pub use broker::{CentralBroker, ResourceBroker};
-pub use control::{ControlNode, NodeState};
+pub use control::{ControlNode, DataLocality, NodeState};
 pub use costmodel::{CostModel, CostParams, JoinProfile};
 pub use degree::DegreePolicy;
 pub use policy::{
@@ -73,5 +80,6 @@ pub use policy::{
     PlacementRequest, PolicyConfig, WorkClass,
 };
 pub use ratematch::RateMatch;
+pub use rebalance::{FragmentInfo, MigrationPlan, RebalanceConfig, RebalanceController};
 pub use select::SelectPolicy;
 pub use strategy::{JoinRequest, Placement, Strategy};

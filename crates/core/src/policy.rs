@@ -448,6 +448,7 @@ mod tests {
             psu_opt: 30,
             psu_noio: 3,
             outer_scan_nodes: 32,
+            inner_rel: 0,
         }
     }
 

@@ -6,7 +6,11 @@
 //!   join processors", with the adaptive feedback of \[26\];
 //! * LUM — "join processes are assigned to the nodes with the most
 //!   available main memory", again with direct adaptation of the control
-//!   node's information.
+//!   node's information;
+//! * DL — data-locality-aware extension (beyond the paper): join
+//!   processors co-located with the build input's fragments, so a share
+//!   of the redistribution traffic stays node-local. Requires the
+//!   placement layer's locality view to be registered with the broker.
 
 use crate::control::ControlNode;
 use serde::{Deserialize, Serialize};
@@ -21,17 +25,23 @@ pub enum SelectPolicy {
     Luc,
     /// Least Utilized Memory (most free pages).
     Lum,
+    /// Data Locality: nodes holding the most tuples of the build input
+    /// first (local redistribution is free in a Shared Nothing node).
+    DataLocal,
 }
 
 impl SelectPolicy {
-    /// Choose `p` distinct nodes. For LUC/LUM the control copy is adapted
-    /// immediately (`pages_per_node` is the expected memory claim).
+    /// Choose `p` distinct nodes. For the state-aware policies the control
+    /// copy is adapted immediately (`pages_per_node` is the expected
+    /// memory claim); `inner_rel` is the build input's relation id for
+    /// data-locality-aware selection.
     pub fn select(
         &self,
         p: u32,
         ctl: &mut ControlNode,
         rng: &mut SimRng,
         pages_per_node: u32,
+        inner_rel: u32,
     ) -> Vec<u32> {
         let n = ctl.len();
         let p = (p as usize).clamp(1, n);
@@ -44,6 +54,12 @@ impl SelectPolicy {
             SelectPolicy::Luc => ctl.by_cpu().into_iter().take(p).map(|(i, _)| i).collect(),
             SelectPolicy::Lum => ctl
                 .avail_memory()
+                .into_iter()
+                .take(p)
+                .map(|(i, _)| i)
+                .collect(),
+            SelectPolicy::DataLocal => ctl
+                .by_local_data(inner_rel)
                 .into_iter()
                 .take(p)
                 .map(|(i, _)| i)
@@ -61,6 +77,7 @@ impl SelectPolicy {
             SelectPolicy::Random => "RANDOM",
             SelectPolicy::Luc => "LUC",
             SelectPolicy::Lum => "LUM",
+            SelectPolicy::DataLocal => "DL",
         }
     }
 }
@@ -88,7 +105,7 @@ mod tests {
     fn lum_picks_most_free_memory() {
         let mut c = ctl(&[5, 40, 20, 30], &[0.5; 4]);
         let mut rng = SimRng::new(1);
-        let nodes = SelectPolicy::Lum.select(2, &mut c, &mut rng, 10);
+        let nodes = SelectPolicy::Lum.select(2, &mut c, &mut rng, 10, 0);
         assert_eq!(nodes, vec![1, 3]);
     }
 
@@ -96,7 +113,7 @@ mod tests {
     fn luc_picks_least_cpu() {
         let mut c = ctl(&[10; 4], &[0.9, 0.1, 0.4, 0.2]);
         let mut rng = SimRng::new(1);
-        let nodes = SelectPolicy::Luc.select(3, &mut c, &mut rng, 0);
+        let nodes = SelectPolicy::Luc.select(3, &mut c, &mut rng, 0, 0);
         assert_eq!(nodes, vec![1, 3, 2]);
     }
 
@@ -105,7 +122,7 @@ mod tests {
         let mut c = ctl(&[10; 20], &[0.0; 20]);
         let mut rng = SimRng::new(7);
         for _ in 0..50 {
-            let nodes = SelectPolicy::Random.select(8, &mut c, &mut rng, 0);
+            let nodes = SelectPolicy::Random.select(8, &mut c, &mut rng, 0, 0);
             assert_eq!(nodes.len(), 8);
             let mut s = nodes.clone();
             s.sort_unstable();
@@ -121,8 +138,8 @@ mod tests {
         // land on the same "best" nodes (the paper's herd-avoidance).
         let mut c = ctl(&[40, 40, 10, 10], &[0.0; 4]);
         let mut rng = SimRng::new(1);
-        let first = SelectPolicy::Lum.select(2, &mut c, &mut rng, 35);
-        let second = SelectPolicy::Lum.select(2, &mut c, &mut rng, 35);
+        let first = SelectPolicy::Lum.select(2, &mut c, &mut rng, 35, 0);
+        let second = SelectPolicy::Lum.select(2, &mut c, &mut rng, 35, 0);
         assert_eq!(first, vec![0, 1]);
         assert_eq!(second, vec![2, 3], "feedback pushed the next join away");
     }
@@ -132,11 +149,11 @@ mod tests {
         let mut c = ctl(&[10; 3], &[0.0, 0.0, 0.5]);
         c.luc_bump = 0.6;
         let mut rng = SimRng::new(1);
-        let first = SelectPolicy::Luc.select(1, &mut c, &mut rng, 0);
+        let first = SelectPolicy::Luc.select(1, &mut c, &mut rng, 0, 0);
         assert_eq!(first, vec![0]);
-        let second = SelectPolicy::Luc.select(1, &mut c, &mut rng, 0);
+        let second = SelectPolicy::Luc.select(1, &mut c, &mut rng, 0, 0);
         assert_eq!(second, vec![1]);
-        let third = SelectPolicy::Luc.select(1, &mut c, &mut rng, 0);
+        let third = SelectPolicy::Luc.select(1, &mut c, &mut rng, 0, 0);
         assert_eq!(third, vec![2], "bumped nodes now rank behind 0.5");
     }
 
@@ -144,7 +161,7 @@ mod tests {
     fn selection_caps_at_system_size() {
         let mut c = ctl(&[10; 3], &[0.0; 3]);
         let mut rng = SimRng::new(1);
-        let nodes = SelectPolicy::Lum.select(9, &mut c, &mut rng, 0);
+        let nodes = SelectPolicy::Lum.select(9, &mut c, &mut rng, 0, 0);
         assert_eq!(nodes.len(), 3);
     }
 }

@@ -33,6 +33,10 @@ pub struct JoinRequest {
     /// Scan nodes producing the probe input (used by the RateMatch
     /// baseline of §6 to size the consumer side).
     pub outer_scan_nodes: u32,
+    /// Relation id of the build input (data-locality-aware selection
+    /// ranks nodes by their local tuples of this relation; ignored by the
+    /// paper's original policies).
+    pub inner_rel: u32,
 }
 
 /// A placement decision: which nodes run join processes.
@@ -81,7 +85,7 @@ impl Strategy {
             Strategy::Isolated { degree, select } => {
                 let p = degree.degree(req, ctl);
                 let share = per_node_share(req.table_pages, p);
-                let nodes = select.select(p, ctl, rng, share);
+                let nodes = select.select(p, ctl, rng, share, req.inner_rel);
                 Placement { nodes }
             }
             Strategy::MinIo => integrated_placement(integrated::min_io(req, ctl), req, ctl),
@@ -130,18 +134,23 @@ impl Strategy {
                     (D::SuOpt, S::Random) => "psu-opt+RANDOM",
                     (D::SuOpt, S::Luc) => "psu-opt+LUC",
                     (D::SuOpt, S::Lum) => "psu-opt+LUM",
+                    (D::SuOpt, S::DataLocal) => "psu-opt+DL",
                     (D::SuNoIo, S::Random) => "psu-noIO+RANDOM",
                     (D::SuNoIo, S::Luc) => "psu-noIO+LUC",
                     (D::SuNoIo, S::Lum) => "psu-noIO+LUM",
+                    (D::SuNoIo, S::DataLocal) => "psu-noIO+DL",
                     (D::MuCpu, S::Random) => "pmu-cpu+RANDOM",
                     (D::MuCpu, S::Luc) => "pmu-cpu+LUC",
                     (D::MuCpu, S::Lum) => "pmu-cpu+LUM",
+                    (D::MuCpu, S::DataLocal) => "pmu-cpu+DL",
                     (D::Fixed(_), S::Random) => "p-fixed+RANDOM",
                     (D::Fixed(_), S::Luc) => "p-fixed+LUC",
                     (D::Fixed(_), S::Lum) => "p-fixed+LUM",
+                    (D::Fixed(_), S::DataLocal) => "p-fixed+DL",
                     (D::RateMatch(_), S::Random) => "RateMatch+RANDOM",
                     (D::RateMatch(_), S::Luc) => "RateMatch+LUC",
                     (D::RateMatch(_), S::Lum) => "RateMatch+LUM",
+                    (D::RateMatch(_), S::DataLocal) => "RateMatch+DL",
                 }
             }
             Strategy::MinIo => "MIN-IO",
@@ -161,7 +170,7 @@ impl Strategy {
     ///   the meta-policy `ADAPTIVE`;
     /// * `<degree>+<selection>` for isolated strategies, with degree one
     ///   of `psu-opt`, `psu-noIO`, `pmu-cpu` or `fixed(p)` (also spelled
-    ///   `p-fixed(p)`) and selection one of `RANDOM`, `LUC`, `LUM`.
+    ///   `p-fixed(p)`) and selection one of `RANDOM`, `LUC`, `LUM`, `DL`.
     ///
     /// `RateMatch` degrees carry cost-model parameters and have no label
     /// form; returns `None` for them and for anything else unrecognized.
@@ -196,6 +205,7 @@ impl Strategy {
             s if s.eq_ignore_ascii_case("RANDOM") => SelectPolicy::Random,
             s if s.eq_ignore_ascii_case("LUC") => SelectPolicy::Luc,
             s if s.eq_ignore_ascii_case("LUM") => SelectPolicy::Lum,
+            s if s.eq_ignore_ascii_case("DL") => SelectPolicy::DataLocal,
             _ => return None,
         };
         Some(Strategy::Isolated { degree, select })
@@ -276,6 +286,7 @@ mod tests {
             psu_opt: 30,
             psu_noio: 3,
             outer_scan_nodes: 32,
+            inner_rel: 0,
         }
     }
 
@@ -345,7 +356,12 @@ mod tests {
             DegreePolicy::SuNoIo,
             DegreePolicy::MuCpu,
         ] {
-            for select in [SelectPolicy::Random, SelectPolicy::Luc, SelectPolicy::Lum] {
+            for select in [
+                SelectPolicy::Random,
+                SelectPolicy::Luc,
+                SelectPolicy::Lum,
+                SelectPolicy::DataLocal,
+            ] {
                 all.push(Strategy::Isolated { degree, select });
             }
         }
@@ -404,7 +420,7 @@ mod tests {
             for i in 0..n {
                 c.report(i as u32, NodeState { cpu_util: cpu[i], free_pages: free[i] });
             }
-            let r = JoinRequest { table_pages: table, psu_opt, psu_noio: 3, outer_scan_nodes: 8 };
+            let r = JoinRequest { table_pages: table, psu_opt, psu_noio: 3, outer_scan_nodes: 8, inner_rel: 0 };
             let mut rng = SimRng::new(seed);
             for s in [
                 Strategy::MinIo,

@@ -6,8 +6,11 @@
 //! * [`catalog`] — "the database is modeled as a set of partitions. A
 //!   partition may be used to represent a relation, a relation fragment or
 //!   an index structure": relations with blocking factors, clustered /
-//!   unclustered B+-tree indices, horizontal declustering across PEs and
-//!   disks;
+//!   unclustered B+-tree indices;
+//! * [`placement`] — the dynamic data-placement layer: per-fragment
+//!   tuple counts (uniform or Zipf-skewed), explicit fragment → PE
+//!   assignment in a [`placement::PartitionMap`], and online migration
+//!   support for the rebalancing controller;
 //! * [`btree`] — analytic B+-tree model (heights, page-access sequences for
 //!   the three scan types);
 //! * [`buffer`] — per-PE main-memory buffer: global LRU with no-force /
@@ -26,8 +29,10 @@ pub mod catalog;
 pub mod deadlock;
 pub mod lock;
 pub mod log;
+pub mod placement;
 
 pub use btree::BTreeModel;
 pub use buffer::{BufferManager, FixOutcome, JobMemKey, ReserveOutcome};
-pub use catalog::{Catalog, Declustering, IndexKind, PageAddr, Relation, RelationId};
+pub use catalog::{Catalog, IndexKind, PageAddr, Relation, RelationId};
 pub use lock::{LockManager, LockMode, LockOutcome, TxnToken};
+pub use placement::{Fragment, PartitionMap, RelationPlacement};

@@ -136,6 +136,32 @@ impl LockManager {
         }
     }
 
+    /// Release one object held by `txn` (early release for read-only
+    /// operations — e.g. a scan dropping its fragment lock at scan end so
+    /// a pending fragment migration is not serialized behind the whole
+    /// query). Returns the `(txn, object)` pairs that became granted.
+    pub fn release(&mut self, txn: TxnToken, object: u64) -> Vec<(TxnToken, u64)> {
+        let mut granted = Vec::new();
+        if let Some(held) = self.held_by.get_mut(&txn.id) {
+            held.retain(|&o| o != object);
+            if held.is_empty() {
+                self.held_by.remove(&txn.id);
+            }
+        }
+        if let Some(entry) = self.table.get_mut(&object) {
+            entry.holders.retain(|(t, _)| t.id != txn.id);
+            Self::promote_waiters(entry, &mut granted, object);
+            if entry.holders.is_empty() && entry.waiters.is_empty() {
+                self.table.remove(&object);
+            }
+        }
+        for (t, o) in &granted {
+            self.held_by.entry(t.id).or_default().push(*o);
+            self.grants += 1;
+        }
+        granted
+    }
+
     /// Release everything `txn` holds (strict 2PL: at commit/abort) and
     /// remove it from any wait queues. Returns `(txn, object)` pairs that
     /// became granted — the engine resumes those transactions.

@@ -93,6 +93,9 @@ pub enum MsgKind {
         psu_noio: u32,
         /// Scan nodes feeding the probe side (for the RateMatch baseline).
         outer_scan_nodes: u32,
+        /// Relation id of the build input (lets data-locality-aware
+        /// policies co-locate join processors with inner fragments).
+        inner_rel: u32,
         /// Multi-join stage index: 0 for two-way joins and sorts, `k > 0`
         /// for the k-th follow-on stage (the broker may govern stages with
         /// a distinct placement policy).
@@ -140,6 +143,14 @@ pub enum MsgKind {
     Commit,
     /// Participant → coordinator: commit acknowledged.
     CommitAck,
+    /// Migration source → destination: one page of a fragment in flight
+    /// (online rebalancing data traffic).
+    MigrateBatch {
+        /// Last page of the fragment.
+        last: bool,
+    },
+    /// Migration destination → source: all pages durably written.
+    MigrateDone,
 }
 
 /// A message in flight.

@@ -3,7 +3,7 @@
 use crate::api::{Action, EngineConfig, JobId, Msg, MsgKind, PeId, TaskId, Token};
 use crate::pe::Pe;
 use dbmodel::buffer::{FixOutcome, JobMemKey};
-use dbmodel::catalog::{Catalog, PageAddr, RelationId};
+use dbmodel::catalog::{Catalog, PageAddr};
 use hardware::{IoKind, IoRequest};
 use simkit::slab::SlabKey;
 use simkit::{SimRng, SimTime};
@@ -30,9 +30,12 @@ pub mod object {
         TEMP_BIT | counter
     }
 
-    /// Lock object for a relation-level lock (disjoint from tuple locks).
-    pub fn rel_lock(rel: RelationId) -> u64 {
-        (1 << 62) | rel.0 as u64
+    /// Lock object for a fragment-level lock (disjoint from tuple locks).
+    /// Scans take these shared per scanned fragment; online fragment
+    /// migration takes them exclusive, so scans block on in-flight
+    /// fragments and migrations wait for running scans to commit.
+    pub fn frag_lock(rel: RelationId, fragment: u32) -> u64 {
+        (1 << 62) | ((rel.0 as u64) << 24) | fragment as u64
     }
 
     /// Lock object for a tuple-level lock.
@@ -219,22 +222,12 @@ impl Ctx<'_> {
             });
         }
     }
-
-    /// First data page of relation `rel`'s fragment at `pe` (fragments are
-    /// page-addressed from 0 per (object, pe); including the PE in the
-    /// object would break nothing, but per-PE page spaces are simpler).
-    pub fn frag_object(&self, rel: RelationId, pe: PeId) -> u64 {
-        // Fragment pages live in a per-PE page space: fold the PE into the
-        // page number instead of the object so prefetch runs stay within
-        // one fragment.
-        let _ = pe;
-        object::data(rel)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dbmodel::catalog::RelationId;
     use simkit::Slab;
 
     #[test]

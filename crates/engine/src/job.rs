@@ -3,6 +3,7 @@
 use crate::api::{Input, JobId, PeId};
 use crate::ctx::Ctx;
 use crate::join::JoinJob;
+use crate::migrate::MigrationJob;
 use crate::multijoin::MultiJoinJob;
 use crate::oltp::OltpJob;
 use crate::query::{ScanQueryJob, UpdateJob};
@@ -17,6 +18,10 @@ pub enum Job {
     ScanQ(ScanQueryJob),
     UpdateQ(UpdateJob),
     SortQ(SortQueryJob),
+    /// A fragment migration launched by the rebalancing controller — a
+    /// system utility, not a workload class (excluded from per-class
+    /// response metrics and MPL admission).
+    Migrate(MigrationJob),
 }
 
 impl Job {
@@ -29,6 +34,7 @@ impl Job {
             Job::ScanQ(j) => j.handle(job, input, ctx),
             Job::UpdateQ(j) => j.handle(job, input, ctx),
             Job::SortQ(j) => j.handle(job, input, ctx),
+            Job::Migrate(j) => j.handle(job, input, ctx),
         }
     }
 
@@ -41,10 +47,12 @@ impl Job {
             Job::ScanQ(j) => j.coord,
             Job::UpdateQ(j) => j.pe,
             Job::SortQ(j) => j.coord,
+            Job::Migrate(j) => j.from,
         }
     }
 
-    /// Workload class index (for per-class metrics).
+    /// Workload class index (for per-class metrics; `u32::MAX` marks
+    /// system utilities outside every workload class).
     pub fn class(&self) -> u32 {
         match self {
             Job::Join(j) => j.class,
@@ -53,6 +61,7 @@ impl Job {
             Job::ScanQ(j) => j.class,
             Job::UpdateQ(j) => j.class,
             Job::SortQ(j) => j.class,
+            Job::Migrate(_) => u32::MAX,
         }
     }
 
@@ -65,6 +74,7 @@ impl Job {
             Job::ScanQ(j) => j.submitted,
             Job::UpdateQ(j) => j.submitted,
             Job::SortQ(j) => j.submitted,
+            Job::Migrate(j) => j.submitted,
         }
     }
 

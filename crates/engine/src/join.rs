@@ -77,8 +77,11 @@ pub struct JoinJob {
     state: CState,
     pub placement: Vec<PeId>,
     tasks: Vec<Task>,
-    a_pes: Vec<PeId>,
-    b_pes: Vec<PeId>,
+    /// Inner-scan sources: (fragment index, home PE at placement time).
+    a_frags: Vec<(u32, PeId)>,
+    /// Probe-scan sources (fragment, home PE), or the coordinator's
+    /// in-memory intermediate for multi-way stages.
+    b_frags: Vec<(u32, PeId)>,
     ready_cnt: u32,
     builddone_cnt: u32,
     joindone_cnt: u32,
@@ -122,8 +125,8 @@ impl JoinJob {
             state: CState::Queued,
             placement: Vec::new(),
             tasks: Vec::new(),
-            a_pes: Vec::new(),
-            b_pes: Vec::new(),
+            a_frags: Vec::new(),
+            b_frags: Vec::new(),
             ready_cnt: 0,
             builddone_cnt: 0,
             joindone_cnt: 0,
@@ -206,8 +209,8 @@ impl JoinJob {
         self.state = CState::Init;
         self.placement.clear();
         self.tasks.clear();
-        self.a_pes.clear();
-        self.b_pes.clear();
+        self.a_frags.clear();
+        self.b_frags.clear();
         self.ready_cnt = 0;
         self.builddone_cnt = 0;
         self.joindone_cnt = 0;
@@ -231,8 +234,9 @@ impl JoinJob {
                 psu_noio: self.psu_noio,
                 outer_scan_nodes: match self.probe_override {
                     Some(_) => 1,
-                    None => ctx.catalog.relation(self.outer).allocation.pe_count,
+                    None => ctx.catalog.scan_pe_count(self.outer),
                 },
+                inner_rel: self.inner.0,
                 stage: self.stage,
             },
         );
@@ -259,7 +263,7 @@ impl JoinJob {
             }
             InKind::LockGrant { pe, object } => {
                 let (pe, object) = (*pe, *object);
-                if let Some(tid) = self.scan_task_at(pe) {
+                if let Some(tid) = self.scan_task_at(pe, object) {
                     self.task_input(job, tid, InKind::LockGrant { pe, object }, ctx);
                 }
                 return;
@@ -286,11 +290,14 @@ impl JoinJob {
             .map(|i| i as TaskId)
     }
 
-    fn scan_task_at(&self, pe: PeId) -> Option<TaskId> {
+    /// Scan task waiting on `object` at `pe`. Matching on the lock object
+    /// (a fragment lock) keeps routing exact when several fragments of one
+    /// relation share a home PE.
+    fn scan_task_at(&self, pe: PeId, object: u64) -> Option<TaskId> {
         self.tasks
             .iter()
             .position(|t| match t {
-                Task::Scan(s) => s.pe == pe && !s.is_done(),
+                Task::Scan(s) => s.pe == pe && !s.is_done() && s.lock_object() == Some(object),
                 Task::Join(_) => false,
             })
             .map(|i| i as TaskId)
@@ -391,19 +398,29 @@ impl JoinJob {
         self.placement = nodes;
         let p = self.placement.len() as u32;
         let weights = self.share_weights(p);
-        let a_rel = ctx.catalog.relation(self.inner);
-        self.a_pes = a_rel.allocation.pes().collect();
+        self.a_frags = ctx
+            .catalog
+            .fragments(self.inner)
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i as u32, f.pe))
+            .collect();
         match self.probe_override {
             None => {
-                let b_rel = ctx.catalog.relation(self.outer);
-                self.b_pes = b_rel.allocation.pes().collect();
+                self.b_frags = ctx
+                    .catalog
+                    .fragments(self.outer)
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| (i as u32, f.pe))
+                    .collect();
             }
             Some(_) => {
-                self.b_pes = vec![self.coord];
+                self.b_frags = vec![(0, self.coord)];
             }
         }
-        let a_srcs = self.a_pes.len() as u32;
-        let b_srcs = self.b_pes.len() as u32;
+        let a_srcs = self.a_frags.len() as u32;
+        let b_srcs = self.b_frags.len() as u32;
 
         // Task ids: joins first (so scan destination index == task id).
         self.tasks.clear();
@@ -422,8 +439,8 @@ impl JoinJob {
             )));
         }
         let txn = self.txn(job);
-        // Inner (A) scan tasks.
-        for &pe in self.a_pes.clone().iter() {
+        // Inner (A) scan tasks, one per fragment.
+        for &(frag, pe) in self.a_frags.clone().iter() {
             let tid = self.tasks.len() as TaskId;
             let mut scan = ScanTask::new(
                 job,
@@ -434,6 +451,7 @@ impl JoinJob {
                 self.placement.clone(),
                 ScanSource::Fragment {
                     relation: self.inner,
+                    fragment: frag,
                     selectivity: self.selectivity,
                     access: ScanAccess::Clustered,
                 },
@@ -445,11 +463,12 @@ impl JoinJob {
             self.tasks.push(Task::Scan(scan));
         }
         // Outer (B) scan tasks (or the in-memory intermediate).
-        for &pe in self.b_pes.clone().iter() {
+        for &(frag, pe) in self.b_frags.clone().iter() {
             let tid = self.tasks.len() as TaskId;
             let source = match self.probe_override {
                 None => ScanSource::Fragment {
                     relation: self.outer,
+                    fragment: frag,
                     selectivity: self.selectivity,
                     access: ScanAccess::Clustered,
                 },
@@ -492,7 +511,7 @@ impl JoinJob {
     fn start_build(&mut self, job: JobId, ctx: &mut Ctx) {
         self.state = CState::Build;
         let p = self.placement.len() as u32;
-        for (off, &pe) in self.a_pes.clone().iter().enumerate() {
+        for (off, &(_, pe)) in self.a_frags.clone().iter().enumerate() {
             let tid = (p as usize + off) as TaskId;
             ctx.send_to(
                 self.coord,
@@ -512,8 +531,8 @@ impl JoinJob {
 
     fn start_probe(&mut self, job: JobId, ctx: &mut Ctx) {
         self.state = CState::Probe;
-        let base = self.placement.len() + self.a_pes.len();
-        for (off, &pe) in self.b_pes.clone().iter().enumerate() {
+        let base = self.placement.len() + self.a_frags.len();
+        for (off, &(_, pe)) in self.b_frags.clone().iter().enumerate() {
             let tid = (base + off) as TaskId;
             ctx.send_to(
                 self.coord,

@@ -14,6 +14,9 @@
 //!   building phase, probing phase, result merge, read-only single-phase
 //!   commit);
 //! * [`multijoin`] — left-deep multi-way joins (one placement per stage);
+//! * [`migrate`] — online fragment migrations (disk-read → network →
+//!   disk-write traffic with exclusive fragment locking) driving the
+//!   dynamic data-placement layer;
 //! * [`oltp`] — affinity-routed debit-credit transactions with priority
 //!   page fixes and log forcing (group commit);
 //! * [`query`] — stand-alone scan queries and update statements;
@@ -24,6 +27,7 @@ pub mod api;
 pub mod ctx;
 pub mod job;
 pub mod join;
+pub mod migrate;
 pub mod multijoin;
 pub mod oltp;
 pub mod pe;

@@ -128,8 +128,7 @@ impl OltpJob {
             return;
         }
         // Lock the target tuple (X for updates, S otherwise).
-        let rel = ctx.catalog.relation(self.relation);
-        let frag_tuples = rel.tuples_at(self.pe).max(1);
+        let frag_tuples = ctx.catalog.tuples_at(self.relation, self.pe).max(1);
         let tuple = self.pick_tuple(frag_tuples);
         let mode = if self.access_done < self.updates {
             LockMode::Exclusive
@@ -161,9 +160,8 @@ impl OltpJob {
 
     /// Fix the index path + data page; queue the misses sequentially.
     fn do_access(&mut self, job: JobId, ctx: &mut Ctx) {
-        let rel = ctx.catalog.relation(self.relation);
-        let frag_tuples = rel.tuples_at(self.pe).max(1);
-        let frag_pages = rel.pages_at(self.pe).max(1);
+        let frag_tuples = ctx.catalog.tuples_at(self.relation, self.pe).max(1);
+        let frag_pages = ctx.catalog.pages_at(self.relation, self.pe).max(1);
         let tree = BTreeModel::new(ctx.cfg.btree_fanout, frag_tuples);
         let tuple = self.pick_tuple(frag_tuples);
         let leaf = tuple / ctx.cfg.btree_fanout as u64;

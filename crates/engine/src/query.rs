@@ -73,6 +73,18 @@ impl ScanQueryJob {
     }
 
     pub fn handle(&mut self, job: JobId, input: Input, ctx: &mut Ctx) {
+        // PE-addressed lock grants (a scan blocked on an in-flight
+        // fragment migration) route to the matching scan task.
+        if let InKind::LockGrant { pe, object } = input.kind {
+            if let Some(tid) = self
+                .tasks
+                .iter()
+                .position(|s| s.pe == pe && !s.is_done() && s.lock_object() == Some(object))
+            {
+                self.tasks[tid].lock_granted(ctx);
+            }
+            return;
+        }
         match input.task {
             COORD_TASK => match (self.state, input.kind) {
                 (QState::Queued, InKind::Start) => {
@@ -123,13 +135,14 @@ impl ScanQueryJob {
     fn start_scans(&mut self, job: JobId, ctx: &mut Ctx) {
         self.state = QState::Running;
         let txn = self.txn(job);
-        let pes: Vec<PeId> = ctx
+        let frags: Vec<(u32, PeId)> = ctx
             .catalog
-            .relation(self.relation)
-            .allocation
-            .pes()
+            .fragments(self.relation)
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i as u32, f.pe))
             .collect();
-        for (i, &pe) in pes.iter().enumerate() {
+        for (i, &(frag, pe)) in frags.iter().enumerate() {
             self.tasks.push(ScanTask::new(
                 job,
                 i as TaskId,
@@ -139,6 +152,7 @@ impl ScanQueryJob {
                 Vec::new(), // results to coordinator
                 ScanSource::Fragment {
                     relation: self.relation,
+                    fragment: frag,
                     selectivity: self.selectivity,
                     access: self.access,
                 },
@@ -208,7 +222,6 @@ impl ScanQueryJob {
             },
             InKind::Step(Step::TermCpu) => {}
             InKind::Step(step) => s.on_step(step, ctx),
-            InKind::LockGrant { .. } => s.lock_granted(ctx),
             other => unreachable!("scan query task: input {other:?}"),
         }
     }
@@ -347,8 +360,7 @@ impl UpdateJob {
             }
             return;
         }
-        let rel = ctx.catalog.relation(self.relation);
-        let frag_tuples = rel.tuples_at(self.pe).max(1);
+        let frag_tuples = ctx.catalog.tuples_at(self.relation, self.pe).max(1);
         let tuple = self.next_rand() % frag_tuples;
         let lock_obj = object::tuple_lock(self.relation, tuple);
         if ctx.pes[self.pe as usize]
@@ -363,15 +375,14 @@ impl UpdateJob {
 
     /// Fetch the pages needed to update one tuple.
     fn fetch_target(&mut self, job: JobId, ctx: &mut Ctx) {
-        let rel = ctx.catalog.relation(self.relation);
-        let frag_pages = rel.pages_at(self.pe).max(1);
+        let frag_tuples = ctx.catalog.tuples_at(self.relation, self.pe);
+        let frag_pages = ctx.catalog.pages_at(self.relation, self.pe).max(1);
         self.pending_ios = 0;
         self.io_instr = 0;
         let token = Token::new(job, COORD_TASK, Step::PageIo);
         if self.via_index {
-            let tuple = self.next_rand() % rel.tuples_at(self.pe).max(1);
-            let tree =
-                dbmodel::btree::BTreeModel::new(ctx.cfg.btree_fanout, rel.tuples_at(self.pe));
+            let tuple = self.next_rand() % frag_tuples.max(1);
+            let tree = dbmodel::btree::BTreeModel::new(ctx.cfg.btree_fanout, frag_tuples);
             for lvl in 0..tree.height() {
                 let addr = PageAddr::new(object::index(self.relation), lvl as u64);
                 if ctx.fix_page(self.pe, addr, false, false, IoKind::RandRead, token.clone()) {

@@ -13,7 +13,7 @@
 //! With an empty destination set the output streams to the coordinator as
 //! [`MsgKind::ResultBatch`] (stand-alone scan queries).
 
-use crate::api::{JobId, JoinPhase, MsgKind, PeId, Step, TaskId, Token};
+use crate::api::{Action, JobId, JoinPhase, MsgKind, PeId, Step, TaskId, Token};
 use crate::ctx::{object, Ctx};
 use dbmodel::btree::{BTreeModel, ScanPlan};
 use dbmodel::catalog::{PageAddr, RelationId};
@@ -24,19 +24,23 @@ use hardware::IoKind;
 /// all fragments — matches what the per-fragment [`ScanTask`] plans emit,
 /// including per-fragment rounding.
 pub fn expected_scan_output(catalog: &dbmodel::Catalog, rel: RelationId, selectivity: f64) -> u64 {
-    let r = catalog.relation(rel);
-    r.allocation
-        .pes()
-        .map(|pe| r.selected_tuples_at(pe, selectivity))
+    catalog
+        .fragments(rel)
+        .iter()
+        .map(|f| ((f.tuples as f64) * selectivity).round() as u64)
         .sum()
 }
 
 /// What the scan reads.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScanSource {
-    /// A fragment of a base relation at this PE.
+    /// A fragment of a base relation (addressed by fragment index in the
+    /// partition map, not by a PE range — the task's PE is the fragment's
+    /// home at job-planning time).
     Fragment {
         relation: RelationId,
+        /// Fragment index in the relation's [`dbmodel::RelationPlacement`].
+        fragment: u32,
         selectivity: f64,
         access: ScanAccess,
     },
@@ -87,6 +91,9 @@ pub struct ScanTask {
     // plan
     index_pages: u32,
     data_pages: u64,
+    /// Page offset of this fragment within its PE's page space for the
+    /// relation (non-zero only when fragments share a home PE).
+    page_base: u64,
     tuples_read_total: u64,
     tuples_out_total: u64,
     rand_access: bool,
@@ -127,6 +134,7 @@ impl ScanTask {
             state: State::Created,
             index_pages: 0,
             data_pages: 0,
+            page_base: 0,
             tuples_read_total: 0,
             tuples_out_total: 0,
             rand_access: false,
@@ -159,12 +167,14 @@ impl ScanTask {
         match &self.source {
             ScanSource::Fragment {
                 relation,
+                fragment,
                 selectivity,
                 access,
             } => {
-                let rel = ctx.catalog.relation(*relation);
-                let frag_tuples = rel.tuples_at(self.pe);
-                let frag_pages = rel.pages_at(self.pe);
+                let frag = ctx.catalog.fragment(*relation, *fragment);
+                let frag_tuples = frag.tuples;
+                let frag_pages = ctx.catalog.fragment_pages(*relation, *fragment);
+                self.page_base = ctx.catalog.fragment_page_base(*relation, *fragment);
                 let tree = BTreeModel::new(ctx.cfg.btree_fanout, frag_tuples);
                 let plan = match access {
                     ScanAccess::Full => {
@@ -202,10 +212,13 @@ impl ScanTask {
     pub fn start(&mut self, ctx: &mut Ctx) {
         debug_assert_eq!(self.state, State::Created);
         self.plan(ctx);
-        if let ScanSource::Fragment { relation, .. } = self.source {
+        if let ScanSource::Fragment {
+            relation, fragment, ..
+        } = self.source
+        {
             let outcome = ctx.pes[self.pe as usize].locks.lock(
                 self.txn,
-                object::rel_lock(relation),
+                object::frag_lock(relation, fragment),
                 LockMode::Shared,
             );
             if outcome == LockOutcome::Waiting {
@@ -296,7 +309,7 @@ impl ScanTask {
                 self.process_page(ctx);
             }
             ScanSource::Fragment { relation, .. } => {
-                let addr = PageAddr::new(object::data(*relation), self.page_no());
+                let addr = PageAddr::new(object::data(*relation), self.page_base + self.page_no());
                 let kind = if self.rand_access {
                     IoKind::RandRead
                 } else {
@@ -461,7 +474,22 @@ impl ScanTask {
 
     /// All pages processed: flush partials (carrying end-of-stream flags)
     /// and send explicit PhaseEnd only where no partial batch remained.
+    ///
+    /// The fragment lock is released **here**, not at commit: the scan is
+    /// read-only and re-reads nothing, so holding the shared lock to the
+    /// end of the whole query would only serialize pending fragment
+    /// migrations behind multi-second joins.
     fn finish(&mut self, ctx: &mut Ctx) {
+        if let Some(object) = self.lock_object() {
+            let pe = self.pe;
+            for (txn, obj) in ctx.pes[pe as usize].locks.release(self.txn, object) {
+                ctx.out.push(Action::LockGranted {
+                    job: simkit::slab::SlabKey::from_raw(txn.id),
+                    pe,
+                    object: obj,
+                });
+            }
+        }
         if self.dests.is_empty() {
             self.flush(ctx, true);
             ctx.send_to(
@@ -500,6 +528,17 @@ impl ScanTask {
 
     pub fn is_done(&self) -> bool {
         self.state == State::Done
+    }
+
+    /// The fragment lock this scan takes (None for in-memory sources);
+    /// used by job coordinators to route lock grants to the right task.
+    pub fn lock_object(&self) -> Option<u64> {
+        match &self.source {
+            ScanSource::Fragment {
+                relation, fragment, ..
+            } => Some(object::frag_lock(*relation, *fragment)),
+            ScanSource::Memory { .. } => None,
+        }
     }
 
     /// One-line diagnostic summary.

@@ -337,7 +337,8 @@ pub struct SortQueryJob {
     state: QState,
     placement: Vec<PeId>,
     tasks: Vec<STask>,
-    scan_pes: Vec<PeId>,
+    /// Scan sources: (fragment index, home PE at placement time).
+    scan_frags: Vec<(u32, PeId)>,
     ready_cnt: u32,
     done_cnt: u32,
     ack_cnt: u32,
@@ -370,7 +371,7 @@ impl SortQueryJob {
             state: QState::Queued,
             placement: Vec::new(),
             tasks: Vec::new(),
-            scan_pes: Vec::new(),
+            scan_frags: Vec::new(),
             ready_cnt: 0,
             done_cnt: 0,
             ack_cnt: 0,
@@ -387,9 +388,9 @@ impl SortQueryJob {
 
     pub fn handle(&mut self, job: JobId, input: Input, ctx: &mut Ctx) {
         // PE-addressed wake-ups (locks) route to the scan task there.
-        if let InKind::LockGrant { pe, .. } = input.kind {
+        if let InKind::LockGrant { pe, object } = input.kind {
             if let Some(tid) = self.tasks.iter().position(|t| match t {
-                STask::Scan(s) => s.pe == pe && !s.is_done(),
+                STask::Scan(s) => s.pe == pe && !s.is_done() && s.lock_object() == Some(object),
                 STask::Sort(_) => false,
             }) {
                 if let STask::Scan(s) = &mut self.tasks[tid] {
@@ -418,7 +419,7 @@ impl SortQueryJob {
             }
             InKind::Step(Step::Init) => {
                 self.state = QState::WaitPlacement;
-                let srcs = ctx.catalog.relation(self.relation).allocation.pe_count;
+                let srcs = ctx.catalog.scan_pe_count(self.relation);
                 ctx.send_to(
                     self.coord,
                     ctx.control_pe,
@@ -430,6 +431,7 @@ impl SortQueryJob {
                         psu_opt: self.psu_opt,
                         psu_noio: self.psu_noio,
                         outer_scan_nodes: srcs,
+                        inner_rel: self.relation.0,
                         stage: 0,
                     },
                 );
@@ -480,9 +482,14 @@ impl SortQueryJob {
         self.placement = nodes;
         self.state = QState::WaitReady;
         let p = self.placement.len() as u32;
-        let rel = ctx.catalog.relation(self.relation);
-        self.scan_pes = rel.allocation.pes().collect();
-        let srcs = self.scan_pes.len() as u32;
+        self.scan_frags = ctx
+            .catalog
+            .fragments(self.relation)
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i as u32, f.pe))
+            .collect();
+        let srcs = self.scan_frags.len() as u32;
         let expected = ((self.table_pages / p as f64).ceil() as u32).max(1);
         for (i, &pe) in self.placement.clone().iter().enumerate() {
             self.tasks.push(STask::Sort(SortTask::new(
@@ -511,7 +518,7 @@ impl SortQueryJob {
     fn start_scans(&mut self, job: JobId, ctx: &mut Ctx) {
         self.state = QState::Running;
         let txn = self.txn(job);
-        for &pe in self.scan_pes.clone().iter() {
+        for &(frag, pe) in self.scan_frags.clone().iter() {
             let tid = self.tasks.len() as TaskId;
             self.tasks.push(STask::Scan(ScanTask::new(
                 job,
@@ -522,6 +529,7 @@ impl SortQueryJob {
                 self.placement.clone(),
                 ScanSource::Fragment {
                     relation: self.relation,
+                    fragment: frag,
                     selectivity: self.selectivity,
                     access: ScanAccess::Clustered,
                 },

@@ -137,6 +137,7 @@ fn scan_emits_exact_output_with_last_flags() {
         vec![5, 6, 7, 8],
         ScanSource::Fragment {
             relation: dbmodel::RelationId(0),
+            fragment: 0,
             selectivity: 0.01,
             access: ScanAccess::Clustered,
         },

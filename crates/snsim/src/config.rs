@@ -1,14 +1,42 @@
 //! Simulation configuration: the Fig. 4 parameter table plus run control.
 
-use dbmodel::catalog::{Catalog, Declustering, IndexKind, Relation, RelationId};
+use dbmodel::catalog::{Catalog, IndexKind, Relation, RelationId};
 use dbmodel::log::LogParams;
+use dbmodel::placement::RelationPlacement;
 use engine::EngineConfig;
 use hardware::HardwareParams;
 use lb_core::costmodel::CostParams;
-use lb_core::{CentralBroker, PolicyConfig, ResourceBroker, Strategy};
+use lb_core::{CentralBroker, PolicyConfig, RebalanceConfig, ResourceBroker, Strategy};
 use serde::{Deserialize, Serialize};
 use simkit::SimDur;
 use workload::WorkloadSpec;
+
+/// The data-placement layer's configuration: how the join relations are
+/// fragmented and whether the online rebalancer runs. The default
+/// reproduces the paper exactly (uniform one-fragment-per-PE allocation,
+/// no rebalancing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPlacementConfig {
+    /// Zipf theta of the fragment-size distribution of the join relations
+    /// (0 = the paper's equal tuples per fragment).
+    pub data_skew: f64,
+    /// Fragments per join relation (0 = one per home PE, the paper's
+    /// layout; larger values let several fragments share a home so
+    /// migration can spread them).
+    pub fragment_count: u32,
+    /// Online rebalancing controller; `None` = static placement.
+    pub rebalance: Option<RebalanceConfig>,
+}
+
+impl Default for DataPlacementConfig {
+    fn default() -> Self {
+        DataPlacementConfig {
+            data_skew: 0.0,
+            fragment_count: 0,
+            rebalance: None,
+        }
+    }
+}
 
 /// Everything needed to build and run one simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,6 +61,8 @@ pub struct SimConfig {
     /// multi-join stages, adaptive-controller parameters). The default
     /// reproduces the paper's setup.
     pub policies: PolicyConfig,
+    /// Data-placement layer: fragment skew, fragment count, rebalancing.
+    pub placement: DataPlacementConfig,
     /// Per-PE CPU speed factors relative to `hw.cpu.mips` (heterogeneous
     /// systems). Empty = all PEs at nominal speed; shorter vectors apply
     /// to the leading PEs with the rest at nominal speed. The planner's
@@ -77,6 +107,7 @@ impl SimConfig {
             workload,
             strategy,
             policies: PolicyConfig::default(),
+            placement: DataPlacementConfig::default(),
             node_speed: Vec::new(),
             control_interval: SimDur::from_millis(100),
             luc_bump: 0.05,
@@ -111,6 +142,13 @@ impl SimConfig {
     /// strategies, multi-join stage strategy, adaptive switching).
     pub fn with_policies(mut self, policies: PolicyConfig) -> SimConfig {
         self.policies = policies;
+        self
+    }
+
+    /// Configure the data-placement layer (fragment skew/count, online
+    /// rebalancing).
+    pub fn with_data_placement(mut self, placement: DataPlacementConfig) -> SimConfig {
+        self.placement = placement;
         self
     }
 
@@ -150,23 +188,34 @@ impl SimConfig {
         self
     }
 
-    /// Build the catalog: the paper's A and B relations plus an OLTP
-    /// relation (id 2) declustered across all PEs when the workload has
-    /// OLTP classes.
+    /// Build the catalog: the paper's A and B relations (fragmented per
+    /// the data-placement config) plus an OLTP relation (id 2)
+    /// declustered uniformly across all PEs when the workload has OLTP
+    /// classes (affinity routing assumes a local fragment everywhere, so
+    /// the skew knob applies to the join relations only).
     pub fn build_catalog(&self) -> Catalog {
-        let mut c = Catalog::paper_default(self.n_pes);
+        let mut c = Catalog::paper_with_placement(
+            self.n_pes,
+            self.placement.data_skew,
+            self.placement.fragment_count,
+        );
         if !self.workload.oltp.is_empty() {
             let tuples = self.oltp_pages_per_node as u64 * 20 * self.n_pes as u64;
-            c.add(Relation {
-                id: RelationId(2),
-                name: "ACCOUNT".into(),
-                tuples,
-                tuple_bytes: 400,
-                blocking_factor: 20,
-                index: IndexKind::NonClusteredBTree,
-                allocation: Declustering::new(0, self.n_pes),
-                memory_resident: false,
-            });
+            c.add(
+                Relation {
+                    id: RelationId(2),
+                    name: "ACCOUNT".into(),
+                    tuples,
+                    tuple_bytes: 400,
+                    blocking_factor: 20,
+                    index: IndexKind::NonClusteredBTree,
+                    memory_resident: false,
+                    // Affinity-routed transactions assume a local fragment
+                    // everywhere: the rebalancer must leave it alone.
+                    pinned: true,
+                },
+                RelationPlacement::uniform(tuples, 0, self.n_pes),
+            );
         }
         c
     }
@@ -233,7 +282,7 @@ mod tests {
         );
         let cat = mixed.build_catalog();
         assert_eq!(cat.len(), 3);
-        assert_eq!(cat.relation(RelationId(2)).allocation.pe_count, 20);
+        assert_eq!(cat.scan_pe_count(RelationId(2)), 20);
     }
 
     #[test]

@@ -283,6 +283,7 @@ impl System {
                 Some(Job::ScanQ(s)) => format!("scanq submitted={}", s.submitted),
                 Some(Job::UpdateQ(u)) => format!("updateq submitted={}", u.submitted),
                 Some(Job::SortQ(s)) => format!("sortq submitted={}", s.submitted),
+                Some(Job::Migrate(m)) => m.debug_state(),
                 None => "checked-out".into(),
             })
             .collect()

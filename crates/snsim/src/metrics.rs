@@ -1,14 +1,23 @@
 //! Simulation output: per-class response times, resource utilization,
 //! join placement statistics, conservation counters.
+//!
+//! Work-class names are **interned once per run**: the hot recording path
+//! ([`Metrics::record_completion`], [`Metrics::record_join`]) works purely
+//! with dense [`ClassId`] indices and never touches a `String` — names are
+//! resolved only when the final [`Summary`] is built.
 
 use serde::{Deserialize, Serialize};
 use simkit::stats::{Histogram, OnlineStats};
 use simkit::{SimDur, SimTime};
 
-/// Per-workload-class accumulators.
+/// Dense index of a workload class (queries first, then OLTP classes), in
+/// the order the names were interned at [`Metrics::new`].
+pub type ClassId = u32;
+
+/// Per-workload-class accumulators (name held in the metrics-level intern
+/// table, not per event).
 #[derive(Debug, Clone, Default)]
 pub struct ClassStats {
-    pub name: String,
     pub completed: u64,
     pub resp: OnlineStats,
     pub hist: Histogram,
@@ -28,35 +37,47 @@ pub struct JoinStats {
 #[derive(Debug, Clone)]
 pub struct Metrics {
     pub warmup_end: SimTime,
+    /// Interned class names; index = [`ClassId`].
+    names: Vec<Box<str>>,
     pub classes: Vec<ClassStats>,
     pub joins: JoinStats,
     pub aborted: u64,
     pub deadlock_victims: u64,
     pub stale_tokens: u64,
     pub arrivals: u64,
+    /// Completed fragment migrations (online rebalancing).
+    pub migrations: u64,
+    /// Tuples re-homed by completed migrations.
+    pub tuples_moved: u64,
 }
 
 impl Metrics {
     pub fn new(class_names: Vec<String>, warmup_end: SimTime) -> Metrics {
+        let names: Vec<Box<str>> = class_names
+            .into_iter()
+            .map(String::into_boxed_str)
+            .collect();
         Metrics {
             warmup_end,
-            classes: class_names
-                .into_iter()
-                .map(|name| ClassStats {
-                    name,
-                    ..ClassStats::default()
-                })
-                .collect(),
+            classes: names.iter().map(|_| ClassStats::default()).collect(),
+            names,
             joins: JoinStats::default(),
             aborted: 0,
             deadlock_victims: 0,
             stale_tokens: 0,
             arrivals: 0,
+            migrations: 0,
+            tuples_moved: 0,
         }
     }
 
+    /// Interned name of a class.
+    pub fn class_name(&self, class: ClassId) -> &str {
+        &self.names[class as usize]
+    }
+
     /// Record a completed job (response samples only after warm-up).
-    pub fn record_completion(&mut self, class: u32, submitted: SimTime, now: SimTime) {
+    pub fn record_completion(&mut self, class: ClassId, submitted: SimTime, now: SimTime) {
         if now < self.warmup_end {
             return;
         }
@@ -85,6 +106,12 @@ impl Metrics {
         self.joins.mem_waits += mem_waits as u64;
         self.joins.results += results;
     }
+
+    /// Record one completed fragment migration.
+    pub fn record_migration(&mut self, tuples: u64) {
+        self.migrations += 1;
+        self.tuples_moved += tuples;
+    }
 }
 
 /// Final run summary (serializable for EXPERIMENTS.md provenance).
@@ -110,6 +137,10 @@ pub struct Summary {
     pub deadlock_victims: u64,
     /// Mid-run placement-policy switches by adaptive controllers.
     pub policy_switches: u64,
+    /// Completed fragment migrations (0 without rebalancing).
+    pub migrations: u64,
+    /// Tuples re-homed by completed migrations.
+    pub tuples_moved: u64,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -124,20 +155,37 @@ pub struct ClassSummary {
 impl Summary {
     /// Mean response time (ms) of the first join class, the headline
     /// number of every figure.
+    ///
+    /// A saturated cell that completed **zero** queries after warm-up
+    /// reports `f64::INFINITY`, not the accumulator's 0.0 — an `argmin`
+    /// over a degree sweep must never crown an empty cell the optimum
+    /// (the pre-PR-3 fig1c "shape violation" was exactly that artifact).
     pub fn join_resp_ms(&self) -> f64 {
         self.classes
             .iter()
             .find(|c| c.name.starts_with("join"))
-            .map(|c| c.mean_ms)
+            .map(ClassSummary::resp_ms)
             .unwrap_or(f64::NAN)
     }
 
-    /// Mean response time of the OLTP class, if present.
+    /// Mean response time of the OLTP class, if present (infinite for a
+    /// saturated cell with zero completions, like [`Summary::join_resp_ms`]).
     pub fn oltp_resp_ms(&self) -> Option<f64> {
         self.classes
             .iter()
             .find(|c| c.name.contains("debit") || c.name.contains("oltp"))
-            .map(|c| c.mean_ms)
+            .map(ClassSummary::resp_ms)
+    }
+}
+
+impl ClassSummary {
+    /// Mean response time, `f64::INFINITY` when nothing completed.
+    pub fn resp_ms(&self) -> f64 {
+        if self.completed == 0 {
+            f64::INFINITY
+        } else {
+            self.mean_ms
+        }
     }
 }
 
@@ -157,6 +205,7 @@ mod tests {
         assert_eq!(m.classes[0].completed, 0);
         m.record_completion(0, SimTime(900), SimTime(1_500));
         assert_eq!(m.classes[0].completed, 1);
+        assert_eq!(m.class_name(0), "join");
     }
 
     #[test]
@@ -170,29 +219,22 @@ mod tests {
     }
 
     #[test]
-    fn summary_helpers() {
-        let s = Summary {
+    fn migration_counters_accumulate() {
+        let mut m = Metrics::new(vec![], SimTime(0));
+        m.record_migration(40_000);
+        m.record_migration(2_000);
+        assert_eq!(m.migrations, 2);
+        assert_eq!(m.tuples_moved, 42_000);
+    }
+
+    fn summary(classes: Vec<ClassSummary>) -> Summary {
+        Summary {
             n_pes: 10,
             strategy: "MIN-IO".into(),
             sim_seconds: 10.0,
             measured_seconds: 8.0,
             events: 1000,
-            classes: vec![
-                ClassSummary {
-                    name: "join-1%".into(),
-                    completed: 10,
-                    mean_ms: 500.0,
-                    p95_ms: 900.0,
-                    throughput: 1.25,
-                },
-                ClassSummary {
-                    name: "debit-credit".into(),
-                    completed: 100,
-                    mean_ms: 20.0,
-                    p95_ms: 50.0,
-                    throughput: 12.5,
-                },
-            ],
+            classes,
             avg_cpu_util: 0.5,
             max_cpu_util: 0.9,
             avg_disk_util: 0.3,
@@ -205,10 +247,47 @@ mod tests {
             aborted: 0,
             deadlock_victims: 0,
             policy_switches: 0,
-        };
+            migrations: 0,
+            tuples_moved: 0,
+        }
+    }
+
+    #[test]
+    fn summary_helpers() {
+        let s = summary(vec![
+            ClassSummary {
+                name: "join-1%".into(),
+                completed: 10,
+                mean_ms: 500.0,
+                p95_ms: 900.0,
+                throughput: 1.25,
+            },
+            ClassSummary {
+                name: "debit-credit".into(),
+                completed: 100,
+                mean_ms: 20.0,
+                p95_ms: 50.0,
+                throughput: 12.5,
+            },
+        ]);
         assert_eq!(s.join_resp_ms(), 500.0);
         assert_eq!(s.oltp_resp_ms(), Some(20.0));
         let json = serde_json::to_string(&s).unwrap();
         assert!(json.contains("join-1%"));
+    }
+
+    #[test]
+    fn empty_cells_report_infinite_response() {
+        // A saturated cell: arrivals happened but nothing completed after
+        // warm-up. The headline metric must be non-finite so sweeps
+        // never treat the cell as the optimum.
+        let s = summary(vec![ClassSummary {
+            name: "join-1%".into(),
+            completed: 0,
+            mean_ms: 0.0,
+            p95_ms: 0.0,
+            throughput: 0.0,
+        }]);
+        assert!(s.join_resp_ms().is_infinite());
     }
 }

@@ -320,23 +320,30 @@ fn profile_for(
     selectivity: f64,
     probe_override: Option<u64>,
 ) -> JoinProfile {
-    let inner_rel = catalog.relation(inner);
-    let outer_rel = catalog.relation(outer);
     let inner_out = expected_scan_output(catalog, inner, selectivity);
     let outer_out =
         probe_override.unwrap_or_else(|| expected_scan_output(catalog, outer, selectivity));
-    let inner_first = inner_rel.allocation.first_pe;
-    let outer_first = outer_rel.allocation.first_pe;
+    // Per-node scan estimate: the heaviest home PE's total pages (sum of
+    // its co-resident fragments) — identical to the old first-PE number
+    // under uniform placement, and the true scan makespan driver under
+    // skew. The planner stays placement-static by design: migrations do
+    // not replan, the dynamic layers absorb the drift.
+    let max_node_pages = |rel: dbmodel::RelationId| {
+        catalog
+            .scan_pes(rel)
+            .iter()
+            .map(|&pe| catalog.pages_at(rel, pe))
+            .max()
+            .unwrap_or(0)
+    };
     JoinProfile {
         inner_tuples: inner_out,
         outer_tuples: outer_out,
         result_tuples: inner_out,
-        inner_scan_nodes: inner_rel.allocation.pe_count,
-        outer_scan_nodes: outer_rel.allocation.pe_count,
-        inner_scan_pages_per_node: ((inner_rel.pages_at(inner_first) as f64) * selectivity).ceil()
-            as u64,
-        outer_scan_pages_per_node: ((outer_rel.pages_at(outer_first) as f64) * selectivity).ceil()
-            as u64,
+        inner_scan_nodes: catalog.scan_pe_count(inner),
+        outer_scan_nodes: catalog.scan_pe_count(outer),
+        inner_scan_pages_per_node: ((max_node_pages(inner) as f64) * selectivity).ceil() as u64,
+        outer_scan_pages_per_node: ((max_node_pages(outer) as f64) * selectivity).ceil() as u64,
     }
 }
 

@@ -10,7 +10,8 @@
 //! spec produces byte-identical configurations (see the round-trip tests
 //! in `crates/snsim/tests/scenario.rs`).
 
-use crate::config::SimConfig;
+use crate::config::{DataPlacementConfig, SimConfig};
+use lb_core::RebalanceConfig;
 use simkit::SimDur;
 use workload::scenario::{Knobs, ScenarioRun, ScenarioSpec};
 
@@ -27,6 +28,15 @@ pub fn build_config(knobs: &Knobs) -> SimConfig {
         .with_node_speed(knobs.node_speed.resolve(knobs.n_pes));
     if let Some(policies) = knobs.policies {
         cfg = cfg.with_policies(policies);
+    }
+    // Absent placement knobs lower to DataPlacementConfig::default(), so
+    // legacy specs produce byte-identical configurations.
+    if knobs.data_skew != 0.0 || knobs.fragment_count != 0 || knobs.rebalance {
+        cfg = cfg.with_data_placement(DataPlacementConfig {
+            data_skew: knobs.data_skew,
+            fragment_count: knobs.fragment_count,
+            rebalance: knobs.rebalance.then(RebalanceConfig::default),
+        });
     }
     cfg
 }

@@ -22,9 +22,11 @@ use dbmodel::catalog::Catalog;
 use dbmodel::deadlock;
 use dbmodel::log::LogParams;
 use engine::api::{Action, InKind, Input, Msg, MsgKind, Step, Token, COORD_TASK};
+use engine::migrate::MigrationJob;
 use engine::{Job, JobId, Pe, PeId};
 use hardware::{Cpu, DiskId, DiskSubsystem, Network};
-use lb_core::{JoinRequest, PlacementRequest, ResourceBroker, WorkClass};
+use lb_core::rebalance::{FragmentInfo, MigrationPlan, RebalanceController};
+use lb_core::{DataLocality, JoinRequest, PlacementRequest, ResourceBroker, WorkClass};
 use simkit::server::UtilizationWindow;
 use simkit::stats::OnlineStats;
 use simkit::{Dispatcher, EventQueue, SimDur, SimRng, SimTime, Simulation, Slab};
@@ -116,6 +118,8 @@ pub struct System {
     pub(crate) broker: Box<dyn ResourceBroker>,
     pub(crate) planner: Planner,
     pub(crate) catalog: Catalog,
+    /// Online rebalancing controller (None = static placement).
+    pub(crate) rebalancer: Option<RebalanceController>,
     pub(crate) cpu_windows: Vec<UtilizationWindow>,
     pub(crate) disk_windows: Vec<UtilizationWindow>,
 
@@ -142,7 +146,13 @@ impl System {
         let catalog = cfg.build_catalog();
         let cost = lb_core::CostModel::new(cfg.cost_params());
         let planner = Planner::new(&cfg.workload, &catalog, &cost, cfg.n_pes);
-        let broker = cfg.build_broker();
+        let mut broker = cfg.build_broker();
+        // Register the placement layer with the broker so policies can
+        // see where the data lives (refreshed after every migration).
+        broker.set_locality(DataLocality {
+            tuples: catalog.placement().tuples_by_node(cfg.n_pes),
+        });
+        let rebalancer = cfg.placement.rebalance.map(RebalanceController::new);
 
         let root = SimRng::new(cfg.seed);
         let class_count = cfg.workload.class_count();
@@ -194,6 +204,7 @@ impl System {
             broker,
             planner,
             catalog,
+            rebalancer,
             cpu_windows: vec![UtilizationWindow::default(); n],
             disk_windows: vec![UtilizationWindow::default(); n],
             rng_arrivals,
@@ -466,6 +477,7 @@ impl System {
             psu_opt,
             psu_noio,
             outer_scan_nodes,
+            inner_rel,
             stage,
         } = msg.kind
         else {
@@ -478,6 +490,7 @@ impl System {
                 psu_opt,
                 psu_noio,
                 outer_scan_nodes,
+                inner_rel,
             },
             self.cfg.n_pes,
         );
@@ -502,6 +515,24 @@ impl System {
         let Some(body) = self.jobs.remove(job).flatten() else {
             return;
         };
+        // Migrations are system utilities, not workload: flip the
+        // fragment's home (unless the move gave up on a busy fragment),
+        // refresh the broker's locality view, count it.
+        if let Job::Migrate(m) = &body {
+            if m.transferred() {
+                self.catalog
+                    .placement_mut()
+                    .move_fragment(m.relation.0, m.fragment, m.to);
+                self.broker.set_locality(DataLocality {
+                    tuples: self.catalog.placement().tuples_by_node(self.cfg.n_pes),
+                });
+                self.metrics.record_migration(m.tuples);
+            }
+            if let Some(rc) = &mut self.rebalancer {
+                rc.migration_finished(m.relation.0, m.fragment);
+            }
+            return;
+        }
         let now = self.events.now();
         let class = body.class();
         let submitted = body.submitted();
@@ -582,6 +613,55 @@ impl System {
                 / self.pes.len() as f64;
             self.mem_util_samples.record(mem);
         }
+        // Rebalancing rides the same report rounds the adaptive
+        // controller observes.
+        if let Some(rc) = &mut self.rebalancer {
+            // Pinned relations (affinity-routed OLTP data) never move.
+            let frags: Vec<FragmentInfo> = (0..self.catalog.len() as u32)
+                .filter(|&rel| !self.catalog.relation(dbmodel::RelationId(rel)).pinned)
+                .flat_map(|rel| {
+                    self.catalog
+                        .placement()
+                        .relation(rel)
+                        .fragments()
+                        .iter()
+                        .enumerate()
+                        .map(move |(i, f)| FragmentInfo {
+                            relation: rel,
+                            fragment: i as u32,
+                            pe: f.pe,
+                            tuples: f.tuples,
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let plans = rc.on_report_round(self.broker.control(), self.broker.disk_utils(), &frags);
+            for plan in plans {
+                self.start_migration(plan);
+            }
+        }
+    }
+
+    /// Launch one fragment migration as an engine job (real disk/network
+    /// traffic; bypasses MPL admission — it is a system utility).
+    fn start_migration(&mut self, plan: MigrationPlan) {
+        let now = self.events.now();
+        let job = Job::Migrate(MigrationJob::new(
+            dbmodel::RelationId(plan.relation),
+            plan.fragment,
+            plan.from,
+            plan.to,
+            plan.tuples,
+            now,
+        ));
+        let id = self.jobs.insert(Some(job));
+        self.pending.push_back((
+            id,
+            Input {
+                task: COORD_TASK,
+                kind: InKind::Start,
+            },
+        ));
     }
 
     fn deadlock_tick(&mut self) {
@@ -611,20 +691,28 @@ impl System {
         self.metrics.deadlock_victims += 1;
         self.metrics.aborted += 1;
         let (class, pe) = (body.class(), body.coord_pe());
-        // Release everything it holds.
+        // Release everything it holds — at *every* PE: a parallel query's
+        // scan locks live in the lock tables of the data PEs, not the
+        // coordinator's, and leaking one would block later fragment
+        // migrations (and their dependents) forever.
         let txn = dbmodel::lock::TxnToken {
             id: job.to_raw(),
             birth: body.submitted(),
         };
-        let grants = self.pes[pe as usize].locks.release_all(txn);
-        for (t, object) in grants {
-            self.pending.push_back((
-                simkit::slab::SlabKey::from_raw(t.id),
-                Input {
-                    task: COORD_TASK,
-                    kind: InKind::LockGrant { pe, object },
-                },
-            ));
+        for held_pe in 0..self.pes.len() as u32 {
+            let grants = self.pes[held_pe as usize].locks.release_all(txn);
+            for (t, object) in grants {
+                self.pending.push_back((
+                    simkit::slab::SlabKey::from_raw(t.id),
+                    Input {
+                        task: COORD_TASK,
+                        kind: InKind::LockGrant {
+                            pe: held_pe,
+                            object,
+                        },
+                    },
+                ));
+            }
         }
         if let Some(next) = self.pes[pe as usize].finish() {
             self.pending.push_back((
@@ -687,8 +775,9 @@ impl System {
             .metrics
             .classes
             .iter()
-            .map(|c| ClassSummary {
-                name: c.name.clone(),
+            .enumerate()
+            .map(|(i, c)| ClassSummary {
+                name: self.metrics.class_name(i as u32).to_string(),
                 completed: c.completed,
                 mean_ms: c.resp.mean(),
                 p95_ms: c.hist.quantile(0.95).as_millis_f64(),
@@ -718,6 +807,8 @@ impl System {
             aborted: self.metrics.aborted,
             deadlock_victims: self.metrics.deadlock_victims,
             policy_switches: self.broker.policy_switches(),
+            migrations: self.metrics.migrations,
+            tuples_moved: self.metrics.tuples_moved,
         }
     }
 

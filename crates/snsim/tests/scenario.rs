@@ -160,3 +160,58 @@ fn policy_config_round_trips_through_spec() {
     let (_, cfg) = &snsim::scenario::configs(&back)[0];
     assert_eq!(cfg.policies.scan_coord, CoordPolicyKind::RoundRobin);
 }
+
+/// Legacy specs (no placement knobs) lower to configurations
+/// byte-identical to the hand-built paper defaults: the new
+/// `data_skew` / `fragment_count` / `rebalance` knobs are invisible when
+/// absent. Every bundled fig1/5–9 spec keeps the default placement.
+#[test]
+fn absent_placement_knobs_lower_to_paper_default_configs() {
+    let spec: ScenarioSpec = serde_json::from_str(
+        r#"{
+            "name": "legacy",
+            "base": { "n_pes": 20, "selectivity": 0.01, "qps_per_pe": 0.25 },
+            "sweep": { "strategy": ["MIN-IO", "OPT-IO-CPU"] }
+        }"#,
+    )
+    .expect("parse");
+    for (run, cfg) in snsim::scenario::configs(&spec) {
+        let hand_built =
+            snsim::SimConfig::paper_default(20, run.knobs.workload_spec(), run.knobs.strategy.0)
+                .with_disks(run.knobs.disks_per_pe)
+                .with_buffer_pages(run.knobs.buffer_pages)
+                .with_seed(run.knobs.seed)
+                .with_sim_time(
+                    simkit::SimDur::from_secs_f64(run.knobs.sim_secs),
+                    simkit::SimDur::from_secs_f64(run.knobs.warmup_secs),
+                );
+        assert_eq!(
+            serde_json::to_string(&cfg).expect("cfg"),
+            serde_json::to_string(&hand_built).expect("hand-built"),
+            "legacy lowering drifted for {}",
+            run.label()
+        );
+        assert_eq!(cfg.placement, snsim::config::DataPlacementConfig::default());
+    }
+}
+
+/// The placement knobs reach the lowered configuration (and only then).
+#[test]
+fn placement_knobs_lower_into_data_placement_config() {
+    let spec: ScenarioSpec = serde_json::from_str(
+        r#"{
+            "name": "placed",
+            "base": { "data_skew": 0.6, "fragment_count": 128, "rebalance": true }
+        }"#,
+    )
+    .expect("parse");
+    let (_, cfg) = &snsim::scenario::configs(&spec)[0];
+    assert_eq!(cfg.placement.data_skew, 0.6);
+    assert_eq!(cfg.placement.fragment_count, 128);
+    assert!(cfg.placement.rebalance.is_some());
+    // The catalog the config builds is actually skewed.
+    let catalog = cfg.build_catalog();
+    assert_eq!(catalog.fragments(dbmodel::RelationId(1)).len(), 128);
+    let b = catalog.fragments(dbmodel::RelationId(1));
+    assert!(b[0].tuples > b[127].tuples * 4, "Zipf(0.6) is visible");
+}

@@ -175,6 +175,14 @@ pub struct Knobs {
     pub qps_per_pe: f64,
     /// Zipf theta of the join redistribution skew (0 = uniform).
     pub skew_theta: f64,
+    /// Zipf theta of the *data placement* — fragment sizes of the join
+    /// relations (0 = the paper's equal tuples per fragment).
+    pub data_skew: f64,
+    /// Fragments per join relation (0 = one per home PE).
+    pub fragment_count: u32,
+    /// Online fragment rebalancing (default controller parameters when
+    /// `true`; `false` = the paper's static placement).
+    pub rebalance: bool,
     /// OLTP transactions per second per OLTP node (`Mixed` shape).
     pub tps_per_node: f64,
     /// Which nodes run OLTP (`Mixed` shape).
@@ -208,6 +216,9 @@ impl Default for Knobs {
             selectivity: 0.01,
             qps_per_pe: 0.25,
             skew_theta: 0.0,
+            data_skew: 0.0,
+            fragment_count: 0,
+            rebalance: false,
             tps_per_node: 100.0,
             oltp_nodes: NodeFilter::All,
             query_modulation: Modulation::None,
@@ -272,6 +283,12 @@ pub struct Patch {
     pub qps_per_pe: Option<f64>,
     /// Override [`Knobs::skew_theta`].
     pub skew_theta: Option<f64>,
+    /// Override [`Knobs::data_skew`].
+    pub data_skew: Option<f64>,
+    /// Override [`Knobs::fragment_count`].
+    pub fragment_count: Option<u32>,
+    /// Override [`Knobs::rebalance`].
+    pub rebalance: Option<bool>,
     /// Override [`Knobs::tps_per_node`].
     pub tps_per_node: Option<f64>,
     /// Override [`Knobs::oltp_nodes`].
@@ -311,6 +328,9 @@ impl Patch {
             selectivity,
             qps_per_pe,
             skew_theta,
+            data_skew,
+            fragment_count,
+            rebalance,
             tps_per_node,
             oltp_nodes,
             query_modulation,
@@ -350,6 +370,15 @@ impl Patch {
         }
         if let Some(v) = self.skew_theta {
             parts.push(format!("theta={v}"));
+        }
+        if let Some(v) = self.data_skew {
+            parts.push(format!("dskew={v}"));
+        }
+        if let Some(v) = self.fragment_count {
+            parts.push(format!("frags={v}"));
+        }
+        if let Some(v) = self.rebalance {
+            parts.push(format!("rebalance={v}"));
         }
         if let Some(v) = self.tps_per_node {
             parts.push(format!("tps={v}"));
@@ -419,6 +448,12 @@ pub struct Sweep {
     pub qps_per_pe: Vec<f64>,
     /// Redistribution skew thetas.
     pub skew_theta: Vec<f64>,
+    /// Data-placement skew thetas (fragment sizes).
+    pub data_skew: Vec<f64>,
+    /// Fragments per join relation.
+    pub fragment_count: Vec<u32>,
+    /// Online rebalancing on/off.
+    pub rebalance: Vec<bool>,
     /// OLTP rates per node.
     pub tps_per_node: Vec<f64>,
     /// Buffer sizes.
@@ -488,6 +523,9 @@ impl ScenarioSpec {
             s.selectivity.len(),
             s.qps_per_pe.len(),
             s.skew_theta.len(),
+            s.data_skew.len(),
+            s.fragment_count.len(),
+            s.rebalance.len(),
             s.tps_per_node.len(),
             s.buffer_pages.len(),
             s.disks_per_pe.len(),
@@ -552,6 +590,19 @@ impl ScenarioSpec {
         });
         runs = expand(runs, "skew_theta", &s.skew_theta, f64::to_string, |k, v| {
             k.skew_theta = *v
+        });
+        runs = expand(runs, "data_skew", &s.data_skew, f64::to_string, |k, v| {
+            k.data_skew = *v
+        });
+        runs = expand(
+            runs,
+            "fragment_count",
+            &s.fragment_count,
+            u32::to_string,
+            |k, v| k.fragment_count = *v,
+        );
+        runs = expand(runs, "rebalance", &s.rebalance, bool::to_string, |k, v| {
+            k.rebalance = *v
         });
         runs = expand(
             runs,

@@ -30,6 +30,8 @@ fn bundled_specs_parse_and_expand() {
         ("bursty_oltp", 12),
         ("heterogeneous_nodes", 12),
         ("phase_shift_adaptive", 5),
+        ("data_skew_rebalance", 6),
+        ("static_vs_dynamic_placement", 6),
     ] {
         let spec = load(name);
         assert_eq!(spec.name, name, "spec name matches file stem");

@@ -127,6 +127,44 @@ fn pmu_cpu_shrinks_degree_with_load() {
     );
 }
 
+/// Fig. 1c regression: in the memory-bound multi-user regime (buffer/10,
+/// one disk) the optimum degree sits far *right* of the single-user
+/// optimum region — aggregate memory only suffices at high degrees. The
+/// long-standing "fig1c shape violation" was an artifact of saturated
+/// low-degree cells reporting 0.0 ms for zero completions and winning the
+/// argmin; [`Summary::join_resp_ms`] now reports them as non-finite.
+#[test]
+fn memory_bound_optimum_sits_at_high_degree() {
+    let mk = |p: u32| {
+        SimConfig::paper_default(
+            40,
+            WorkloadSpec::homogeneous_join(0.01, 0.05),
+            Strategy::Isolated {
+                degree: DegreePolicy::Fixed(p),
+                select: SelectPolicy::Random,
+            },
+        )
+        .with_buffer_pages(5)
+        .with_disks(1)
+        .with_sim_time(SimDur::from_secs(40), SimDur::from_secs(8))
+    };
+    // p = 8 is the single-user optimum region; p = 30 holds the whole
+    // hash table in aggregate memory (131.25 pages vs 30 × 5).
+    let low = snsim::run_one(mk(8));
+    let high = snsim::run_one(mk(30));
+    assert!(
+        high.join_resp_ms().is_finite(),
+        "the high-degree cell completes queries"
+    );
+    assert!(
+        high.join_resp_ms() < low.join_resp_ms(),
+        "memory bottleneck favours high degrees: p=30 {:.0} ms vs p=8 {:.0} ms \
+         (infinite = saturated cell with zero completions)",
+        high.join_resp_ms(),
+        low.join_resp_ms()
+    );
+}
+
 /// The Adaptive meta-policy never loses badly to its best constituent.
 #[test]
 fn adaptive_is_competitive() {
