@@ -136,6 +136,7 @@ fn bench_placement_dispatch(c: &mut Criterion) {
         psu_noio: 3,
         outer_scan_nodes: 32,
         inner_rel: 0,
+        degree_cap: 0,
     };
     let fresh_ctl = || {
         let mut ctl = ControlNode::new(N);

@@ -28,6 +28,7 @@ fn bench_placements(c: &mut Criterion) {
         psu_noio: 3,
         outer_scan_nodes: 64,
         inner_rel: 0,
+        degree_cap: 0,
     };
     for (name, strat) in [
         (

@@ -83,12 +83,29 @@ fn main() {
             let events: u64 = rows.iter().map(|r| r.summary.events).sum();
             bench_events += events;
             bench_wall += wall;
+            // Queue-depth / backpressure stats ride along with the
+            // wall-clock baseline so overload trends are tracked in CI.
+            let peak_queue_depth = rows
+                .iter()
+                .map(|r| r.summary.peak_queue_depth)
+                .max()
+                .unwrap_or(0);
+            let queue_wait_p95 = rows
+                .iter()
+                .map(|r| r.summary.queue_wait_ms_p95)
+                .fold(0.0f64, f64::max);
+            let rejected: u64 = rows.iter().map(|r| r.summary.rejected).sum();
+            let shrunk: u64 = rows.iter().map(|r| r.summary.shrunk_admissions).sum();
             bench_rows.push(serde_json::json!({
                 "scenario": spec.name,
                 "runs": rows.len() as u64,
                 "events": events,
                 "wall_secs": wall,
                 "events_per_sec": events as f64 / wall.max(1e-9),
+                "peak_queue_depth": peak_queue_depth,
+                "queue_wait_ms_p95_max": queue_wait_p95,
+                "rejected": rejected,
+                "shrunk_admissions": shrunk,
             }));
         }
         lab::print_tables(&spec, &rows);

@@ -55,9 +55,11 @@ impl RunLength {
 pub struct LabRow {
     /// `(axis, value)` pairs in expansion order.
     pub axes: Vec<(String, String)>,
-    /// Series key: the `strategy` axis value, or the base strategy label.
+    /// Series key: the `strategy` axis value (or the base strategy
+    /// label), with the `admission` axis value appended as
+    /// `strategy@admission` when admission policies are swept.
     pub strategy: String,
-    /// X key: all non-strategy axis values joined with `/` (`"base"` if
+    /// X key: all non-series axis values joined with `/` (`"base"` if
     /// nothing else was swept).
     pub x: String,
     /// The simulator's output for this run.
@@ -97,14 +99,19 @@ pub fn load_spec(path: &Path) -> Result<ScenarioSpec, String> {
 }
 
 fn row_keys(run: &ScenarioRun) -> (String, String) {
-    let strategy = run
+    let mut strategy = run
         .axis("strategy")
         .map(str::to_string)
         .unwrap_or_else(|| run.knobs.strategy.label());
+    // A swept admission policy is a series dimension like the strategy:
+    // figures compare "OPT-IO-CPU@fcfs" against "OPT-IO-CPU@malleable".
+    if let Some(admission) = run.axis("admission") {
+        strategy = format!("{strategy}@{admission}");
+    }
     let rest: Vec<&str> = run
         .axes
         .iter()
-        .filter(|(a, _)| a != "strategy")
+        .filter(|(a, _)| a != "strategy" && a != "admission")
         .map(|(_, v)| v.as_str())
         .collect();
     let x = if rest.is_empty() {

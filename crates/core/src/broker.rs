@@ -58,6 +58,7 @@ use simkit::SimRng;
 ///         psu_noio: 3,
 ///         outer_scan_nodes: 6,
 ///         inner_rel: 0,
+///         degree_cap: 0,
 ///     },
 ///     8,
 /// );
@@ -256,6 +257,7 @@ mod tests {
             psu_noio: 3,
             outer_scan_nodes: 6,
             inner_rel: 0,
+            degree_cap: 0,
         }
     }
 

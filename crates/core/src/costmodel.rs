@@ -263,6 +263,53 @@ impl CostModel {
         let p = (psu_opt as f64 * (1.0 - u * u * u)).round() as u32;
         p.max(1)
     }
+
+    /// Everything the admission layer needs to know about one query
+    /// class, derived from the same hash-join model that feeds the
+    /// placement strategies: its cluster-wide working-space demand, its
+    /// estimated single-user work, the degree the placement layer would
+    /// pick unconstrained, and the malleability floor below which
+    /// shrinking starts costing temporary-file I/O.
+    pub fn admission_estimate(&self, n: u32, q: &JoinProfile) -> AdmissionEstimate {
+        let degree = self.psu_opt(n, q);
+        AdmissionEstimate {
+            mem_pages: self.table_pages(q),
+            cpu_work_ms: self.rt_single_user(degree, q),
+            degree,
+            degree_floor: self.psu_noio(n, q),
+        }
+    }
+}
+
+/// Cost estimate backing one admission ticket (see
+/// [`CostModel::admission_estimate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionEstimate {
+    /// Hash-table working-space pages (`b_i · F`), the memory the query
+    /// will claim across its join processors.
+    pub mem_pages: f64,
+    /// Estimated single-user response time (ms) at the unconstrained
+    /// degree — a proxy for the query's CPU work.
+    pub cpu_work_ms: f64,
+    /// `p_su-opt` clamped to the system size.
+    pub degree: u32,
+    /// `p_su-noIO` (eq. 3.1): the smallest degree avoiding temporary
+    /// I/O.
+    pub degree_floor: u32,
+}
+
+impl AdmissionEstimate {
+    /// A trivial estimate for work the admission layer never throttles
+    /// on its own (OLTP transactions, scans, updates): degree-1, a
+    /// handful of buffer pages, `cpu_work_ms` as given.
+    pub fn trivial(mem_pages: f64, cpu_work_ms: f64) -> AdmissionEstimate {
+        AdmissionEstimate {
+            mem_pages,
+            cpu_work_ms,
+            degree: 1,
+            degree_floor: 1,
+        }
+    }
 }
 
 /// Build the paper's standard two-way join profile for `n` PEs and a scan
@@ -374,6 +421,23 @@ mod tests {
         assert_eq!(q.inner_scan_nodes, 16);
         assert_eq!(q.outer_scan_nodes, 64);
         assert_eq!(q.inner_pages(20), 125);
+    }
+
+    #[test]
+    fn admission_estimate_reuses_the_join_model() {
+        let m = model();
+        let q = paper_join_profile(80, 0.01);
+        let e = m.admission_estimate(80, &q);
+        assert_eq!(e.mem_pages, m.table_pages(&q));
+        assert_eq!(e.degree, m.psu_opt(80, &q));
+        assert_eq!(e.degree_floor, 3);
+        assert!(e.degree_floor <= e.degree);
+        assert!(
+            (e.cpu_work_ms - m.rt_single_user(e.degree, &q)).abs() < 1e-9,
+            "work estimate is the optimum-degree response time"
+        );
+        let t = AdmissionEstimate::trivial(4.0, 1.5);
+        assert_eq!((t.degree, t.degree_floor), (1, 1));
     }
 
     #[test]

@@ -32,7 +32,8 @@ pub enum DegreePolicy {
 
 impl DegreePolicy {
     /// Compute the degree for `req` under the current control state.
-    /// Always in `1..=n`.
+    /// Always in `1..=n`, and never above the admission layer's
+    /// `degree_cap` (0 = unconstrained).
     pub fn degree(&self, req: &JoinRequest, ctl: &ControlNode) -> u32 {
         let n = ctl.len() as u32;
         let p = match self {
@@ -43,6 +44,11 @@ impl DegreePolicy {
             DegreePolicy::RateMatch(params) => {
                 RateMatch::new(*params).degree_from_request(req, ctl)
             }
+        };
+        let p = if req.degree_cap > 0 {
+            p.min(req.degree_cap)
+        } else {
+            p
         };
         p.clamp(1, n.max(1))
     }
@@ -72,6 +78,7 @@ mod tests {
             psu_noio: 3,
             outer_scan_nodes: 32,
             inner_rel: 0,
+            degree_cap: 0,
         }
     }
 
@@ -108,5 +115,22 @@ mod tests {
         let c = ctl(10, 0.0);
         assert_eq!(DegreePolicy::SuOpt.degree(&req(), &c), 10);
         assert_eq!(DegreePolicy::Fixed(0).degree(&req(), &c), 1);
+    }
+
+    #[test]
+    fn admission_cap_bounds_every_policy() {
+        let c = ctl(80, 0.0);
+        let capped = JoinRequest {
+            degree_cap: 5,
+            ..req()
+        };
+        assert_eq!(DegreePolicy::SuOpt.degree(&capped, &c), 5);
+        assert_eq!(DegreePolicy::MuCpu.degree(&capped, &c), 5);
+        assert_eq!(DegreePolicy::Fixed(40).degree(&capped, &c), 5);
+        assert_eq!(
+            DegreePolicy::SuNoIo.degree(&capped, &c),
+            3,
+            "already under the cap"
+        );
     }
 }

@@ -75,26 +75,45 @@ pub fn k_minimizing_overflow(avail: &[(u32, u32)], table_pages: f64, max_k: u32)
     best.0
 }
 
+/// Largest degree the admission layer allows: `degree_cap` when set
+/// (clamped to the system size), otherwise all `n` nodes.
+fn admissible_max(req: &JoinRequest, n: u32) -> u32 {
+    if req.degree_cap > 0 {
+        req.degree_cap.clamp(1, n.max(1))
+    } else {
+        n.max(1)
+    }
+}
+
 /// MIN-IO: "tries to find the minimal number k of join processors that
-/// avoids temporary file I/O" (eq. 3.3); if impossible, minimizes the
-/// amount of overflow I/O. CPU utilization is not considered.
+/// avoids temporary file I/O" (eq. 3.3); if impossible — including when
+/// the admission layer's degree cap rules the avoiding selections out —
+/// minimizes the amount of overflow I/O. CPU utilization is not
+/// considered.
 pub fn min_io(req: &JoinRequest, ctl: &ControlNode) -> (u32, Vec<u32>) {
     let avail = ctl.avail_memory();
+    let max_k = admissible_max(req, avail.len() as u32);
     let k = min_k_avoiding_io(&avail, req.table_pages)
-        .unwrap_or_else(|| k_minimizing_overflow(&avail, req.table_pages, avail.len() as u32));
+        .filter(|&k| k <= max_k)
+        .unwrap_or_else(|| k_minimizing_overflow(&avail, req.table_pages, max_k));
     let nodes = avail[..k as usize].iter().map(|&(id, _)| id).collect();
     (k, nodes)
 }
 
-/// MIN-IO-SUOPT: among the selections avoiding temporary I/O, choose the
-/// one "closest to p_su-opt"; ties prefer the larger degree (the paper
-/// notes this strategy "generally chooses a higher number of join
-/// processors" than MIN-IO). Falls back to overflow minimization.
+/// MIN-IO-SUOPT: among the selections avoiding temporary I/O (within the
+/// admission layer's degree cap), choose the one "closest to p_su-opt";
+/// ties prefer the larger degree (the paper notes this strategy
+/// "generally chooses a higher number of join processors" than MIN-IO).
+/// Falls back to overflow minimization.
 pub fn min_io_suopt(req: &JoinRequest, ctl: &ControlNode) -> (u32, Vec<u32>) {
     let avail = ctl.avail_memory();
-    let candidates = ks_avoiding_io(&avail, req.table_pages);
+    let max_k = admissible_max(req, avail.len() as u32);
+    let candidates: Vec<u32> = ks_avoiding_io(&avail, req.table_pages)
+        .into_iter()
+        .filter(|&k| k <= max_k)
+        .collect();
     let k = if candidates.is_empty() {
-        k_minimizing_overflow(&avail, req.table_pages, avail.len() as u32)
+        k_minimizing_overflow(&avail, req.table_pages, max_k)
     } else {
         *candidates
             .iter()
@@ -111,10 +130,12 @@ pub fn min_io_suopt(req: &JoinRequest, ctl: &ControlNode) -> (u32, Vec<u32>) {
 /// OPT-IO-CPU: "restricts the number of join processors to at most
 /// `p_mu-cpu`, based on the current CPU utilization (formula 3.2). Within
 /// this range, the maximal number of processors avoiding (or minimizing)
-/// temporary I/O is selected."
+/// temporary I/O is selected." The admission layer's degree cap tightens
+/// the range further.
 pub fn opt_io_cpu(req: &JoinRequest, ctl: &ControlNode) -> (u32, Vec<u32>) {
     let avail = ctl.avail_memory();
-    let cap = CostModel::pmu_cpu(req.psu_opt, ctl.avg_cpu()).clamp(1, avail.len() as u32);
+    let max_k = admissible_max(req, avail.len() as u32);
+    let cap = CostModel::pmu_cpu(req.psu_opt, ctl.avg_cpu()).clamp(1, max_k);
     let avoiding: Vec<u32> = ks_avoiding_io(&avail, req.table_pages)
         .into_iter()
         .filter(|&k| k <= cap)
@@ -153,6 +174,7 @@ mod tests {
             psu_noio: 3,
             outer_scan_nodes: 8,
             inner_rel: 0,
+            degree_cap: 0,
         }
     }
 
@@ -264,6 +286,33 @@ mod tests {
         assert!(ks_avoiding_io(&avail, 119.0).is_empty());
         // table = 90: k=2 works (100 > 90), k=3 fails (30).
         assert_eq!(ks_avoiding_io(&avail, 90.0), vec![2]);
+    }
+
+    #[test]
+    fn degree_cap_tightens_every_integrated_policy() {
+        // Uncapped, 131.25 pages over 50-page nodes: MIN-IO picks 3,
+        // MIN-IO-SUOPT picks psu_opt = 30, OPT-IO-CPU picks 30.
+        let c = ctl(&[50; 80], 0.0);
+        let capped = JoinRequest {
+            degree_cap: 2,
+            ..req(131.25, 30)
+        };
+        // No k ≤ 2 avoids I/O (2·50 = 100 < 131.25): all three minimize
+        // overflow within the cap instead of exceeding it.
+        let (k, nodes) = min_io(&capped, &c);
+        assert!(k <= 2, "MIN-IO capped: {k}");
+        assert_eq!(nodes.len(), k as usize);
+        let (k, _) = min_io_suopt(&capped, &c);
+        assert!(k <= 2, "MIN-IO-SUOPT capped: {k}");
+        let (k, _) = opt_io_cpu(&capped, &c);
+        assert!(k <= 2, "OPT-IO-CPU capped: {k}");
+        // A cap above the avoiding selection leaves decisions unchanged.
+        let loose = JoinRequest {
+            degree_cap: 40,
+            ..req(131.25, 30)
+        };
+        assert_eq!(min_io(&loose, &c).0, 3);
+        assert_eq!(min_io_suopt(&loose, &c).0, 30);
     }
 
     #[test]

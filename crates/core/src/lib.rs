@@ -73,7 +73,7 @@ pub mod strategy;
 
 pub use broker::{CentralBroker, ResourceBroker};
 pub use control::{ControlNode, DataLocality, NodeState};
-pub use costmodel::{CostModel, CostParams, JoinProfile};
+pub use costmodel::{AdmissionEstimate, CostModel, CostParams, JoinProfile};
 pub use degree::DegreePolicy;
 pub use policy::{
     AdaptiveConfig, AdaptiveController, CoordPolicyKind, CoordinatorPolicy, PlacementPolicy,
@@ -82,4 +82,4 @@ pub use policy::{
 pub use ratematch::RateMatch;
 pub use rebalance::{FragmentInfo, MigrationPlan, RebalanceConfig, RebalanceController};
 pub use select::SelectPolicy;
-pub use strategy::{JoinRequest, Placement, Strategy};
+pub use strategy::{JoinRequest, Placement, Strategy, StrategyParseError};

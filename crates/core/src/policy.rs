@@ -449,6 +449,7 @@ mod tests {
             psu_noio: 3,
             outer_scan_nodes: 32,
             inner_rel: 0,
+            degree_cap: 0,
         }
     }
 

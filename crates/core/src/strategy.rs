@@ -37,7 +37,43 @@ pub struct JoinRequest {
     /// ranks nodes by their local tuples of this relation; ignored by the
     /// paper's original policies).
     pub inner_rel: u32,
+    /// Upper bound on the degree of parallelism imposed by the admission
+    /// layer (malleable scheduling); 0 = unconstrained. Every strategy
+    /// honours the cap: degree policies clamp to it, integrated policies
+    /// search only selections within it.
+    pub degree_cap: u32,
 }
+
+/// Failure from [`Strategy::parse`]: the offending token plus what the
+/// label grammar expected in its place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyParseError {
+    /// The token that did not parse.
+    pub token: String,
+    /// The grammar expected at that position.
+    pub expected: &'static str,
+}
+
+impl StrategyParseError {
+    fn new(token: &str, expected: &'static str) -> StrategyParseError {
+        StrategyParseError {
+            token: token.to_string(),
+            expected,
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecognized strategy token `{}`: expected {}",
+            self.token, self.expected
+        )
+    }
+}
+
+impl std::error::Error for StrategyParseError {}
 
 /// A placement decision: which nodes run join processes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -173,8 +209,9 @@ impl Strategy {
     ///   `p-fixed(p)`) and selection one of `RANDOM`, `LUC`, `LUM`, `DL`.
     ///
     /// `RateMatch` degrees carry cost-model parameters and have no label
-    /// form; returns `None` for them and for anything else unrecognized.
-    pub fn parse(label: &str) -> Option<Strategy> {
+    /// form. Failures return a [`StrategyParseError`] naming the
+    /// offending token and the grammar expected in its place.
+    pub fn parse(label: &str) -> Result<Strategy, StrategyParseError> {
         let t = label.trim();
         for (name, s) in [
             ("MIN-IO", Strategy::MinIo),
@@ -183,10 +220,16 @@ impl Strategy {
             ("ADAPTIVE", Strategy::Adaptive),
         ] {
             if t.eq_ignore_ascii_case(name) {
-                return Some(s);
+                return Ok(s);
             }
         }
-        let (deg, sel) = t.split_once('+')?;
+        let Some((deg, sel)) = t.split_once('+') else {
+            return Err(StrategyParseError::new(
+                t,
+                "an integrated label (`MIN-IO`, `MIN-IO-SUOPT`, `OPT-IO-CPU`, `ADAPTIVE`) \
+                 or an isolated `<degree>+<selection>` pair",
+            ));
+        };
         let deg = deg.trim();
         let degree = if deg.eq_ignore_ascii_case("psu-opt") {
             DegreePolicy::SuOpt
@@ -197,18 +240,32 @@ impl Strategy {
         } else {
             let inner = deg
                 .strip_prefix("p-fixed(")
-                .or_else(|| deg.strip_prefix("fixed("))?
-                .strip_suffix(')')?;
-            DegreePolicy::Fixed(inner.trim().parse().ok()?)
+                .or_else(|| deg.strip_prefix("fixed("))
+                .and_then(|rest| rest.strip_suffix(')'))
+                .ok_or_else(|| {
+                    StrategyParseError::new(
+                        deg,
+                        "a degree policy: `psu-opt`, `psu-noIO`, `pmu-cpu` or `fixed(<p>)`",
+                    )
+                })?;
+            let p = inner.trim().parse().map_err(|_| {
+                StrategyParseError::new(inner.trim(), "an integer degree inside `fixed(...)`")
+            })?;
+            DegreePolicy::Fixed(p)
         };
         let select = match sel.trim() {
             s if s.eq_ignore_ascii_case("RANDOM") => SelectPolicy::Random,
             s if s.eq_ignore_ascii_case("LUC") => SelectPolicy::Luc,
             s if s.eq_ignore_ascii_case("LUM") => SelectPolicy::Lum,
             s if s.eq_ignore_ascii_case("DL") => SelectPolicy::DataLocal,
-            _ => return None,
+            other => {
+                return Err(StrategyParseError::new(
+                    other,
+                    "a selection policy: `RANDOM`, `LUC`, `LUM` or `DL`",
+                ))
+            }
         };
-        Some(Strategy::Isolated { degree, select })
+        Ok(Strategy::Isolated { degree, select })
     }
 
     /// Exact, round-trippable label: like [`Strategy::name`] but keeping
@@ -287,6 +344,7 @@ mod tests {
             psu_noio: 3,
             outer_scan_nodes: 32,
             inner_rel: 0,
+            degree_cap: 0,
         }
     }
 
@@ -366,9 +424,67 @@ mod tests {
             }
         }
         for s in all {
-            assert_eq!(Strategy::parse(s.name()), Some(s), "label {}", s.name());
+            assert_eq!(Strategy::parse(s.name()), Ok(s), "label {}", s.name());
             assert_eq!(s.spec_label().as_deref(), Some(s.name()));
         }
+    }
+
+    #[test]
+    fn every_spec_label_round_trips() {
+        // The full label family: integrated + Adaptive + every isolated
+        // combination including numeric fixed degrees. spec_label() must
+        // be exactly invertible by parse().
+        let mut all = vec![
+            Strategy::MinIo,
+            Strategy::MinIoSuopt,
+            Strategy::OptIoCpu,
+            Strategy::Adaptive,
+        ];
+        for select in [
+            SelectPolicy::Random,
+            SelectPolicy::Luc,
+            SelectPolicy::Lum,
+            SelectPolicy::DataLocal,
+        ] {
+            for degree in [
+                DegreePolicy::SuOpt,
+                DegreePolicy::SuNoIo,
+                DegreePolicy::MuCpu,
+                DegreePolicy::Fixed(1),
+                DegreePolicy::Fixed(22),
+                DegreePolicy::Fixed(80),
+            ] {
+                all.push(Strategy::Isolated { degree, select });
+            }
+        }
+        for s in all {
+            let label = s.spec_label().expect("labelled family");
+            assert_eq!(Strategy::parse(&label), Ok(s), "spec label `{label}`");
+        }
+        // RateMatch carries cost parameters: no label form.
+        let rm = Strategy::Isolated {
+            degree: DegreePolicy::RateMatch(crate::costmodel::CostParams::default()),
+            select: SelectPolicy::Random,
+        };
+        assert_eq!(rm.spec_label(), None);
+    }
+
+    #[test]
+    fn parse_errors_name_token_and_grammar() {
+        let e = Strategy::parse("bogus").unwrap_err();
+        assert_eq!(e.token, "bogus");
+        assert!(e.expected.contains("MIN-IO"), "grammar named: {e}");
+        let e = Strategy::parse("nope(3)+LUM").unwrap_err();
+        assert_eq!(e.token, "nope(3)");
+        assert!(e.expected.contains("fixed(<p>)"));
+        let e = Strategy::parse("fixed(x)+LUM").unwrap_err();
+        assert_eq!(e.token, "x");
+        assert!(e.expected.contains("integer"));
+        let e = Strategy::parse("pmu-cpu+NEAREST").unwrap_err();
+        assert_eq!(e.token, "NEAREST");
+        assert!(e.expected.contains("RANDOM"));
+        let msg = e.to_string();
+        assert!(msg.contains("`NEAREST`") && msg.contains("expected"));
     }
 
     #[test]
@@ -378,18 +494,18 @@ mod tests {
             select: SelectPolicy::Random,
         };
         assert_eq!(fixed.spec_label().as_deref(), Some("fixed(22)+RANDOM"));
-        assert_eq!(Strategy::parse("fixed(22)+RANDOM"), Some(fixed));
-        assert_eq!(Strategy::parse("p-fixed( 22 )+random"), Some(fixed));
-        assert_eq!(Strategy::parse("min-io"), Some(Strategy::MinIo));
+        assert_eq!(Strategy::parse("fixed(22)+RANDOM"), Ok(fixed));
+        assert_eq!(Strategy::parse("p-fixed( 22 )+random"), Ok(fixed));
+        assert_eq!(Strategy::parse("min-io"), Ok(Strategy::MinIo));
         assert_eq!(
             Strategy::parse("PSU-OPT+lum"),
-            Some(Strategy::Isolated {
+            Ok(Strategy::Isolated {
                 degree: DegreePolicy::SuOpt,
                 select: SelectPolicy::Lum,
             })
         );
-        assert_eq!(Strategy::parse("bogus"), None);
-        assert_eq!(Strategy::parse("fixed(x)+LUM"), None);
+        assert!(Strategy::parse("bogus").is_err());
+        assert!(Strategy::parse("fixed(x)+LUM").is_err());
     }
 
     #[test]
@@ -420,7 +536,7 @@ mod tests {
             for i in 0..n {
                 c.report(i as u32, NodeState { cpu_util: cpu[i], free_pages: free[i] });
             }
-            let r = JoinRequest { table_pages: table, psu_opt, psu_noio: 3, outer_scan_nodes: 8, inner_rel: 0 };
+            let r = JoinRequest { table_pages: table, psu_opt, psu_noio: 3, outer_scan_nodes: 8, inner_rel: 0, degree_cap: 0 };
             let mut rng = SimRng::new(seed);
             for s in [
                 Strategy::MinIo,

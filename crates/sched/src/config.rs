@@ -1,0 +1,236 @@
+//! The serializable `admission` knob block: which policy runs, its
+//! budgets, the queue bound, and the priority tiers.
+
+use crate::policy::{FcfsMpl, Malleable, MemoryReservation};
+use crate::scheduler::Scheduler;
+use serde::{Deserialize, Serialize};
+
+/// Which admission policy gates arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicyKind {
+    /// The paper's behaviour: per-PE MPL slots only (the default —
+    /// reproduces legacy runs bit-for-bit).
+    FcfsMpl,
+    /// Admit while Σ reserved working-space memory fits a cluster budget.
+    MemoryReservation,
+    /// Memory budget plus a total-parallelism budget with degree
+    /// shrinking (malleable scheduling).
+    Malleable,
+}
+
+/// Priority weight of one workload class, matched by class name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ClassPriority {
+    /// Workload class name (e.g. `"join-1%"`, `"debit-credit"`).
+    pub class: String,
+    /// Base priority weight (higher = served first; default 1).
+    pub weight: f64,
+}
+
+impl Default for ClassPriority {
+    fn default() -> Self {
+        ClassPriority {
+            class: String::new(),
+            weight: 1.0,
+        }
+    }
+}
+
+/// The `admission` knob block of a scenario spec / simulator config. The
+/// default is [`AdmissionPolicyKind::FcfsMpl`] with no budgets, no queue
+/// bound and uniform priorities — absent knobs lower to exactly the
+/// paper's behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct AdmissionConfig {
+    /// The gating policy.
+    pub policy: AdmissionPolicyKind,
+    /// Fraction of the cluster buffer pool (`n_pes · buffer_pages`)
+    /// reservable by [`AdmissionPolicyKind::MemoryReservation`] /
+    /// [`AdmissionPolicyKind::Malleable`].
+    pub mem_budget_frac: f64,
+    /// Parallelism slots per PE for [`AdmissionPolicyKind::Malleable`]
+    /// (total budget = `slots_per_pe · n_pes`, rounded, at least 1).
+    pub slots_per_pe: f64,
+    /// Average-CPU threshold above which Malleable shrinks new
+    /// admissions straight to their no-I/O floor.
+    pub cpu_hot: f64,
+    /// Queue bound: arrivals beyond this many waiting queries are
+    /// rejected (0 = unbounded).
+    pub max_queue: u32,
+    /// Starvation aging: effective-priority growth per queued second.
+    pub aging_rate: f64,
+    /// Per-class priority weights; classes not listed weigh 1.
+    pub priorities: Vec<ClassPriority>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            policy: AdmissionPolicyKind::FcfsMpl,
+            mem_budget_frac: 1.0,
+            slots_per_pe: 1.5,
+            cpu_hot: 0.85,
+            max_queue: 0,
+            aging_rate: 1.0,
+            priorities: Vec::new(),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Build the scheduler this configuration describes for a cluster of
+    /// `n_pes` nodes with `buffer_pages` pages each.
+    pub fn build(&self, n_pes: u32, buffer_pages: u32) -> Scheduler {
+        let mem_budget = self.mem_budget_frac * n_pes as f64 * buffer_pages as f64;
+        let policy: Box<dyn crate::AdmissionPolicy> = match self.policy {
+            AdmissionPolicyKind::FcfsMpl => Box::new(FcfsMpl),
+            AdmissionPolicyKind::MemoryReservation => Box::new(MemoryReservation::new(mem_budget)),
+            AdmissionPolicyKind::Malleable => {
+                let slots = (self.slots_per_pe * n_pes as f64).round().max(1.0) as u32;
+                Box::new(Malleable::new(mem_budget, slots, self.cpu_hot))
+            }
+        };
+        Scheduler::new(policy, self.aging_rate, self.max_queue)
+    }
+
+    /// Base priority weight of a workload class (1 when not listed).
+    pub fn weight_for(&self, class_name: &str) -> f64 {
+        self.priorities
+            .iter()
+            .find(|p| p.class == class_name)
+            .map_or(1.0, |p| p.weight)
+    }
+
+    /// Compact label for sweep-axis annotations and result series. Every
+    /// knob that differs from its default contributes, so two distinct
+    /// sweep entries can never collapse into one result series.
+    pub fn label(&self) -> String {
+        let d = AdmissionConfig::default();
+        let name = match self.policy {
+            AdmissionPolicyKind::FcfsMpl => "fcfs",
+            AdmissionPolicyKind::MemoryReservation => "mem-resv",
+            AdmissionPolicyKind::Malleable => "malleable",
+        };
+        let mut parts: Vec<String> = Vec::new();
+        match self.policy {
+            AdmissionPolicyKind::FcfsMpl => {}
+            AdmissionPolicyKind::MemoryReservation => {
+                if self.mem_budget_frac != 1.0 {
+                    parts.push(format!("{}", self.mem_budget_frac));
+                }
+            }
+            AdmissionPolicyKind::Malleable => {
+                parts.push(format!("{}", self.slots_per_pe));
+                if self.mem_budget_frac != 1.0 {
+                    parts.push(format!("m{}", self.mem_budget_frac));
+                }
+                if self.cpu_hot != d.cpu_hot {
+                    parts.push(format!("hot{}", self.cpu_hot));
+                }
+            }
+        }
+        if self.max_queue != d.max_queue {
+            parts.push(format!("q{}", self.max_queue));
+        }
+        if self.aging_rate != d.aging_rate {
+            parts.push(format!("age{}", self.aging_rate));
+        }
+        let mut base = if parts.is_empty() {
+            name.to_string()
+        } else {
+            format!("{name}({})", parts.join(","))
+        };
+        if !self.priorities.is_empty() {
+            base.push_str("+prio");
+        }
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_passthrough() {
+        let c = AdmissionConfig::default();
+        assert_eq!(c.policy, AdmissionPolicyKind::FcfsMpl);
+        assert_eq!(c.max_queue, 0);
+        let s = c.build(40, 50);
+        assert_eq!(s.policy_name(), "fcfs");
+        assert_eq!(c.label(), "fcfs");
+    }
+
+    #[test]
+    fn partial_json_overlays_defaults() {
+        let c: AdmissionConfig = serde_json::from_str(
+            r#"{ "policy": "MemoryReservation", "mem_budget_frac": 0.8, "max_queue": 64 }"#,
+        )
+        .unwrap();
+        assert_eq!(c.policy, AdmissionPolicyKind::MemoryReservation);
+        assert_eq!(c.mem_budget_frac, 0.8);
+        assert_eq!(c.max_queue, 64);
+        assert_eq!(c.aging_rate, 1.0, "untouched knobs keep defaults");
+        assert_eq!(c.label(), "mem-resv(0.8,q64)");
+    }
+
+    #[test]
+    fn labels_distinguish_every_non_default_knob() {
+        // Two sweep entries differing only in cpu_hot (or any other
+        // knob) must never collapse into one result series.
+        let a = AdmissionConfig {
+            policy: AdmissionPolicyKind::Malleable,
+            slots_per_pe: 6.0,
+            cpu_hot: 0.9,
+            ..AdmissionConfig::default()
+        };
+        let b = AdmissionConfig {
+            cpu_hot: 0.5,
+            ..a.clone()
+        };
+        assert_eq!(a.label(), "malleable(6,hot0.9)");
+        assert_ne!(a.label(), b.label());
+        let c = AdmissionConfig {
+            policy: AdmissionPolicyKind::Malleable,
+            mem_budget_frac: 2.0,
+            aging_rate: 0.1,
+            ..AdmissionConfig::default()
+        };
+        assert_eq!(c.label(), "malleable(1.5,m2,age0.1)");
+    }
+
+    #[test]
+    fn config_round_trips_json() {
+        let c = AdmissionConfig {
+            policy: AdmissionPolicyKind::Malleable,
+            slots_per_pe: 2.0,
+            priorities: vec![ClassPriority {
+                class: "debit-credit".into(),
+                weight: 8.0,
+            }],
+            ..AdmissionConfig::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: AdmissionConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+        assert_eq!(back.weight_for("debit-credit"), 8.0);
+        assert_eq!(back.weight_for("join-1%"), 1.0);
+        assert_eq!(back.label(), "malleable(2)+prio");
+    }
+
+    #[test]
+    fn builders_pick_the_right_policy() {
+        let mem = AdmissionConfig {
+            policy: AdmissionPolicyKind::MemoryReservation,
+            ..AdmissionConfig::default()
+        };
+        assert_eq!(mem.build(10, 50).policy_name(), "mem-resv");
+        let mal = AdmissionConfig {
+            policy: AdmissionPolicyKind::Malleable,
+            ..AdmissionConfig::default()
+        };
+        assert_eq!(mal.build(10, 50).policy_name(), "malleable");
+    }
+}

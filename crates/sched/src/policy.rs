@@ -1,0 +1,319 @@
+//! The pluggable admission policies.
+//!
+//! A policy sees one [`AdmissionTicket`] at a time (the scheduler picks
+//! which), answers [`Verdict::Admit`] with the resources it reserved or
+//! [`Verdict::Wait`], and gets the [`Grant`] back on release. The
+//! [`Malleable`] policy additionally consumes the broker's periodic
+//! report rounds through [`AdmissionPolicy::on_report`] — the same
+//! feedback clock the adaptive placement controller and the rebalancer
+//! already run on.
+
+use crate::ticket::{AdmissionTicket, Grant, Verdict};
+
+/// Cluster-level resource signals sampled at each broker report round.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceSignals {
+    /// Average CPU utilization over all nodes, in `[0, 1]`.
+    pub avg_cpu: f64,
+    /// Average disk utilization over all nodes, in `[0, 1]`.
+    pub avg_disk: f64,
+}
+
+/// An admission decision maker (object-safe; owned by the
+/// [`crate::Scheduler`]).
+pub trait AdmissionPolicy {
+    /// Report label of the policy.
+    fn name(&self) -> &'static str;
+
+    /// Decide whether `ticket` may start now. An `Admit` verdict reserves
+    /// the returned grant's resources until [`AdmissionPolicy::release`].
+    fn admit(&mut self, ticket: &AdmissionTicket) -> Verdict;
+
+    /// A previously admitted query finished (or aborted): hand back its
+    /// grant.
+    fn release(&mut self, grant: &Grant);
+
+    /// Broker feedback hook, called once per report round. Policies that
+    /// react to the observed bottleneck (e.g. [`Malleable`]'s hot-CPU
+    /// shrink mode) update their state here.
+    fn on_report(&mut self, _signals: &ResourceSignals) {}
+}
+
+/// The paper's admission: none beyond the per-PE MPL slots the engine
+/// already enforces. Admits every ticket immediately with a free grant,
+/// reproducing the seed behaviour bit-for-bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FcfsMpl;
+
+impl AdmissionPolicy for FcfsMpl {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn admit(&mut self, _ticket: &AdmissionTicket) -> Verdict {
+        Verdict::Admit(Grant::FREE)
+    }
+
+    fn release(&mut self, _grant: &Grant) {}
+}
+
+/// Admit while the sum of reserved join working-space memory stays within
+/// a cluster-wide budget. A query larger than the whole budget is still
+/// admitted when nothing else is reserved (it would otherwise wait
+/// forever; it pays with temporary-file I/O instead), and tickets that
+/// demand no working space (OLTP, scans, updates) always pass — they
+/// consume none of the gated resource.
+#[derive(Debug, Clone)]
+pub struct MemoryReservation {
+    /// Reservable pages (a fraction of the cluster's buffer pool).
+    budget_pages: f64,
+    reserved: f64,
+}
+
+impl MemoryReservation {
+    /// A reservation policy over `budget_pages` of cluster memory.
+    pub fn new(budget_pages: f64) -> MemoryReservation {
+        MemoryReservation {
+            budget_pages: budget_pages.max(1.0),
+            reserved: 0.0,
+        }
+    }
+
+    /// Currently reserved pages.
+    pub fn reserved(&self) -> f64 {
+        self.reserved
+    }
+}
+
+impl AdmissionPolicy for MemoryReservation {
+    fn name(&self) -> &'static str {
+        "mem-resv"
+    }
+
+    fn admit(&mut self, ticket: &AdmissionTicket) -> Verdict {
+        if ticket.mem_pages > 0.0
+            && self.reserved > 0.0
+            && self.reserved + ticket.mem_pages > self.budget_pages
+        {
+            return Verdict::Wait;
+        }
+        self.reserved += ticket.mem_pages;
+        Verdict::Admit(Grant {
+            mem_pages: ticket.mem_pages,
+            slots: 0,
+            degree_cap: 0,
+        })
+    }
+
+    fn release(&mut self, grant: &Grant) {
+        self.reserved = (self.reserved - grant.mem_pages).max(0.0);
+    }
+}
+
+/// Malleable multi-resource admission (Garofalakis & Ioannidis): besides
+/// the memory budget of [`MemoryReservation`], the **total degree of
+/// parallelism** of admitted queries is bounded by a slot budget. A query
+/// whose estimated degree does not fit is *shrunk* — its placement
+/// requests are capped at the largest degree that fits, never below its
+/// no-I/O floor — and only made to wait when even the floor does not fit.
+/// When the report rounds show hot CPUs the policy shrinks pre-emptively
+/// to the floor, trading per-query speedup for system throughput.
+#[derive(Debug, Clone)]
+pub struct Malleable {
+    mem_budget: f64,
+    mem_reserved: f64,
+    slot_budget: u32,
+    slots_used: u32,
+    /// Average-CPU threshold above which new admissions shrink straight
+    /// to their floor.
+    cpu_hot: f64,
+    hot: bool,
+}
+
+impl Malleable {
+    /// A malleable policy with `mem_budget` reservable pages and
+    /// `slot_budget` total parallelism slots.
+    pub fn new(mem_budget: f64, slot_budget: u32, cpu_hot: f64) -> Malleable {
+        Malleable {
+            mem_budget: mem_budget.max(1.0),
+            mem_reserved: 0.0,
+            slot_budget: slot_budget.max(1),
+            slots_used: 0,
+            cpu_hot,
+            hot: false,
+        }
+    }
+
+    /// Parallelism slots currently in use.
+    pub fn slots_used(&self) -> u32 {
+        self.slots_used
+    }
+
+    /// Is the hot-CPU shrink mode active?
+    pub fn hot(&self) -> bool {
+        self.hot
+    }
+}
+
+impl AdmissionPolicy for Malleable {
+    fn name(&self) -> &'static str {
+        "malleable"
+    }
+
+    fn admit(&mut self, ticket: &AdmissionTicket) -> Verdict {
+        if ticket.mem_pages > 0.0
+            && self.mem_reserved > 0.0
+            && self.mem_reserved + ticket.mem_pages > self.mem_budget
+        {
+            return Verdict::Wait;
+        }
+        let degree = ticket.degree.max(1);
+        let floor = ticket.degree_floor.clamp(1, degree);
+        let target = if self.hot { floor } else { degree };
+        let avail = self.slot_budget.saturating_sub(self.slots_used);
+        let granted = if self.slots_used == 0 {
+            // An idle slot budget never blocks (a single query wider than
+            // the whole budget must not wait forever).
+            target
+        } else if avail >= floor {
+            target.min(avail)
+        } else {
+            return Verdict::Wait;
+        };
+        self.mem_reserved += ticket.mem_pages;
+        self.slots_used += granted;
+        Verdict::Admit(Grant {
+            mem_pages: ticket.mem_pages,
+            slots: granted,
+            degree_cap: if granted < ticket.degree { granted } else { 0 },
+        })
+    }
+
+    fn release(&mut self, grant: &Grant) {
+        self.mem_reserved = (self.mem_reserved - grant.mem_pages).max(0.0);
+        self.slots_used = self.slots_used.saturating_sub(grant.slots);
+    }
+
+    fn on_report(&mut self, signals: &ResourceSignals) {
+        self.hot = signals.avg_cpu > self.cpu_hot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+
+    fn ticket(mem: f64, degree: u32, floor: u32) -> AdmissionTicket {
+        AdmissionTicket {
+            class: 0,
+            coord: 0,
+            mem_pages: mem,
+            cpu_work_ms: 100.0,
+            degree,
+            degree_floor: floor,
+            weight: 1.0,
+            submitted: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fcfs_admits_everything_for_free() {
+        let mut p = FcfsMpl;
+        for _ in 0..1000 {
+            assert_eq!(p.admit(&ticket(1e9, 80, 80)), Verdict::Admit(Grant::FREE));
+        }
+    }
+
+    #[test]
+    fn memory_reservation_blocks_at_budget() {
+        let mut p = MemoryReservation::new(300.0);
+        let t = ticket(131.25, 30, 3);
+        assert!(matches!(p.admit(&t), Verdict::Admit(_)));
+        assert!(matches!(p.admit(&t), Verdict::Admit(_)));
+        assert_eq!(p.admit(&t), Verdict::Wait, "3rd would exceed 300 pages");
+        p.release(&Grant {
+            mem_pages: 131.25,
+            slots: 0,
+            degree_cap: 0,
+        });
+        assert!(matches!(p.admit(&t), Verdict::Admit(_)));
+    }
+
+    #[test]
+    fn memory_reservation_never_starves_oversized_queries() {
+        let mut p = MemoryReservation::new(100.0);
+        let huge = ticket(500.0, 10, 5);
+        assert!(matches!(p.admit(&huge), Verdict::Admit(_)), "idle: admit");
+        assert_eq!(p.admit(&ticket(10.0, 2, 1)), Verdict::Wait);
+    }
+
+    #[test]
+    fn zero_memory_tickets_always_pass_the_memory_gate() {
+        // OLTP/scan tickets reserve nothing: a full budget must not make
+        // them wait (that would head-of-line block the whole queue on a
+        // resource they do not consume).
+        let mut p = MemoryReservation::new(100.0);
+        assert!(matches!(p.admit(&ticket(500.0, 10, 5)), Verdict::Admit(_)));
+        assert!(matches!(p.admit(&ticket(0.0, 1, 1)), Verdict::Admit(_)));
+        let mut m = Malleable::new(100.0, 1000, 0.85);
+        assert!(matches!(m.admit(&ticket(500.0, 10, 5)), Verdict::Admit(_)));
+        assert!(matches!(m.admit(&ticket(0.0, 1, 1)), Verdict::Admit(_)));
+    }
+
+    #[test]
+    fn malleable_shrinks_before_waiting() {
+        let mut p = Malleable::new(1e9, 10, 0.85);
+        // First: full degree 6. Second: 4 slots left ≥ floor 2 → cap 4.
+        let t = ticket(10.0, 6, 2);
+        let Verdict::Admit(g1) = p.admit(&t) else {
+            panic!("admit")
+        };
+        assert_eq!((g1.slots, g1.degree_cap), (6, 0));
+        let Verdict::Admit(g2) = p.admit(&t) else {
+            panic!("admit")
+        };
+        assert_eq!((g2.slots, g2.degree_cap), (4, 4), "shrunk to fit");
+        // 0 slots left < floor → wait.
+        assert_eq!(p.admit(&t), Verdict::Wait);
+        p.release(&g1);
+        assert_eq!(p.slots_used(), 4);
+        let Verdict::Admit(g3) = p.admit(&t) else {
+            panic!("admit")
+        };
+        assert_eq!(g3.slots, 6);
+    }
+
+    #[test]
+    fn malleable_hot_mode_shrinks_to_floor() {
+        let mut p = Malleable::new(1e9, 100, 0.85);
+        p.on_report(&ResourceSignals {
+            avg_cpu: 0.9,
+            avg_disk: 0.1,
+        });
+        assert!(p.hot());
+        let Verdict::Admit(g) = p.admit(&ticket(10.0, 30, 3)) else {
+            panic!("admit")
+        };
+        assert_eq!((g.slots, g.degree_cap), (3, 3), "hot: straight to floor");
+        p.on_report(&ResourceSignals::default());
+        assert!(!p.hot());
+    }
+
+    #[test]
+    fn malleable_idle_budget_never_blocks() {
+        let mut p = Malleable::new(1e9, 4, 0.85);
+        let Verdict::Admit(g) = p.admit(&ticket(10.0, 30, 8)) else {
+            panic!("idle budget must admit")
+        };
+        assert_eq!(g.slots, 30, "idle: full degree even beyond the budget");
+        assert_eq!(p.admit(&ticket(10.0, 30, 8)), Verdict::Wait);
+    }
+
+    #[test]
+    fn malleable_memory_gate_applies_first() {
+        let mut p = Malleable::new(100.0, 1000, 0.85);
+        assert!(matches!(p.admit(&ticket(90.0, 2, 1)), Verdict::Admit(_)));
+        assert_eq!(p.admit(&ticket(20.0, 2, 1)), Verdict::Wait, "memory full");
+    }
+}

@@ -1,0 +1,94 @@
+//! Admission tickets and grants: what a query asks for and what a policy
+//! reserved for it.
+
+use simkit::SimTime;
+
+/// Cost-estimated resource demand of one arriving query, built by the
+/// host system's planner (the hash-join cost model of
+/// `lb_core::costmodel` supplies the numbers for join classes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionTicket {
+    /// Dense workload-class index (queries first, then OLTP classes).
+    pub class: u32,
+    /// Coordinator / home PE the query will run on once admitted.
+    pub coord: u32,
+    /// Cluster-wide join working-space demand in buffer pages
+    /// (`b_i · F` of the paper's hash-join model; ~0 for OLTP).
+    pub mem_pages: f64,
+    /// Estimated single-user CPU work / response time in milliseconds
+    /// (diagnostics and policy heuristics; the built-in policies expose
+    /// the total queued work through [`crate::Scheduler::queued_work_ms`]).
+    pub cpu_work_ms: f64,
+    /// Estimated degree of parallelism the placement layer would choose
+    /// unconstrained (`p_su-opt`, clamped to the system size).
+    pub degree: u32,
+    /// Malleability floor: the smallest degree that still avoids
+    /// temporary-file I/O (`p_su-noIO`). [`crate::Malleable`] never
+    /// shrinks below it.
+    pub degree_floor: u32,
+    /// Base priority weight of the query's class (higher = served first).
+    pub weight: f64,
+    /// Arrival time (starvation aging grows the effective priority from
+    /// here).
+    pub submitted: SimTime,
+}
+
+/// Resources an [`crate::AdmissionPolicy`] reserved when admitting a
+/// ticket; handed back verbatim on release so the policy can undo the
+/// reservation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Grant {
+    /// Reserved working-space pages (cluster-wide).
+    pub mem_pages: f64,
+    /// Reserved parallelism slots.
+    pub slots: u32,
+    /// Degree cap imposed on the query's placement requests; 0 = the
+    /// placement layer decides freely.
+    pub degree_cap: u32,
+}
+
+impl Grant {
+    /// A grant that reserves nothing and caps nothing ([`crate::FcfsMpl`]'s
+    /// only answer). Free grants are not tracked by the scheduler, keeping
+    /// the pass-through policy overhead-free.
+    pub const FREE: Grant = Grant {
+        mem_pages: 0.0,
+        slots: 0,
+        degree_cap: 0,
+    };
+
+    /// Does this grant hold any resources or impose any cap?
+    pub fn is_free(&self) -> bool {
+        self.mem_pages == 0.0 && self.slots == 0 && self.degree_cap == 0
+    }
+}
+
+/// An admission decision for one ticket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Start now, holding the granted resources until release.
+    Admit(Grant),
+    /// Not now: leave the ticket queued (re-examined on every release and
+    /// report round).
+    Wait,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_grant_is_free() {
+        assert!(Grant::FREE.is_free());
+        assert!(!Grant {
+            mem_pages: 1.0,
+            ..Grant::FREE
+        }
+        .is_free());
+        assert!(!Grant {
+            degree_cap: 3,
+            ..Grant::FREE
+        }
+        .is_free());
+    }
+}

@@ -63,6 +63,11 @@ pub struct SimConfig {
     pub policies: PolicyConfig,
     /// Data-placement layer: fragment skew, fragment count, rebalancing.
     pub placement: DataPlacementConfig,
+    /// Admission layer between arrivals and launch: policy, budgets,
+    /// queue bound, priority tiers. The default ([`sched::AdmissionConfig`]
+    /// with `FcfsMpl`) reproduces the paper's MPL-only admission
+    /// bit-for-bit.
+    pub admission: sched::AdmissionConfig,
     /// Per-PE CPU speed factors relative to `hw.cpu.mips` (heterogeneous
     /// systems). Empty = all PEs at nominal speed; shorter vectors apply
     /// to the leading PEs with the rest at nominal speed. The planner's
@@ -108,6 +113,7 @@ impl SimConfig {
             strategy,
             policies: PolicyConfig::default(),
             placement: DataPlacementConfig::default(),
+            admission: sched::AdmissionConfig::default(),
             node_speed: Vec::new(),
             control_interval: SimDur::from_millis(100),
             luc_bump: 0.05,
@@ -150,6 +156,24 @@ impl SimConfig {
     pub fn with_data_placement(mut self, placement: DataPlacementConfig) -> SimConfig {
         self.placement = placement;
         self
+    }
+
+    /// Configure the admission layer (policy, budgets, priorities).
+    pub fn with_admission(mut self, admission: sched::AdmissionConfig) -> SimConfig {
+        self.admission = admission;
+        self
+    }
+
+    /// Set the per-PE multiprogramming level (the paper's 64; admission
+    /// experiments lower it to make MPL backpressure visible).
+    pub fn with_mpl(mut self, mpl: u32) -> SimConfig {
+        self.mpl = mpl.max(1);
+        self
+    }
+
+    /// Build the admission scheduler this configuration describes.
+    pub fn build_scheduler(&self) -> sched::Scheduler {
+        self.admission.build(self.n_pes, self.buffer_pages)
     }
 
     /// Set per-PE CPU speed factors (heterogeneous node speeds). The

@@ -49,6 +49,16 @@ pub struct Metrics {
     pub migrations: u64,
     /// Tuples re-homed by completed migrations.
     pub tuples_moved: u64,
+    /// Wait between a query's arrival and its actual start (admission
+    /// queue + MPL input queue), post-warmup starts only. Pre-sized like
+    /// every per-event accumulator: recording allocates nothing.
+    pub queue_wait: OnlineStats,
+    /// Histogram of the same waits (for the p95 backpressure metric).
+    pub queue_hist: Histogram,
+    /// Peak backlog observed: admission-queue length plus all MPL input
+    /// queues, sampled at every point the backlog can grow. (Rejection
+    /// counts live in the scheduler, the single owner of that decision.)
+    pub peak_queue_depth: u64,
 }
 
 impl Metrics {
@@ -68,6 +78,9 @@ impl Metrics {
             arrivals: 0,
             migrations: 0,
             tuples_moved: 0,
+            queue_wait: OnlineStats::new(),
+            queue_hist: Histogram::new(),
+            peak_queue_depth: 0,
         }
     }
 
@@ -112,6 +125,23 @@ impl Metrics {
         self.migrations += 1;
         self.tuples_moved += tuples;
     }
+
+    /// Record the queue wait of a query that starts now (0 for immediate
+    /// admissions; samples only after warm-up, like response times).
+    pub fn record_queue_wait(&mut self, wait: SimDur, now: SimTime) {
+        if now < self.warmup_end {
+            return;
+        }
+        self.queue_wait.record(wait.as_millis_f64());
+        self.queue_hist.record(wait);
+    }
+
+    /// Update the peak-backlog watermark.
+    pub fn note_queue_depth(&mut self, depth: u64) {
+        if depth > self.peak_queue_depth {
+            self.peak_queue_depth = depth;
+        }
+    }
 }
 
 /// Final run summary (serializable for EXPERIMENTS.md provenance).
@@ -141,6 +171,23 @@ pub struct Summary {
     pub migrations: u64,
     /// Tuples re-homed by completed migrations.
     pub tuples_moved: u64,
+    /// Total arrivals over the whole run (including warm-up), before any
+    /// admission decision — `arrivals − rejected − completions` is the
+    /// backlog the run left behind.
+    pub arrivals: u64,
+    /// Mean wait (ms) between arrival and start across all post-warmup
+    /// starts (admission queue + MPL input queue; 0 when every query
+    /// started immediately).
+    pub queue_wait_ms_mean: f64,
+    /// 95th percentile of the same wait (ms).
+    pub queue_wait_ms_p95: f64,
+    /// Peak backlog: admission-queue length plus all MPL input queues.
+    pub peak_queue_depth: u64,
+    /// Admissions started with a degree shrunk below the ticket estimate
+    /// (malleable scheduling).
+    pub shrunk_admissions: u64,
+    /// Arrivals rejected by the admission queue bound.
+    pub rejected: u64,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -249,7 +296,28 @@ mod tests {
             policy_switches: 0,
             migrations: 0,
             tuples_moved: 0,
+            arrivals: 0,
+            queue_wait_ms_mean: 0.0,
+            queue_wait_ms_p95: 0.0,
+            peak_queue_depth: 0,
+            shrunk_admissions: 0,
+            rejected: 0,
         }
+    }
+
+    #[test]
+    fn queue_waits_gated_by_warmup() {
+        let mut m = Metrics::new(vec!["join".into()], SimTime(1_000));
+        m.record_queue_wait(SimDur::from_millis(5), SimTime(500));
+        assert_eq!(m.queue_wait.count(), 0, "warm-up discarded");
+        m.record_queue_wait(SimDur::from_millis(5), SimTime(2_000));
+        m.record_queue_wait(SimDur::from_millis(15), SimTime(3_000));
+        assert_eq!(m.queue_wait.count(), 2);
+        assert!((m.queue_wait.mean() - 10.0).abs() < 1e-12);
+        assert!(m.queue_hist.quantile(0.95) >= SimDur::from_millis(15));
+        m.note_queue_depth(7);
+        m.note_queue_depth(3);
+        assert_eq!(m.peak_queue_depth, 7);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use engine::oltp::OltpJob;
 use engine::query::{ScanQueryJob, UpdateJob};
 use engine::scan::{expected_scan_output, ScanAccess};
 use engine::{Job, PeId};
-use lb_core::costmodel::{CostModel, JoinProfile};
+use lb_core::costmodel::{AdmissionEstimate, CostModel, JoinProfile};
 use simkit::SimTime;
 use workload::queries::QueryKind;
 use workload::WorkloadSpec;
@@ -61,27 +61,36 @@ pub enum ClassPlan {
 /// Per-run plan cache + job factory.
 pub struct Planner {
     plans: Vec<ClassPlan>,
+    /// Admission-ticket costs per query class, from the same profiles the
+    /// plans were built from (memory demand via the hash-join model,
+    /// estimated degree, no-I/O floor).
+    estimates: Vec<AdmissionEstimate>,
 }
 
 impl Planner {
     /// Plan every query class of `workload` against `catalog` once.
     pub fn new(workload: &WorkloadSpec, catalog: &Catalog, cost: &CostModel, n: u32) -> Planner {
-        let plans = workload
+        let (plans, estimates) = workload
             .queries
             .iter()
             .map(|q| {
-                let mut plan = plan_query(&q.kind, catalog, cost, n);
+                let (mut plan, estimate) = plan_query(&q.kind, catalog, cost, n);
                 if let ClassPlan::Join { skew, .. } = &mut plan {
                     *skew = q.redistribution_skew;
                 }
-                plan
+                (plan, estimate)
             })
-            .collect();
-        Planner { plans }
+            .unzip();
+        Planner { plans, estimates }
     }
 
     pub fn plan(&self, class: usize) -> &ClassPlan {
         &self.plans[class]
+    }
+
+    /// Admission-ticket cost estimate of query class `class`.
+    pub fn admission_estimate(&self, class: usize) -> AdmissionEstimate {
+        self.estimates[class]
     }
 
     /// Fabricate the job for one arrival of query class `i`. `next_seed`
@@ -208,7 +217,12 @@ impl Planner {
     }
 }
 
-fn plan_query(kind: &QueryKind, catalog: &Catalog, cost: &CostModel, n: u32) -> ClassPlan {
+fn plan_query(
+    kind: &QueryKind,
+    catalog: &Catalog,
+    cost: &CostModel,
+    n: u32,
+) -> (ClassPlan, AdmissionEstimate) {
     match kind {
         QueryKind::TwoWayJoin {
             inner,
@@ -216,7 +230,7 @@ fn plan_query(kind: &QueryKind, catalog: &Catalog, cost: &CostModel, n: u32) -> 
             selectivity,
         } => {
             let profile = profile_for(catalog, *inner, *outer, *selectivity, None);
-            ClassPlan::Join {
+            let plan = ClassPlan::Join {
                 inner: *inner,
                 outer: *outer,
                 selectivity: *selectivity,
@@ -226,7 +240,8 @@ fn plan_query(kind: &QueryKind, catalog: &Catalog, cost: &CostModel, n: u32) -> 
                 inner_out: profile.inner_tuples,
                 outer_out: profile.outer_tuples,
                 skew: 0.0,
-            }
+            };
+            (plan, cost.admission_estimate(n, &profile))
         }
         QueryKind::MultiWayJoin {
             relations,
@@ -237,6 +252,9 @@ fn plan_query(kind: &QueryKind, catalog: &Catalog, cost: &CostModel, n: u32) -> 
             let outer_out = expected_scan_output(catalog, outer, *selectivity);
             let mut stages = Vec::new();
             let mut probe = outer_out;
+            // Stages run one after another: the ticket demands the widest
+            // stage's memory/degree and the summed work.
+            let mut estimate: Option<AdmissionEstimate> = None;
             for rel in relations
                 .iter()
                 .enumerate()
@@ -251,49 +269,72 @@ fn plan_query(kind: &QueryKind, catalog: &Catalog, cost: &CostModel, n: u32) -> 
                     psu_noio: cost.psu_noio(n, &profile),
                     inner_out: profile.inner_tuples,
                 });
+                let stage_est = cost.admission_estimate(n, &profile);
+                estimate = Some(match estimate {
+                    None => stage_est,
+                    Some(e) => AdmissionEstimate {
+                        mem_pages: e.mem_pages.max(stage_est.mem_pages),
+                        cpu_work_ms: e.cpu_work_ms + stage_est.cpu_work_ms,
+                        degree: e.degree.max(stage_est.degree),
+                        degree_floor: e.degree_floor.max(stage_est.degree_floor),
+                    },
+                });
                 // Result of stage k has the build side's size.
                 probe = profile.inner_tuples;
             }
-            ClassPlan::MultiJoin {
+            let plan = ClassPlan::MultiJoin {
                 outer,
                 selectivity: *selectivity,
                 outer_out,
                 stages,
-            }
+            };
+            (plan, estimate.expect("≥ 1 stage"))
         }
         QueryKind::RelationScan {
             relation,
             selectivity,
-        } => ClassPlan::Scan {
-            relation: *relation,
-            selectivity: *selectivity,
-            access: ScanAccess::Full,
-        },
+        } => (
+            ClassPlan::Scan {
+                relation: *relation,
+                selectivity: *selectivity,
+                access: ScanAccess::Full,
+            },
+            AdmissionEstimate::trivial(0.0, 0.0),
+        ),
         QueryKind::ClusteredIndexScan {
             relation,
             selectivity,
-        } => ClassPlan::Scan {
-            relation: *relation,
-            selectivity: *selectivity,
-            access: ScanAccess::Clustered,
-        },
+        } => (
+            ClassPlan::Scan {
+                relation: *relation,
+                selectivity: *selectivity,
+                access: ScanAccess::Clustered,
+            },
+            AdmissionEstimate::trivial(0.0, 0.0),
+        ),
         QueryKind::NonClusteredIndexScan {
             relation,
             selectivity,
-        } => ClassPlan::Scan {
-            relation: *relation,
-            selectivity: *selectivity,
-            access: ScanAccess::NonClustered,
-        },
+        } => (
+            ClassPlan::Scan {
+                relation: *relation,
+                selectivity: *selectivity,
+                access: ScanAccess::NonClustered,
+            },
+            AdmissionEstimate::trivial(0.0, 0.0),
+        ),
         QueryKind::Update {
             relation,
             tuples,
             via_index,
-        } => ClassPlan::Update {
-            relation: *relation,
-            tuples: *tuples,
-            via_index: *via_index,
-        },
+        } => (
+            ClassPlan::Update {
+                relation: *relation,
+                tuples: *tuples,
+                via_index: *via_index,
+            },
+            AdmissionEstimate::trivial(0.0, 0.0),
+        ),
         QueryKind::ParallelSort {
             relation,
             selectivity,
@@ -301,14 +342,15 @@ fn plan_query(kind: &QueryKind, catalog: &Catalog, cost: &CostModel, n: u32) -> 
             // Sorts are planned like joins whose "table" is the sort
             // buffer for the selection output.
             let profile = profile_for(catalog, *relation, *relation, *selectivity, None);
-            ClassPlan::Sort {
+            let plan = ClassPlan::Sort {
                 relation: *relation,
                 selectivity: *selectivity,
                 table_pages: cost.table_pages(&profile),
                 psu_opt: cost.psu_opt(n, &profile),
                 psu_noio: cost.psu_noio(n, &profile),
                 expected_out: profile.inner_tuples,
-            }
+            };
+            (plan, cost.admission_estimate(n, &profile))
         }
     }
 }

@@ -20,6 +20,8 @@ pub fn build_config(knobs: &Knobs) -> SimConfig {
     let mut cfg = SimConfig::paper_default(knobs.n_pes, knobs.workload_spec(), knobs.strategy.0)
         .with_disks(knobs.disks_per_pe)
         .with_buffer_pages(knobs.buffer_pages)
+        .with_mpl(knobs.mpl)
+        .with_admission(knobs.admission.clone())
         .with_seed(knobs.seed)
         .with_sim_time(
             SimDur::from_secs_f64(knobs.sim_secs),
@@ -92,6 +94,38 @@ mod tests {
         // Heterogeneity reaches the per-PE CPU parameters.
         assert_eq!(cfg.cpu_params_for(0).mips, 10);
         assert_eq!(cfg.cpu_params_for(19).mips, 20);
+    }
+
+    #[test]
+    fn admission_and_mpl_knobs_lower_into_config() {
+        let knobs = Knobs {
+            mpl: 4,
+            admission: sched::AdmissionConfig {
+                policy: sched::AdmissionPolicyKind::Malleable,
+                max_queue: 128,
+                ..sched::AdmissionConfig::default()
+            },
+            ..Knobs::default()
+        };
+        let cfg = build_config(&knobs);
+        assert_eq!(cfg.mpl, 4);
+        assert_eq!(cfg.admission.policy, sched::AdmissionPolicyKind::Malleable);
+        assert_eq!(cfg.admission.max_queue, 128);
+        assert_eq!(cfg.build_scheduler().policy_name(), "malleable");
+    }
+
+    #[test]
+    fn absent_admission_knobs_lower_byte_identically() {
+        // A legacy spec (no admission/mpl knobs) and an explicit-default
+        // spec must produce the exact same serialized configuration.
+        let legacy: Knobs = serde_json::from_str(r#"{ "n_pes": 20 }"#).unwrap();
+        let explicit: Knobs = serde_json::from_str(
+            r#"{ "n_pes": 20, "mpl": 64, "admission": { "policy": "FcfsMpl" } }"#,
+        )
+        .unwrap();
+        let a = serde_json::to_string(&build_config(&legacy)).unwrap();
+        let b = serde_json::to_string(&build_config(&explicit)).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use engine::{Job, JobId, Pe, PeId};
 use hardware::{Cpu, DiskId, DiskSubsystem, Network};
 use lb_core::rebalance::{FragmentInfo, MigrationPlan, RebalanceController};
 use lb_core::{DataLocality, JoinRequest, PlacementRequest, ResourceBroker, WorkClass};
+use sched::{AdmissionTicket, ResourceSignals, Scheduler};
 use simkit::server::UtilizationWindow;
 use simkit::stats::OnlineStats;
 use simkit::{Dispatcher, EventQueue, SimDur, SimRng, SimTime, Simulation, Slab};
@@ -103,6 +104,16 @@ fn derive_seed(seed: u64, counter: u64) -> u64 {
     seed ^ counter.wrapping_mul(0x2545_F491_4F6C_DD1D)
 }
 
+/// Per-class admission-ticket costs, resolved once per run (cost-model
+/// estimates for query classes, trivial degree-1 costs for OLTP).
+struct TicketTemplate {
+    mem_pages: f64,
+    cpu_work_ms: f64,
+    degree: u32,
+    degree_floor: u32,
+    weight: f64,
+}
+
 /// The simulator.
 pub struct System {
     pub cfg: SimConfig,
@@ -118,8 +129,19 @@ pub struct System {
     pub(crate) broker: Box<dyn ResourceBroker>,
     pub(crate) planner: Planner,
     pub(crate) catalog: Catalog,
+    /// Admission controller between arrivals and launch (the default
+    /// FCFS/MPL policy passes everything straight through).
+    pub(crate) sched: Scheduler,
+    /// Per-class ticket costs (queries first, then OLTP).
+    class_tickets: Vec<TicketTemplate>,
+    /// Reused buffer for jobs the scheduler hands back on each pump (no
+    /// per-arrival allocation).
+    admit_scratch: Vec<u64>,
     /// Online rebalancing controller (None = static placement).
     pub(crate) rebalancer: Option<RebalanceController>,
+    /// Reused per-report-round scratch for the rebalancer's fragment
+    /// snapshot (the sampling loop allocates nothing per round).
+    frag_scratch: Vec<FragmentInfo>,
     pub(crate) cpu_windows: Vec<UtilizationWindow>,
     pub(crate) disk_windows: Vec<UtilizationWindow>,
 
@@ -153,6 +175,27 @@ impl System {
             tuples: catalog.placement().tuples_by_node(cfg.n_pes),
         });
         let rebalancer = cfg.placement.rebalance.map(RebalanceController::new);
+        let sched = cfg.build_scheduler();
+        let mut class_tickets: Vec<TicketTemplate> = Vec::with_capacity(cfg.workload.class_count());
+        for (i, q) in cfg.workload.queries.iter().enumerate() {
+            let e = planner.admission_estimate(i);
+            class_tickets.push(TicketTemplate {
+                mem_pages: e.mem_pages,
+                cpu_work_ms: e.cpu_work_ms,
+                degree: e.degree,
+                degree_floor: e.degree_floor,
+                weight: cfg.admission.weight_for(&q.name),
+            });
+        }
+        for o in &cfg.workload.oltp {
+            class_tickets.push(TicketTemplate {
+                mem_pages: 0.0,
+                cpu_work_ms: 0.0,
+                degree: 1,
+                degree_floor: 1,
+                weight: cfg.admission.weight_for(&o.name),
+            });
+        }
 
         let root = SimRng::new(cfg.seed);
         let class_count = cfg.workload.class_count();
@@ -204,7 +247,11 @@ impl System {
             broker,
             planner,
             catalog,
+            sched,
+            class_tickets,
+            admit_scratch: Vec::with_capacity(16),
             rebalancer,
+            frag_scratch: Vec::new(),
             cpu_windows: vec![UtilizationWindow::default(); n],
             disk_windows: vec![UtilizationWindow::default(); n],
             rng_arrivals,
@@ -316,15 +363,91 @@ impl System {
         };
         let coord = job.coord_pe();
         let id = self.jobs.insert(Some(job));
-        if self.pes[coord as usize].try_admit(id) {
+        // Admission: the ticket carries the class's cost-model estimates;
+        // the scheduler decides now / shrunk / wait / reject. The default
+        // FcfsMpl policy admits unconditionally, which reduces to exactly
+        // the pre-admission-layer launch path.
+        let t = &self.class_tickets[class_idx as usize];
+        let ticket = AdmissionTicket {
+            class: class_idx,
+            coord,
+            mem_pages: t.mem_pages,
+            cpu_work_ms: t.cpu_work_ms,
+            degree: t.degree,
+            degree_floor: t.degree_floor,
+            weight: t.weight,
+            submitted: now,
+        };
+        // Closed-loop (single-user) classes relaunch only on completion:
+        // dropping one arrival would silence the class forever, so the
+        // queue bound never applies to them.
+        let droppable = match class {
+            ClassRef::Query(i) => !self.cfg.workload.queries[i].arrival.is_single_user(),
+            ClassRef::Oltp(_) => true,
+        };
+        if !self.sched.submit(id.to_raw(), ticket, droppable) {
+            // Queue bound exceeded: the query never enters the system
+            // (the scheduler counted the rejection).
+            self.jobs.remove(id);
+            return;
+        }
+        self.pump_admissions();
+        self.note_backlog();
+    }
+
+    /// Start everything the admission scheduler releases: each job takes
+    /// (or queues for) its coordinator's MPL slot exactly as before the
+    /// admission layer existed.
+    fn pump_admissions(&mut self) {
+        let now = self.events.now();
+        let mut ready = std::mem::take(&mut self.admit_scratch);
+        self.sched.pump_into(now, &mut ready);
+        for &raw in &ready {
+            let id = simkit::slab::SlabKey::from_raw(raw);
+            let Some(Some(body)) = self.jobs.get(id) else {
+                continue;
+            };
+            let coord = body.coord_pe() as usize;
+            let submitted = body.submitted();
+            if self.pes[coord].try_admit(id) {
+                self.metrics.record_queue_wait(now - submitted, now);
+                self.pending.push_back((
+                    id,
+                    Input {
+                        task: COORD_TASK,
+                        kind: InKind::Start,
+                    },
+                ));
+            }
+        }
+        ready.clear();
+        self.admit_scratch = ready;
+    }
+
+    /// Release a finished coordinator's MPL slot and start the next job
+    /// queued on it, recording how long it waited.
+    fn finish_coord_slot(&mut self, coord: PeId) {
+        if let Some(next) = self.pes[coord as usize].finish() {
+            let now = self.events.now();
+            if let Some(Some(body)) = self.jobs.get(next) {
+                self.metrics.record_queue_wait(now - body.submitted(), now);
+            }
             self.pending.push_back((
-                id,
+                next,
                 Input {
                     task: COORD_TASK,
                     kind: InKind::Start,
                 },
             ));
         }
+    }
+
+    /// Watermark the backlog (admission queue + every MPL input queue).
+    /// Called where the backlog can grow — on arrivals.
+    fn note_backlog(&mut self) {
+        let depth =
+            self.sched.queue_len() + self.pes.iter().map(|p| p.input_queue_len()).sum::<usize>();
+        self.metrics.note_queue_depth(depth as u64);
     }
 
     fn schedule_next_arrival(&mut self, class: ClassRef) {
@@ -483,6 +606,9 @@ impl System {
         else {
             unreachable!()
         };
+        // Malleable admission: a shrunken query carries a degree cap that
+        // every placement strategy honours (0 = unconstrained).
+        let degree_cap = self.sched.degree_cap(msg.job.to_raw());
         let req = PlacementRequest::join(
             stage,
             JoinRequest {
@@ -491,6 +617,7 @@ impl System {
                 psu_noio,
                 outer_scan_nodes,
                 inner_rel,
+                degree_cap,
             },
             self.cfg.n_pes,
         );
@@ -560,15 +687,11 @@ impl System {
             );
         }
         let coord = body.coord_pe();
-        if let Some(next) = self.pes[coord as usize].finish() {
-            self.pending.push_back((
-                next,
-                Input {
-                    task: COORD_TASK,
-                    kind: InKind::Start,
-                },
-            ));
-        }
+        // Hand the admitted resources back, free the MPL slot, then let
+        // the scheduler admit whatever now fits.
+        self.sched.release(job.to_raw());
+        self.finish_coord_slot(coord);
+        self.pump_admissions();
         // Single-user classes: launch the next instance immediately.
         let nq = self.cfg.workload.queries.len();
         if (class as usize) < nq
@@ -613,29 +736,54 @@ impl System {
                 / self.pes.len() as f64;
             self.mem_util_samples.record(mem);
         }
+        // The admission controller rides the same report rounds as the
+        // adaptive placement controller: feed it the refreshed signals,
+        // then give the queue a chance (Malleable's hot-mode flip can
+        // unblock admissions without any completion).
+        let disk = self.broker.disk_utils();
+        let avg_disk = if disk.is_empty() {
+            0.0
+        } else {
+            disk.iter().sum::<f64>() / disk.len() as f64
+        };
+        let signals = ResourceSignals {
+            avg_cpu: self.broker.control().avg_cpu(),
+            avg_disk,
+        };
+        self.sched.on_report(&signals);
+        self.pump_admissions();
         // Rebalancing rides the same report rounds the adaptive
-        // controller observes.
-        if let Some(rc) = &mut self.rebalancer {
+        // controller observes. The fragment snapshot reuses a per-run
+        // scratch vector: no allocation per round.
+        if self.rebalancer.is_some() {
             // Pinned relations (affinity-routed OLTP data) never move.
-            let frags: Vec<FragmentInfo> = (0..self.catalog.len() as u32)
-                .filter(|&rel| !self.catalog.relation(dbmodel::RelationId(rel)).pinned)
-                .flat_map(|rel| {
-                    self.catalog
-                        .placement()
-                        .relation(rel)
-                        .fragments()
-                        .iter()
-                        .enumerate()
-                        .map(move |(i, f)| FragmentInfo {
-                            relation: rel,
-                            fragment: i as u32,
-                            pe: f.pe,
-                            tuples: f.tuples,
-                        })
-                        .collect::<Vec<_>>()
-                })
-                .collect();
-            let plans = rc.on_report_round(self.broker.control(), self.broker.disk_utils(), &frags);
+            self.frag_scratch.clear();
+            for rel in 0..self.catalog.len() as u32 {
+                if self.catalog.relation(dbmodel::RelationId(rel)).pinned {
+                    continue;
+                }
+                for (i, f) in self
+                    .catalog
+                    .placement()
+                    .relation(rel)
+                    .fragments()
+                    .iter()
+                    .enumerate()
+                {
+                    self.frag_scratch.push(FragmentInfo {
+                        relation: rel,
+                        fragment: i as u32,
+                        pe: f.pe,
+                        tuples: f.tuples,
+                    });
+                }
+            }
+            let rc = self.rebalancer.as_mut().expect("checked above");
+            let plans = rc.on_report_round(
+                self.broker.control(),
+                self.broker.disk_utils(),
+                &self.frag_scratch,
+            );
             for plan in plans {
                 self.start_migration(plan);
             }
@@ -714,15 +862,9 @@ impl System {
                 ));
             }
         }
-        if let Some(next) = self.pes[pe as usize].finish() {
-            self.pending.push_back((
-                next,
-                Input {
-                    task: COORD_TASK,
-                    kind: InKind::Start,
-                },
-            ));
-        }
+        self.sched.release(job.to_raw());
+        self.finish_coord_slot(pe);
+        self.pump_admissions();
         // Retry with the same class on the same node.
         let nq = self.cfg.workload.queries.len();
         let class_ref = if (class as usize) < nq {
@@ -809,6 +951,12 @@ impl System {
             policy_switches: self.broker.policy_switches(),
             migrations: self.metrics.migrations,
             tuples_moved: self.metrics.tuples_moved,
+            arrivals: self.metrics.arrivals,
+            queue_wait_ms_mean: self.metrics.queue_wait.mean(),
+            queue_wait_ms_p95: self.metrics.queue_hist.quantile(0.95).as_millis_f64(),
+            peak_queue_depth: self.metrics.peak_queue_depth,
+            shrunk_admissions: self.sched.shrunk(),
+            rejected: self.sched.rejected(),
         }
     }
 

@@ -40,6 +40,7 @@ use crate::mix::WorkloadSpec;
 use crate::oltp::NodeFilter;
 use dbmodel::RelationId;
 use lb_core::{PolicyConfig, Strategy};
+use sched::AdmissionConfig;
 use serde::{Deserialize, Serialize};
 
 /// A placement strategy in a scenario file.
@@ -69,10 +70,10 @@ impl Serialize for StrategySpec {
 impl Deserialize for StrategySpec {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         if let Some(label) = v.as_str() {
-            return Strategy::parse(label).map(StrategySpec).ok_or_else(|| {
+            return Strategy::parse(label).map(StrategySpec).map_err(|e| {
                 serde::Error::custom(format!(
-                    "unknown strategy label `{label}` (try e.g. \"MIN-IO\", \
-                     \"OPT-IO-CPU\", \"pmu-cpu+LUM\", \"fixed(8)+RANDOM\")"
+                    "{e} (try e.g. \"MIN-IO\", \"OPT-IO-CPU\", \"pmu-cpu+LUM\", \
+                     \"fixed(8)+RANDOM\")"
                 ))
             });
         }
@@ -195,6 +196,13 @@ pub struct Knobs {
     pub buffer_pages: u32,
     /// Data disks per PE (the paper varies 1 / 5 / 10).
     pub disks_per_pe: u32,
+    /// Per-PE multiprogramming level (the paper's 64; admission
+    /// experiments lower it to make MPL backpressure visible).
+    pub mpl: u32,
+    /// Admission layer between arrivals and launch: policy, budgets,
+    /// queue bound, priority tiers. The default (`FcfsMpl`) reproduces
+    /// the paper's MPL-only admission bit-for-bit.
+    pub admission: AdmissionConfig,
     /// Per-PE CPU speed heterogeneity.
     pub node_speed: NodeSpeed,
     /// Per-work-class placement policies; `None` = paper defaults.
@@ -225,6 +233,8 @@ impl Default for Knobs {
             oltp_modulation: Modulation::None,
             buffer_pages: 50,
             disks_per_pe: 10,
+            mpl: 64,
+            admission: AdmissionConfig::default(),
             node_speed: NodeSpeed::Uniform,
             policies: None,
             sim_secs: 40.0,
@@ -301,6 +311,10 @@ pub struct Patch {
     pub buffer_pages: Option<u32>,
     /// Override [`Knobs::disks_per_pe`].
     pub disks_per_pe: Option<u32>,
+    /// Override [`Knobs::mpl`].
+    pub mpl: Option<u32>,
+    /// Override [`Knobs::admission`].
+    pub admission: Option<AdmissionConfig>,
     /// Override [`Knobs::node_speed`].
     pub node_speed: Option<NodeSpeed>,
     /// Override [`Knobs::sim_secs`].
@@ -337,6 +351,8 @@ impl Patch {
             oltp_modulation,
             buffer_pages,
             disks_per_pe,
+            mpl,
+            admission,
             node_speed,
             sim_secs,
             warmup_secs,
@@ -398,6 +414,12 @@ impl Patch {
         if let Some(v) = self.disks_per_pe {
             parts.push(format!("disks={v}"));
         }
+        if let Some(v) = self.mpl {
+            parts.push(format!("mpl={v}"));
+        }
+        if let Some(v) = &self.admission {
+            parts.push(format!("admission={}", v.label()));
+        }
         if let Some(v) = &self.node_speed {
             parts.push(format!("speed={}", v.label()));
         }
@@ -438,6 +460,9 @@ fn modulation_label(m: &Modulation) -> String {
 pub struct Sweep {
     /// Strategies to compare (one result series each).
     pub strategy: Vec<StrategySpec>,
+    /// Admission policies to compare (a series dimension, like
+    /// `strategy`).
+    pub admission: Vec<AdmissionConfig>,
     /// Correlated multi-knob overrides (one axis, applied together).
     pub paired: Vec<Patch>,
     /// System sizes.
@@ -460,6 +485,8 @@ pub struct Sweep {
     pub buffer_pages: Vec<u32>,
     /// Disks per PE.
     pub disks_per_pe: Vec<u32>,
+    /// Multiprogramming levels.
+    pub mpl: Vec<u32>,
     /// Node-speed profiles.
     pub node_speed: Vec<NodeSpeed>,
     /// Replication seeds.
@@ -518,6 +545,7 @@ impl ScenarioSpec {
         let s = &self.sweep;
         [
             s.strategy.len(),
+            s.admission.len(),
             s.paired.len(),
             s.n_pes.len(),
             s.selectivity.len(),
@@ -529,6 +557,7 @@ impl ScenarioSpec {
             s.tps_per_node.len(),
             s.buffer_pages.len(),
             s.disks_per_pe.len(),
+            s.mpl.len(),
             s.node_speed.len(),
             s.seed.len(),
         ]
@@ -575,6 +604,13 @@ impl ScenarioSpec {
             &s.strategy,
             StrategySpec::label,
             |k, v| k.strategy = *v,
+        );
+        runs = expand(
+            runs,
+            "admission",
+            &s.admission,
+            AdmissionConfig::label,
+            |k, v| k.admission = v.clone(),
         );
         runs = expand(runs, "paired", &s.paired, Patch::label, |k, v| v.apply(k));
         runs = expand(runs, "n_pes", &s.n_pes, u32::to_string, |k, v| k.n_pes = *v);
@@ -625,6 +661,7 @@ impl ScenarioSpec {
             u32::to_string,
             |k, v| k.disks_per_pe = *v,
         );
+        runs = expand(runs, "mpl", &s.mpl, u32::to_string, |k, v| k.mpl = *v);
         runs = expand(
             runs,
             "node_speed",
@@ -686,6 +723,51 @@ mod tests {
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), 12);
+    }
+
+    #[test]
+    fn admission_axis_expands_like_strategy() {
+        use sched::AdmissionPolicyKind;
+        let spec: ScenarioSpec = serde_json::from_str(
+            r#"{
+                "name": "adm",
+                "base": { "mpl": 8 },
+                "sweep": {
+                    "admission": [
+                        { "policy": "FcfsMpl" },
+                        { "policy": "MemoryReservation", "mem_budget_frac": 0.8 },
+                        { "policy": "Malleable", "priorities": [ { "class": "debit-credit", "weight": 8.0 } ] }
+                    ],
+                    "qps_per_pe": [0.1, 0.5]
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.run_count(), 6);
+        let runs = spec.runs();
+        assert_eq!(runs[0].axis("admission"), Some("fcfs"));
+        assert_eq!(runs[2].axis("admission"), Some("mem-resv(0.8)"));
+        assert_eq!(runs[4].axis("admission"), Some("malleable(1.5)+prio"));
+        assert_eq!(
+            runs[4].knobs.admission.policy,
+            AdmissionPolicyKind::Malleable
+        );
+        assert_eq!(runs[4].knobs.admission.weight_for("debit-credit"), 8.0);
+        assert_eq!(runs[0].knobs.mpl, 8, "base mpl survives expansion");
+        // Patch-level override composes too.
+        let p = Patch {
+            admission: Some(AdmissionConfig {
+                policy: AdmissionPolicyKind::MemoryReservation,
+                ..AdmissionConfig::default()
+            }),
+            mpl: Some(2),
+            ..Patch::default()
+        };
+        assert_eq!(p.label(), "mpl=2,admission=mem-resv");
+        let mut k = Knobs::default();
+        p.apply(&mut k);
+        assert_eq!(k.mpl, 2);
+        assert_eq!(k.admission.policy, AdmissionPolicyKind::MemoryReservation);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Acceptance tests for the admission layer (`sched` crate wired through
+//! `snsim`): determinism under every admission policy, the flash-crowd
+//! stability contrast, the overload base-point rejection guarantee, and
+//! priority tiering.
+
+use parallel_lb::prelude::*;
+use proptest::prelude::{prop_assert_eq, proptest, ProptestConfig};
+use sched::{AdmissionConfig, AdmissionPolicyKind, ClassPriority};
+use workload::scenario::ScenarioSpec;
+
+fn admission_variants() -> Vec<AdmissionConfig> {
+    vec![
+        AdmissionConfig::default(), // FcfsMpl
+        AdmissionConfig {
+            policy: AdmissionPolicyKind::MemoryReservation,
+            mem_budget_frac: 0.5,
+            max_queue: 64,
+            ..AdmissionConfig::default()
+        },
+        AdmissionConfig {
+            policy: AdmissionPolicyKind::Malleable,
+            mem_budget_frac: 0.5,
+            slots_per_pe: 1.0,
+            cpu_hot: 0.4,
+            aging_rate: 2.0,
+            priorities: vec![ClassPriority {
+                class: "join-1%".into(),
+                weight: 3.0,
+            }],
+            ..AdmissionConfig::default()
+        },
+    ]
+}
+
+fn cfg(strat: Strategy, admission: AdmissionConfig, n: u32, rate: f64, seed: u64) -> SimConfig {
+    SimConfig::paper_default(n, WorkloadSpec::homogeneous_join(0.01, rate), strat)
+        .with_seed(seed)
+        .with_mpl(2)
+        .with_admission(admission)
+        .with_sim_time(SimDur::from_secs(4), SimDur::from_secs(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 2, // each case runs 2 short simulations per strategy × policy
+        .. ProptestConfig::default()
+    })]
+
+    /// Satellite: same seed + same config ⇒ bit-identical Summary for
+    /// every Fig. 6 strategy under every admission policy. The tight
+    /// budgets + MPL 2 force queueing, shrinking and (bounded-queue)
+    /// rejection paths to actually execute.
+    #[test]
+    fn prop_admission_policies_bit_identical(
+        seed in 0u64..10_000,
+        n in 8u32..12,
+        rate_milli in 50u64..150,
+    ) {
+        let rate = rate_milli as f64 / 1000.0;
+        for strat in Strategy::fig6_set() {
+            for admission in admission_variants() {
+                let a = snsim::run_one(cfg(strat, admission.clone(), n, rate, seed));
+                let b = snsim::run_one(cfg(strat, admission.clone(), n, rate, seed));
+                let ja = serde_json::to_string(&a).expect("serialize");
+                let jb = serde_json::to_string(&b).expect("serialize");
+                prop_assert_eq!(
+                    ja,
+                    jb,
+                    "strategy {} under {} diverged for seed {}",
+                    strat.name(),
+                    admission.label(),
+                    seed
+                );
+            }
+        }
+    }
+}
+
+fn load_spec(name: &str) -> ScenarioSpec {
+    let json = std::fs::read_to_string(format!("scenarios/{name}.json"))
+        .unwrap_or_else(|e| panic!("scenarios/{name}.json: {e}"));
+    serde_json::from_str(&json).unwrap_or_else(|e| panic!("scenarios/{name}.json: {e}"))
+}
+
+/// Config of the run whose `admission` axis label is `label`.
+fn config_for_admission(spec: &ScenarioSpec, label: &str) -> SimConfig {
+    let run = spec
+        .runs()
+        .into_iter()
+        .find(|r| r.axis("admission").map(|a| a.starts_with(label)) == Some(true))
+        .unwrap_or_else(|| panic!("no admission axis value starting with `{label}`"));
+    snsim::scenario::build_config(&run.knobs)
+}
+
+/// Acceptance: at the flash-crowd arrival rate, `FcfsMpl`'s queue grows
+/// without bound (the backlog keeps growing when the run is extended)
+/// while `Malleable` keeps p95 join response bounded and its backlog
+/// flat — deterministically across two runs.
+#[test]
+fn flash_crowd_malleable_bounded_where_fcfs_diverges() {
+    let spec = load_spec("flash_crowd");
+    let fcfs = config_for_admission(&spec, "fcfs");
+    let malleable = config_for_admission(&spec, "malleable");
+    let horizon = |cfg: &SimConfig, secs: u64| {
+        cfg.clone()
+            .with_sim_time(SimDur::from_secs(secs), SimDur::from_secs(15))
+    };
+
+    // FcfsMpl: the backlog keeps growing as the horizon extends — the
+    // queue is unbounded at this arrival rate.
+    let f1 = snsim::run_one(horizon(&fcfs, 90));
+    let f2 = snsim::run_one(horizon(&fcfs, 150));
+    assert!(
+        f1.peak_queue_depth >= 100,
+        "fcfs backlog at 90 s: {}",
+        f1.peak_queue_depth
+    );
+    assert!(
+        f2.peak_queue_depth as f64 >= 1.4 * f1.peak_queue_depth as f64,
+        "fcfs backlog must keep growing: {} @90s vs {} @150s",
+        f1.peak_queue_depth,
+        f2.peak_queue_depth
+    );
+
+    // Malleable: p95 finite and modest, backlog flat across horizons,
+    // and throughput keeps up with arrivals instead of collapsing.
+    let m1 = snsim::run_one(horizon(&malleable, 90));
+    let m2 = snsim::run_one(horizon(&malleable, 150));
+    for m in [&m1, &m2] {
+        let p95 = m.classes[0].p95_ms;
+        assert!(
+            p95.is_finite() && p95 < 30_000.0,
+            "malleable p95 bounded: {p95}"
+        );
+        assert!(
+            m.peak_queue_depth <= 80,
+            "malleable backlog bounded: {}",
+            m.peak_queue_depth
+        );
+    }
+    assert!(
+        m1.classes[0].completed > 4 * f1.classes[0].completed,
+        "malleable sustains throughput where fcfs collapses: {} vs {}",
+        m1.classes[0].completed,
+        f1.classes[0].completed
+    );
+    assert!(m1.shrunk_admissions > 0, "degrees were actually shrunk");
+
+    // Deterministic: the exact same flash-crowd runs, bit for bit.
+    for cfg in [&fcfs, &malleable] {
+        let a = serde_json::to_string(&snsim::run_one(horizon(cfg, 90))).unwrap();
+        let b = serde_json::to_string(&snsim::run_one(horizon(cfg, 90))).unwrap();
+        assert_eq!(a, b, "flash-crowd run not deterministic");
+    }
+}
+
+/// CI base-point guarantee: `MemoryReservation` at the
+/// `overload_saturation` base point (inside capacity) rejects nothing —
+/// the bounded queue only drops arrivals deep into overload.
+#[test]
+fn memory_reservation_rejects_nothing_at_base_point() {
+    let spec = load_spec("overload_saturation");
+    let cfg = snsim::scenario::build_config(&spec.base);
+    assert_eq!(
+        cfg.admission.policy,
+        AdmissionPolicyKind::MemoryReservation,
+        "the spec's base point must pin MemoryReservation"
+    );
+    assert!(cfg.admission.max_queue > 0, "rejection must be possible");
+    let s = snsim::run_one(cfg);
+    assert_eq!(s.rejected, 0, "base point must admit everything");
+    assert!(s.classes[0].completed > 0);
+    assert!(
+        s.queue_wait_ms_mean.is_finite(),
+        "backpressure metrics populated"
+    );
+}
+
+/// Priority tiers: with debit-credit tiered above the overloading join
+/// stream, OLTP response stays at the no-admission level while the
+/// joins absorb the queueing; with uniform weights the joins' head-of-
+/// line blocking destroys OLTP latency.
+#[test]
+fn priority_tiers_protect_oltp_under_join_overload() {
+    let spec = load_spec("priority_mix");
+    let runs = spec.runs();
+    let cfg_for = |want_prio: bool| {
+        let run = runs
+            .iter()
+            .find(|r| {
+                r.axis("admission").is_some_and(|a| {
+                    a.starts_with("malleable") && a.ends_with("+prio") == want_prio
+                })
+            })
+            .expect("priority_mix sweeps malleable with and without priorities");
+        snsim::scenario::build_config(&run.knobs)
+    };
+    // Shortened horizon keeps the debug-mode test quick; the contrast is
+    // established well before the spec's full 60 s.
+    let shorten = |cfg: SimConfig| cfg.with_sim_time(SimDur::from_secs(30), SimDur::from_secs(8));
+    let uniform = snsim::run_one(shorten(cfg_for(false)));
+    let tiered = snsim::run_one(shorten(cfg_for(true)));
+    let oltp_ms = |s: &snsim::Summary| s.oltp_resp_ms().expect("mixed workload has OLTP");
+    assert!(
+        oltp_ms(&tiered) * 5.0 < oltp_ms(&uniform),
+        "tiering must protect OLTP: {} ms tiered vs {} ms uniform",
+        oltp_ms(&tiered),
+        oltp_ms(&uniform)
+    );
+    assert_eq!(
+        tiered.rejected, 0,
+        "prioritized OLTP never overflows the queue"
+    );
+    assert!(
+        uniform.rejected > 0,
+        "uniform weights overflow the bounded queue"
+    );
+}
