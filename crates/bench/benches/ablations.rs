@@ -20,7 +20,7 @@ fn base(n: u32) -> SimConfig {
         n,
         WorkloadSpec::homogeneous_join(0.01, 0.2),
         Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Lum,
         },
     )
@@ -126,7 +126,7 @@ fn bench_skew(c: &mut Criterion) {
                 WorkloadSpec::homogeneous_join(0.01, 0.15)
             },
             Strategy::Isolated {
-                degree: DegreePolicy::MuCpu,
+                degree: DegreePolicy::MU_CPU,
                 select,
             },
         )
@@ -160,7 +160,7 @@ fn bench_ratematch(c: &mut Criterion) {
         b.iter(|| {
             let mut cfg = base();
             cfg.strategy = Strategy::Isolated {
-                degree: DegreePolicy::MuCpu,
+                degree: DegreePolicy::MU_CPU,
                 select: SelectPolicy::Lum,
             };
             black_box(snsim::run_one(cfg).join_resp_ms())

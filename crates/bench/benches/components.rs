@@ -124,9 +124,10 @@ fn bench_trace_codec(c: &mut Criterion) {
 /// does not regress the placement hot path: the decision logic itself
 /// (sorting AVAIL-MEMORY, eq. 3.3 scans) dominates the virtual calls.
 fn bench_placement_dispatch(c: &mut Criterion) {
-    use lb_core::control::{ControlNode, NodeState};
+    use lb_core::control::ControlNode;
     use lb_core::{
-        CentralBroker, JoinRequest, PlacementRequest, PolicyConfig, ResourceBroker, Strategy,
+        CentralBroker, JoinRequest, PlacementRequest, PolicyConfig, ResourceBroker, ResourceVector,
+        Strategy,
     };
 
     const N: usize = 64;
@@ -143,9 +144,10 @@ fn bench_placement_dispatch(c: &mut Criterion) {
         for i in 0..N {
             ctl.report(
                 i as u32,
-                NodeState {
-                    cpu_util: 0.3,
+                ResourceVector {
+                    cpu: 0.3,
                     free_pages: 40,
+                    ..ResourceVector::default()
                 },
             );
         }
@@ -176,9 +178,10 @@ fn bench_placement_dispatch(c: &mut Criterion) {
         for i in 0..N as u32 {
             broker.report(
                 i,
-                NodeState {
-                    cpu_util: 0.3,
+                ResourceVector {
+                    cpu: 0.3,
                     free_pages: 40,
+                    ..ResourceVector::default()
                 },
             );
         }

@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lb_core::costmodel::{paper_join_profile, CostModel, CostParams};
-use lb_core::{ControlNode, DegreePolicy, JoinRequest, NodeState, SelectPolicy, Strategy};
+use lb_core::{ControlNode, DegreePolicy, JoinRequest, ResourceVector, SelectPolicy, Strategy};
 use simkit::SimRng;
 
 fn loaded_control(n: usize, seed: u64) -> ControlNode {
@@ -12,9 +12,11 @@ fn loaded_control(n: usize, seed: u64) -> ControlNode {
     for i in 0..n {
         c.report(
             i as u32,
-            NodeState {
-                cpu_util: rng.f64(),
+            ResourceVector {
+                cpu: rng.f64(),
+                net: rng.f64(),
                 free_pages: rng.below(50) as u32,
+                ..ResourceVector::default()
             },
         );
     }
@@ -41,7 +43,7 @@ fn bench_placements(c: &mut Criterion) {
         (
             "lum",
             Strategy::Isolated {
-                degree: DegreePolicy::MuCpu,
+                degree: DegreePolicy::MU_CPU,
                 select: SelectPolicy::Lum,
             },
         ),

@@ -96,6 +96,12 @@ fn main() {
                 .fold(0.0f64, f64::max);
             let rejected: u64 = rows.iter().map(|r| r.summary.rejected).sum();
             let shrunk: u64 = rows.iter().map(|r| r.summary.shrunk_admissions).sum();
+            // Per-resource utilization columns: the max of each run-mean
+            // plus the worst p95, so resource-pressure trends (including
+            // the interconnect) are tracked alongside events/sec.
+            let fmax = |f: fn(&snsim::Summary) -> f64| {
+                rows.iter().map(|r| f(&r.summary)).fold(0.0f64, f64::max)
+            };
             bench_rows.push(serde_json::json!({
                 "scenario": spec.name,
                 "runs": rows.len() as u64,
@@ -106,6 +112,11 @@ fn main() {
                 "queue_wait_ms_p95_max": queue_wait_p95,
                 "rejected": rejected,
                 "shrunk_admissions": shrunk,
+                "cpu_util_max": fmax(|s| s.avg_cpu_util),
+                "mem_util_max": fmax(|s| s.avg_mem_util),
+                "disk_util_max": fmax(|s| s.avg_disk_util),
+                "net_util_max": fmax(|s| s.avg_net_util),
+                "net_util_p95_max": fmax(|s| s.p95_net_util),
             }));
         }
         lab::print_tables(&spec, &rows);

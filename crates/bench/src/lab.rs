@@ -282,7 +282,8 @@ pub fn write_lab_csv(name: &str, rows: &[LabRow]) -> Option<PathBuf> {
     let _ = writeln!(
         out,
         ",strategy,n_pes,join_resp_ms,oltp_resp_ms,avg_cpu_util,avg_disk_util,\
-         avg_mem_util,avg_join_degree,policy_switches,events"
+         avg_mem_util,avg_net_util,p95_cpu_util,p95_mem_util,p95_disk_util,\
+         p95_net_util,avg_join_degree,policy_switches,events"
     );
     for r in rows {
         let _ = write!(out, "{}", csv_escape(name));
@@ -302,13 +303,18 @@ pub fn write_lab_csv(name: &str, rows: &[LabRow]) -> Option<PathBuf> {
             .unwrap_or_default();
         let _ = writeln!(
             out,
-            ",{},{},{:.3},{oltp},{:.4},{:.4},{:.4},{:.3},{},{}",
+            ",{},{},{:.3},{oltp},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.3},{},{}",
             csv_escape(&r.strategy),
             s.n_pes,
             s.join_resp_ms(),
             s.avg_cpu_util,
             s.avg_disk_util,
             s.avg_mem_util,
+            s.avg_net_util,
+            s.p95_cpu_util,
+            s.p95_mem_util,
+            s.p95_disk_util,
+            s.p95_net_util,
             s.avg_join_degree,
             s.policy_switches,
             s.events,

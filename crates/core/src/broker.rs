@@ -1,13 +1,19 @@
 //! The resource-broker layer.
 //!
-//! Owns the per-node resource state (CPU utilization, free buffer memory,
-//! disk utilization) behind an object-safe trait, and routes every
-//! placement request to the [`PlacementPolicy`] responsible for its work
-//! class. The simulator no longer pokes the [`ControlNode`] directly — it
-//! reports resource samples to the broker and asks the broker for
-//! placements, which is the separation DynaHash-style dynamic rebalancing
-//! needs (a broker that can observe *and* decide is the prerequisite for
-//! switching policies mid-run).
+//! Owns the per-node resource state (one [`ResourceVector`] per node —
+//! CPU, memory, disk and egress-link utilization plus free buffer pages)
+//! behind an object-safe trait, and routes every placement request to the
+//! [`PlacementPolicy`] responsible for its work class. The simulator no
+//! longer pokes the [`ControlNode`] directly — it reports resource samples
+//! to the broker and asks the broker for placements, which is the
+//! separation DynaHash-style dynamic rebalancing needs (a broker that can
+//! observe *and* decide is the prerequisite for switching policies
+//! mid-run).
+//!
+//! All read access is uniform over [`ResourceKind`]: `util(node, kind)`
+//! for one cell, `utils(kind)` for a per-node column, `avg(kind)` for the
+//! cluster mean. There are no per-resource method families — adding a
+//! balanced resource is one enum variant, not a new broker surface.
 //!
 //! Layering (top to bottom):
 //!
@@ -18,17 +24,19 @@
 //!   lb_core::ControlNode    — the paper's AVAIL-MEMORY + utilization view
 //! ```
 
-use crate::control::{ControlNode, NodeState};
+use crate::control::ControlNode;
 use crate::policy::{PlacementPolicy, PlacementRequest, PolicyConfig, WorkClass};
+use crate::resources::{ResourceKind, ResourceVector};
 use crate::strategy::{Placement, Strategy};
 use simkit::SimRng;
 
-/// Object-safe broker interface: resource reporting in, placements out.
+/// Object-safe broker interface: resource-vector reports in, placements
+/// out.
 ///
 /// ```
 /// use lb_core::{
-///     CentralBroker, JoinRequest, NodeState, PlacementRequest, PolicyConfig,
-///     ResourceBroker, Strategy, WorkClass,
+///     CentralBroker, JoinRequest, PlacementRequest, PolicyConfig, ResourceBroker,
+///     ResourceKind, ResourceVector, Strategy, WorkClass,
 /// };
 /// use simkit::SimRng;
 ///
@@ -41,12 +49,22 @@ use simkit::SimRng;
 ///     &PolicyConfig::default(),
 /// ));
 ///
-/// // One report round: every node reports CPU and free memory.
+/// // One report round: every node reports its full resource vector.
 /// for node in 0..8 {
-///     broker.report(node, NodeState { cpu_util: 0.1, free_pages: 50 });
-///     broker.report_disk(node, 0.2);
+///     broker.report(
+///         node,
+///         ResourceVector {
+///             cpu: 0.1,
+///             disk: 0.2,
+///             net: 0.05,
+///             free_pages: 50,
+///             ..ResourceVector::default()
+///         },
+///     );
 /// }
 /// broker.end_report_round();
+/// assert!((broker.avg(ResourceKind::Disk) - 0.2).abs() < 1e-12);
+/// assert_eq!(broker.utils(ResourceKind::Net).len(), 8);
 ///
 /// // Ask for a placement: a 120-page join over all 8 nodes. With 50 free
 /// // pages per node MIN-IO needs 3 processors (3 · 50 > 120).
@@ -71,11 +89,8 @@ pub trait ResourceBroker {
     /// Number of nodes under management.
     fn node_count(&self) -> usize;
 
-    /// Periodic CPU/memory report from one node.
-    fn report(&mut self, node: u32, state: NodeState);
-
-    /// Periodic disk-utilization report from one node.
-    fn report_disk(&mut self, node: u32, util: f64);
+    /// Periodic report from one node: its full resource vector.
+    fn report(&mut self, node: u32, state: ResourceVector);
 
     /// End of one report round (all nodes reported): adaptive policies
     /// observe the refreshed state here and may switch behaviour.
@@ -93,24 +108,38 @@ pub trait ResourceBroker {
     /// Read access to the control state (diagnostics, tests).
     fn control(&self) -> &ControlNode;
 
-    /// Last reported disk utilization of a node.
-    fn disk_util(&self, node: u32) -> f64;
+    /// Last reported utilization of one resource on one node.
+    fn util(&self, node: u32, kind: ResourceKind) -> f64;
+
+    /// Per-node utilizations of one resource (controllers' input; one
+    /// contiguous column per kind, no allocation per call).
+    fn utils(&self, kind: ResourceKind) -> &[f64];
+
+    /// Cluster-average utilization of one resource.
+    fn avg(&self, kind: ResourceKind) -> f64 {
+        let col = self.utils(kind);
+        if col.is_empty() {
+            0.0
+        } else {
+            col.iter().sum::<f64>() / col.len() as f64
+        }
+    }
 
     /// Register / refresh the data-placement layer's locality view
     /// (tuples of each relation per node). Called by the simulator at
     /// startup and after every fragment migration, so placement policies
     /// can see where the data currently lives.
     fn set_locality(&mut self, locality: crate::control::DataLocality);
-
-    /// Per-node disk utilizations (rebalancing input).
-    fn disk_utils(&self) -> &[f64];
 }
 
 /// The designated-control-node broker of the paper: central state, one
 /// policy slot per work class.
 pub struct CentralBroker {
     ctl: ControlNode,
-    disk: Vec<f64>,
+    /// Column-major copy of the last reported utilizations
+    /// (`cols[kind][node]`), so `utils(kind)` hands controllers a
+    /// contiguous slice without touching the row-major control state.
+    cols: [Vec<f64>; ResourceKind::COUNT],
     join: Box<dyn PlacementPolicy>,
     /// Policy for multi-join stages ≥ 1; `None` falls through to the join
     /// policy (sharing its state, e.g. one adaptive controller for both).
@@ -136,15 +165,15 @@ impl CentralBroker {
         for node in 0..n {
             ctl.report(
                 node as u32,
-                NodeState {
-                    cpu_util: 0.0,
+                ResourceVector {
                     free_pages,
+                    ..ResourceVector::default()
                 },
             );
         }
         CentralBroker {
             ctl,
-            disk: vec![0.0; n],
+            cols: std::array::from_fn(|_| vec![0.0; n]),
             join,
             stage,
             scan,
@@ -160,7 +189,7 @@ impl CentralBroker {
         strategy: Strategy,
         policies: &PolicyConfig,
     ) -> CentralBroker {
-        CentralBroker::new(
+        let mut broker = CentralBroker::new(
             n,
             luc_bump,
             free_pages,
@@ -168,7 +197,9 @@ impl CentralBroker {
             policies.stage_strategy.map(|s| policies.join_policy(s)),
             Box::new(crate::policy::CoordinatorPolicy::new(policies.scan_coord)),
             Box::new(crate::policy::CoordinatorPolicy::new(policies.oltp_coord)),
-        )
+        );
+        broker.ctl.weights = policies.weights;
+        broker
     }
 }
 
@@ -177,21 +208,20 @@ impl ResourceBroker for CentralBroker {
         self.ctl.len()
     }
 
-    fn report(&mut self, node: u32, state: NodeState) {
+    fn report(&mut self, node: u32, state: ResourceVector) {
         self.ctl.report(node, state);
-    }
-
-    fn report_disk(&mut self, node: u32, util: f64) {
-        self.disk[node as usize] = util;
+        for kind in ResourceKind::ALL {
+            self.cols[kind.index()][node as usize] = state.get(kind);
+        }
     }
 
     fn end_report_round(&mut self) {
-        self.join.on_report(&self.ctl, &self.disk);
+        self.join.on_report(&self.ctl);
         if let Some(stage) = &mut self.stage {
-            stage.on_report(&self.ctl, &self.disk);
+            stage.on_report(&self.ctl);
         }
-        self.scan.on_report(&self.ctl, &self.disk);
-        self.oltp.on_report(&self.ctl, &self.disk);
+        self.scan.on_report(&self.ctl);
+        self.oltp.on_report(&self.ctl);
     }
 
     fn place(&mut self, req: &PlacementRequest, rng: &mut SimRng) -> Placement {
@@ -226,16 +256,16 @@ impl ResourceBroker for CentralBroker {
         &self.ctl
     }
 
-    fn disk_util(&self, node: u32) -> f64 {
-        self.disk[node as usize]
+    fn util(&self, node: u32, kind: ResourceKind) -> f64 {
+        self.cols[kind.index()][node as usize]
+    }
+
+    fn utils(&self, kind: ResourceKind) -> &[f64] {
+        &self.cols[kind.index()]
     }
 
     fn set_locality(&mut self, locality: crate::control::DataLocality) {
         self.ctl.set_locality(locality);
-    }
-
-    fn disk_utils(&self) -> &[f64] {
-        &self.disk
     }
 }
 
@@ -248,6 +278,14 @@ mod tests {
 
     fn broker(strategy: Strategy) -> CentralBroker {
         CentralBroker::from_config(8, 0.05, 50, strategy, &PolicyConfig::default())
+    }
+
+    fn vec_for(cpu: f64, free_pages: u32) -> ResourceVector {
+        ResourceVector {
+            cpu,
+            free_pages,
+            ..ResourceVector::default()
+        }
     }
 
     fn join_req() -> JoinRequest {
@@ -283,13 +321,7 @@ mod tests {
         for node in 0..8u32 {
             // Decay lingering promises from construction-time reports.
             for _ in 0..4 {
-                b.report(
-                    node,
-                    NodeState {
-                        cpu_util: 0.1,
-                        free_pages: if node == 5 { 45 } else { 2 },
-                    },
-                );
+                b.report(node, vec_for(0.1, if node == 5 { 45 } else { 2 }));
             }
         }
         let p = b.place(&PlacementRequest::join(0, join_req(), 8), &mut rng);
@@ -301,11 +333,23 @@ mod tests {
     }
 
     #[test]
-    fn disk_reports_are_tracked() {
+    fn per_kind_columns_are_tracked() {
         let mut b = broker(Strategy::MinIo);
-        b.report_disk(3, 0.7);
-        assert!((b.disk_util(3) - 0.7).abs() < 1e-12);
-        assert_eq!(b.disk_util(0), 0.0);
+        b.report(
+            3,
+            ResourceVector {
+                cpu: 0.2,
+                disk: 0.7,
+                net: 0.4,
+                free_pages: 50,
+                ..ResourceVector::default()
+            },
+        );
+        assert!((b.util(3, ResourceKind::Disk) - 0.7).abs() < 1e-12);
+        assert!((b.util(3, ResourceKind::Net) - 0.4).abs() < 1e-12);
+        assert_eq!(b.util(0, ResourceKind::Disk), 0.0);
+        assert_eq!(b.utils(ResourceKind::Disk).len(), 8);
+        assert!((b.avg(ResourceKind::Net) - 0.05).abs() < 1e-12);
     }
 
     #[test]
@@ -329,13 +373,7 @@ mod tests {
         // Heat the CPUs over several report rounds: the controller switches.
         for _ in 0..4 {
             for node in 0..8u32 {
-                b.report(
-                    node,
-                    NodeState {
-                        cpu_util: 0.9,
-                        free_pages: 50,
-                    },
-                );
+                b.report(node, vec_for(0.9, 50));
             }
             b.end_report_round();
         }
@@ -363,5 +401,26 @@ mod tests {
             })
             .collect();
         assert_eq!(picks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bottleneck_weights_reach_the_control_node() {
+        let policies = PolicyConfig {
+            weights: crate::ResourceWeights {
+                net: 0.25,
+                ..crate::ResourceWeights::default()
+            },
+            ..PolicyConfig::default()
+        };
+        let mut b = CentralBroker::from_config(2, 0.05, 50, Strategy::MinIo, &policies);
+        b.report(
+            0,
+            ResourceVector {
+                net: 0.8,
+                free_pages: 50,
+                ..ResourceVector::default()
+            },
+        );
+        assert!((b.control().bottleneck(0) - 0.2).abs() < 1e-12);
     }
 }

@@ -10,6 +10,12 @@
 //! `AVAIL-MEMORY [1..n] of (node-ID, free)` … sorted on the amount of free
 //! memory" (§3.3)
 //!
+//! Reports now carry the full per-node [`ResourceVector`] — CPU, memory,
+//! disk and egress-link utilization plus the absolute free buffer pages —
+//! so every ranking the policies consume (`AVAIL-MEMORY`, by-CPU,
+//! by-bottleneck) reads from one uniform store instead of per-resource
+//! side tables.
+//!
 //! Because reports are periodic, the control data is *stale* between
 //! reports; the paper counters this with **adaptive feedback**: "the
 //! adaptive variation … artificially increases the CPU utilization of a
@@ -18,9 +24,13 @@
 //! the delayed updating" (LUC), and "the control node's information is
 //! directly adapted for newly selected join processors" (LUM).
 
+use crate::resources::{ResourceKind, ResourceVector, ResourceWeights};
 use serde::{Deserialize, Serialize};
 
-/// Reported state of one node, as known by the control node.
+/// The CPU + free-memory slice of a node's state: the paper's original
+/// §3 control data. Kept as the view most placement policies consume
+/// ([`ControlNode::state`] derives it from the full resource vector, with
+/// outstanding memory promises already subtracted).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct NodeState {
     /// CPU utilization in [0, 1] over the last reporting window.
@@ -54,7 +64,9 @@ impl DataLocality {
 /// Control-node view of the whole system.
 #[derive(Debug, Clone)]
 pub struct ControlNode {
-    nodes: Vec<NodeState>,
+    /// Last reported resource vector per node (CPU feedback bumps mutate
+    /// the CPU component in place).
+    utils: Vec<ResourceVector>,
     /// Memory promised to placements whose reservations have not yet
     /// reached the nodes (placement → StartJoin → reserve takes a few
     /// simulated milliseconds). Periodic reports would otherwise erase the
@@ -64,6 +76,9 @@ pub struct ControlNode {
     promised: Vec<u32>,
     /// LUC feedback: utilization bump per assigned join subquery.
     pub luc_bump: f64,
+    /// Per-kind weights of the bottleneck norm (LUB selection, rebalance
+    /// pressure tie-breaks).
+    pub weights: ResourceWeights,
     /// Rotation cursor for tie-breaking: reported state is quantized
     /// (whole pages, windowed utilization), so exact ties are common; a
     /// fixed id-order tie-break would pile every placement onto the
@@ -78,9 +93,10 @@ impl ControlNode {
     /// A control node for `n` PEs with no reports received yet.
     pub fn new(n: usize) -> Self {
         ControlNode {
-            nodes: vec![NodeState::default(); n],
+            utils: vec![ResourceVector::default(); n],
             promised: vec![0; n],
             luc_bump: 0.1,
+            weights: ResourceWeights::default(),
             rr: 0,
             locality: None,
         }
@@ -100,7 +116,7 @@ impl ControlNode {
     /// every other ranking). Data-locality-aware selection uses this to
     /// co-locate join processors with the build input's fragments.
     pub fn by_local_data(&self, rel: u32) -> Vec<(u32, u64)> {
-        let mut v: Vec<(u32, u64)> = (0..self.nodes.len() as u32)
+        let mut v: Vec<(u32, u64)> = (0..self.utils.len() as u32)
             .map(|i| {
                 (
                     i,
@@ -114,50 +130,69 @@ impl ControlNode {
 
     /// Tie-break rank: distance of `id` ahead of the rotation cursor.
     fn rank(&self, id: u32) -> u32 {
-        let n = self.nodes.len() as u32;
+        let n = self.utils.len() as u32;
         (id + n - self.rr % n) % n
     }
 
     /// Number of nodes under control.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.utils.len()
     }
 
     /// Is the node set empty?
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.utils.is_empty()
     }
 
-    /// Periodic report from node `id`. Outstanding promises decay by half:
-    /// reservations placed since the previous report are now visible in
-    /// the reported numbers.
-    pub fn report(&mut self, id: u32, state: NodeState) {
-        self.nodes[id as usize] = state;
+    /// Periodic report from node `id`: the full resource vector.
+    /// Outstanding promises decay by half: reservations placed since the
+    /// previous report are now visible in the reported numbers.
+    pub fn report(&mut self, id: u32, state: ResourceVector) {
+        self.utils[id as usize] = state;
         self.promised[id as usize] /= 2;
     }
 
-    /// Effective state: reported state minus still-outstanding promises.
+    /// Effective §3 state: reported CPU + free pages minus still-
+    /// outstanding promises.
     pub fn state(&self, id: u32) -> NodeState {
-        let s = self.nodes[id as usize];
+        let v = &self.utils[id as usize];
         NodeState {
-            cpu_util: s.cpu_util,
-            free_pages: s.free_pages.saturating_sub(self.promised[id as usize]),
+            cpu_util: v.cpu,
+            free_pages: v.free_pages.saturating_sub(self.promised[id as usize]),
         }
+    }
+
+    /// Last reported utilization of one resource on one node (with the
+    /// adaptive CPU feedback applied; memory promises are visible through
+    /// [`ControlNode::state`], not here — a ratio cannot carry them).
+    pub fn util(&self, id: u32, kind: ResourceKind) -> f64 {
+        self.utils[id as usize].get(kind)
+    }
+
+    /// Average utilization of one resource over all nodes (`u_cpu` of
+    /// eq. 3.2 generalized to every kind).
+    pub fn avg(&self, kind: ResourceKind) -> f64 {
+        if self.utils.is_empty() {
+            return 0.0;
+        }
+        self.utils.iter().map(|v| v.get(kind)).sum::<f64>() / self.utils.len() as f64
     }
 
     /// Average CPU utilization over all nodes (`u_cpu` of eq. 3.2).
     pub fn avg_cpu(&self) -> f64 {
-        if self.nodes.is_empty() {
-            return 0.0;
-        }
-        self.nodes.iter().map(|n| n.cpu_util).sum::<f64>() / self.nodes.len() as f64
+        self.avg(ResourceKind::Cpu)
+    }
+
+    /// Weighted bottleneck score of one node (`max_k w_k · u_k`).
+    pub fn bottleneck(&self, id: u32) -> f64 {
+        self.utils[id as usize].bottleneck(&self.weights)
     }
 
     /// The AVAIL-MEMORY array: `(node-ID, free)` sorted descending on free
     /// memory; ties broken by the rotating cursor (deterministic but not
     /// id-biased).
     pub fn avail_memory(&self) -> Vec<(u32, u32)> {
-        let mut v: Vec<(u32, u32)> = (0..self.nodes.len() as u32)
+        let mut v: Vec<(u32, u32)> = (0..self.utils.len() as u32)
             .map(|i| (i, self.state(i).free_pages))
             .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(self.rank(a.0).cmp(&self.rank(b.0))));
@@ -166,11 +201,35 @@ impl ControlNode {
 
     /// Nodes sorted ascending by CPU utilization (for LUC), rotating ties.
     pub fn by_cpu(&self) -> Vec<(u32, f64)> {
+        self.by_util(ResourceKind::Cpu)
+    }
+
+    /// Nodes sorted ascending by one resource's utilization, rotating
+    /// ties (the per-kind generalization behind LUC and `pmu-<kind>`
+    /// diagnostics).
+    pub fn by_util(&self, kind: ResourceKind) -> Vec<(u32, f64)> {
         let mut v: Vec<(u32, f64)> = self
-            .nodes
+            .utils
             .iter()
             .enumerate()
-            .map(|(i, s)| (i as u32, s.cpu_util))
+            .map(|(i, s)| (i as u32, s.get(kind)))
+            .collect();
+        v.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite")
+                .then(self.rank(a.0).cmp(&self.rank(b.0)))
+        });
+        v
+    }
+
+    /// Nodes sorted ascending by weighted bottleneck score (for LUB),
+    /// rotating ties.
+    pub fn by_bottleneck(&self) -> Vec<(u32, f64)> {
+        let mut v: Vec<(u32, f64)> = self
+            .utils
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.bottleneck(&self.weights)))
             .collect();
         v.sort_by(|a, b| {
             a.1.partial_cmp(&b.1)
@@ -186,8 +245,8 @@ impl ControlNode {
     pub fn note_assignment(&mut self, nodes: &[u32], pages_per_node: u32) {
         for &id in nodes {
             self.promised[id as usize] = self.promised[id as usize].saturating_add(pages_per_node);
-            let s = &mut self.nodes[id as usize];
-            s.cpu_util = (s.cpu_util + self.luc_bump).min(1.0);
+            let s = &mut self.utils[id as usize];
+            s.cpu = (s.cpu + self.luc_bump).min(1.0);
         }
         // Rotate tie-breaking so the next placement starts elsewhere.
         self.rr = self.rr.wrapping_add(nodes.len().max(1) as u32);
@@ -203,9 +262,10 @@ mod tests {
         for (i, (&f, &u)) in free.iter().zip(cpu).enumerate() {
             c.report(
                 i as u32,
-                NodeState {
-                    cpu_util: u,
+                ResourceVector {
+                    cpu: u,
                     free_pages: f,
+                    ..ResourceVector::default()
                 },
             );
         }
@@ -240,6 +300,56 @@ mod tests {
     }
 
     #[test]
+    fn per_kind_reports_flow_into_rankings() {
+        let mut c = ControlNode::new(3);
+        for (i, net) in [0.8, 0.1, 0.4].into_iter().enumerate() {
+            c.report(
+                i as u32,
+                ResourceVector {
+                    cpu: 0.2,
+                    net,
+                    free_pages: 10,
+                    ..ResourceVector::default()
+                },
+            );
+        }
+        assert!((c.avg(ResourceKind::Net) - 0.4333333333333333).abs() < 1e-12);
+        assert_eq!(c.util(2, ResourceKind::Net), 0.4);
+        let ids: Vec<u32> = c
+            .by_util(ResourceKind::Net)
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+        // The net-hot node also has the worst bottleneck score.
+        let by_b: Vec<u32> = c.by_bottleneck().iter().map(|&(i, _)| i).collect();
+        assert_eq!(by_b, vec![1, 2, 0]);
+        assert!((c.bottleneck(0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_weights_reorder_nodes() {
+        let mut c = ControlNode::new(2);
+        c.report(
+            0,
+            ResourceVector {
+                cpu: 0.5,
+                ..ResourceVector::default()
+            },
+        );
+        c.report(
+            1,
+            ResourceVector {
+                net: 0.6,
+                ..ResourceVector::default()
+            },
+        );
+        assert_eq!(c.by_bottleneck()[0].0, 0, "0.5 cpu beats 0.6 net");
+        c.weights.net = 0.5;
+        assert_eq!(c.by_bottleneck()[0].0, 1, "discounted net now wins");
+    }
+
+    #[test]
     fn assignment_feedback_adjusts_copy() {
         let mut c = ctl(&[30, 30], &[0.2, 0.2]);
         c.note_assignment(&[0], 10);
@@ -259,39 +369,25 @@ mod tests {
         let mut c = ctl(&[30], &[0.2]);
         c.note_assignment(&[0], 10);
         assert_eq!(c.state(0).free_pages, 20, "promise hides pages");
+        let report = |c: &mut ControlNode| {
+            c.report(
+                0,
+                ResourceVector {
+                    cpu: 0.25,
+                    free_pages: 28,
+                    ..ResourceVector::default()
+                },
+            )
+        };
         // First report: the reservation is partially visible; half the
         // promise is retained against double-booking.
-        c.report(
-            0,
-            NodeState {
-                cpu_util: 0.25,
-                free_pages: 28,
-            },
-        );
+        report(&mut c);
         assert_eq!(c.state(0).free_pages, 23, "28 − 10/2");
         // Second report: promise fully decayed (10/4 = 2 remains... then 1).
-        c.report(
-            0,
-            NodeState {
-                cpu_util: 0.25,
-                free_pages: 28,
-            },
-        );
+        report(&mut c);
         assert_eq!(c.state(0).free_pages, 26, "28 − 2");
-        c.report(
-            0,
-            NodeState {
-                cpu_util: 0.25,
-                free_pages: 28,
-            },
-        );
-        c.report(
-            0,
-            NodeState {
-                cpu_util: 0.25,
-                free_pages: 28,
-            },
-        );
+        report(&mut c);
+        report(&mut c);
         assert_eq!(c.state(0).free_pages, 28, "promise gone");
     }
 }

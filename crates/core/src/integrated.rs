@@ -151,16 +151,17 @@ pub fn opt_io_cpu(req: &JoinRequest, ctl: &ControlNode) -> (u32, Vec<u32>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::control::NodeState;
+    use crate::resources::ResourceVector;
 
     fn ctl(free: &[u32], cpu: f64) -> ControlNode {
         let mut c = ControlNode::new(free.len());
         for (i, &f) in free.iter().enumerate() {
             c.report(
                 i as u32,
-                NodeState {
-                    cpu_util: cpu,
+                ResourceVector {
+                    cpu,
                     free_pages: f,
+                    ..ResourceVector::default()
                 },
             );
         }

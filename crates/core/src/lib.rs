@@ -16,10 +16,15 @@
 //! * [`costmodel`] — the analytic single-user response-time model used to
 //!   derive `p_su-opt` (argmin over the degree of parallelism) and
 //!   `p_su-noIO` (eq. 3.1), plus `p_mu-cpu` (eq. 3.2);
+//! * [`resources`] — the generic resource model: [`ResourceKind`]
+//!   (CPU / memory / disk / network), per-node [`ResourceVector`]s and the
+//!   weighted bottleneck norm every resource-aware component shares;
 //! * [`degree`] — isolated policies for the number of join processors
-//!   (static `p_su-opt`, static `p_su-noIO`, dynamic `p_mu-cpu`);
+//!   (static `p_su-opt`, static `p_su-noIO`, dynamic `pmu-<resource>` —
+//!   the paper's `p_mu-cpu` generalized over [`ResourceKind`]);
 //! * [`select`] — isolated policies for choosing the processors (RANDOM,
-//!   LUC = least utilized CPUs, LUM = least utilized memory);
+//!   LUC = least utilized CPUs, LUM = least utilized memory, LUB = least
+//!   utilized bottleneck across all resource kinds);
 //! * [`integrated`] — the integrated multi-resource policies MIN-IO
 //!   (eq. 3.3), MIN-IO-SUOPT and OPT-IO-CPU that determine degree *and*
 //!   placement in a single step from the memory/CPU state;
@@ -42,9 +47,10 @@
 //!   controller that switches the active join strategy mid-run from broker
 //!   feedback (with hysteresis);
 //! * [`broker`] — the [`ResourceBroker`] trait and
-//!   its central implementation: owns the per-node CPU/memory/disk state,
-//!   receives the periodic utilization reports, notifies adaptive policies
-//!   at the end of each report round, routes every
+//!   its central implementation: owns the per-node [`ResourceVector`]
+//!   state (uniformly indexed by [`ResourceKind`] — no per-resource
+//!   method families), receives the periodic vector reports, notifies
+//!   adaptive policies at the end of each report round, routes every
 //!   [`PlacementRequest`] to the policy
 //!   registered for its work class, and carries the data-placement
 //!   layer's [`DataLocality`] view so policies can weigh where fragments
@@ -68,6 +74,7 @@ pub mod integrated;
 pub mod policy;
 pub mod ratematch;
 pub mod rebalance;
+pub mod resources;
 pub mod select;
 pub mod strategy;
 
@@ -81,5 +88,6 @@ pub use policy::{
 };
 pub use ratematch::RateMatch;
 pub use rebalance::{FragmentInfo, MigrationPlan, RebalanceConfig, RebalanceController};
+pub use resources::{ResourceKind, ResourceVector, ResourceWeights};
 pub use select::SelectPolicy;
 pub use strategy::{JoinRequest, Placement, Strategy, StrategyParseError};

@@ -24,6 +24,7 @@
 //!   simulator's configuration.
 
 use crate::control::ControlNode;
+use crate::resources::{ResourceKind, ResourceWeights};
 use crate::strategy::{JoinRequest, Placement, Strategy};
 use crate::{DegreePolicy, SelectPolicy};
 use serde::{Deserialize, Serialize};
@@ -93,14 +94,14 @@ impl PlacementRequest {
 ///
 /// ```
 /// use lb_core::{
-///     ControlNode, CoordPolicyKind, CoordinatorPolicy, NodeState, PlacementPolicy,
-///     PlacementRequest, WorkClass,
+///     ControlNode, CoordPolicyKind, CoordinatorPolicy, PlacementPolicy,
+///     PlacementRequest, ResourceVector, WorkClass,
 /// };
 /// use simkit::SimRng;
 ///
 /// let mut ctl = ControlNode::new(4);
 /// for node in 0..4 {
-///     ctl.report(node, NodeState { cpu_util: 0.0, free_pages: 50 });
+///     ctl.report(node, ResourceVector { free_pages: 50, ..ResourceVector::default() });
 /// }
 /// let mut rng = SimRng::new(7);
 ///
@@ -125,9 +126,10 @@ pub trait PlacementPolicy {
     ) -> Placement;
 
     /// Broker feedback hook: called once per report round (control tick)
-    /// with the control state and per-node disk utilization. Policies that
-    /// adapt over time observe the refreshed state here.
-    fn on_report(&mut self, _ctl: &ControlNode, _disk: &[f64]) {}
+    /// with the refreshed control state, which carries the full per-node
+    /// resource vectors (`ControlNode::util` / `avg` / `bottleneck`).
+    /// Policies that adapt over time observe the refreshed state here.
+    fn on_report(&mut self, _ctl: &ControlNode) {}
 
     /// How often this policy changed its behaviour mid-run (adaptive
     /// controllers); 0 for stateless policies.
@@ -169,6 +171,10 @@ pub enum CoordPolicyKind {
     LeastCpu,
     /// Candidate with the most free buffer pages (LUM-style).
     LeastMem,
+    /// Candidate with the lowest weighted bottleneck score over all
+    /// resource kinds (LUB-style: a coordinator avoids nodes whose
+    /// tightest resource — CPU, memory, disk or egress link — is hot).
+    LeastBottleneck,
     /// Deterministic rotation over the candidate range.
     RoundRobin,
 }
@@ -198,6 +204,7 @@ impl PlacementPolicy for CoordinatorPolicy {
             CoordPolicyKind::Random => "coord-RANDOM",
             CoordPolicyKind::LeastCpu => "coord-LUC",
             CoordPolicyKind::LeastMem => "coord-LUM",
+            CoordPolicyKind::LeastBottleneck => "coord-LUB",
             CoordPolicyKind::RoundRobin => "coord-RR",
         }
     }
@@ -227,6 +234,16 @@ impl PlacementPolicy for CoordinatorPolicy {
             CoordPolicyKind::LeastMem => {
                 let pick = ctl
                     .avail_memory()
+                    .into_iter()
+                    .find(|&(id, _)| in_range(id))
+                    .map(|(id, _)| id)
+                    .unwrap_or(req.first);
+                ctl.note_assignment(&[pick], 1);
+                pick
+            }
+            CoordPolicyKind::LeastBottleneck => {
+                let pick = ctl
+                    .by_bottleneck()
                     .into_iter()
                     .find(|&(id, _)| in_range(id))
                     .map(|(id, _)| id)
@@ -302,7 +319,7 @@ impl AdaptiveController {
         AdaptiveController {
             cfg,
             current: Strategy::Isolated {
-                degree: DegreePolicy::MuCpu,
+                degree: DegreePolicy::MU_CPU,
                 select: SelectPolicy::Lum,
             },
             last_table_pages: None,
@@ -316,8 +333,11 @@ impl AdaptiveController {
         self.current
     }
 
-    fn desired(&self, ctl: &ControlNode, disk: &[f64]) -> Strategy {
-        let cpu = ctl.avg_cpu();
+    fn desired(&self, ctl: &ControlNode) -> Strategy {
+        // Every signal is read through the generic per-kind accessors:
+        // adding a resource to the controller's decision is one more
+        // `ctl.avg(kind)` comparison, not a new plumbing path.
+        let cpu = ctl.avg(ResourceKind::Cpu);
         let cpu_bound = if matches!(self.current, Strategy::OptIoCpu) {
             // Already on the CPU policy: stay until clearly cooled down.
             cpu > self.cfg.cpu_hot - self.cfg.hysteresis
@@ -331,9 +351,7 @@ impl AdaptiveController {
         // are the bottleneck: chase temporary-I/O avoidance (§7: "if the
         // system suffers primarily from memory and disk bottlenecks an
         // integrated policy like MIN-IO-SUOPT should be chosen").
-        let disk_bound =
-            !disk.is_empty() && disk.iter().sum::<f64>() / disk.len() as f64 > self.cfg.disk_hot;
-        if disk_bound {
+        if ctl.avg(ResourceKind::Disk) > self.cfg.disk_hot {
             return Strategy::MinIoSuopt;
         }
         if let Some(table_pages) = self.last_table_pages {
@@ -343,7 +361,7 @@ impl AdaptiveController {
             }
         }
         Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Lum,
         }
     }
@@ -366,12 +384,12 @@ impl PlacementPolicy for AdaptiveController {
         PlacementPolicy::place(&mut self.current, req, ctl, rng)
     }
 
-    fn on_report(&mut self, ctl: &ControlNode, disk: &[f64]) {
+    fn on_report(&mut self, ctl: &ControlNode) {
         self.rounds_since_switch = self.rounds_since_switch.saturating_add(1);
         if self.rounds_since_switch < self.cfg.min_rounds_between_switches {
             return;
         }
-        let desired = self.desired(ctl, disk);
+        let desired = self.desired(ctl);
         if desired != self.current {
             self.current = desired;
             self.switches += 1;
@@ -386,8 +404,9 @@ impl PlacementPolicy for AdaptiveController {
 
 /// Per-class policy table: which policy places which work class. The
 /// default reproduces the paper's setup exactly (strategy for joins and
-/// stages, uniform random coordinators).
+/// stages, uniform random coordinators, equal bottleneck weights).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct PolicyConfig {
     /// Coordinator placement for scan/sort/update query classes.
     pub scan_coord: CoordPolicyKind,
@@ -400,6 +419,9 @@ pub struct PolicyConfig {
     /// Controller parameters used when the join strategy is
     /// [`Strategy::Adaptive`].
     pub adaptive: AdaptiveConfig,
+    /// Per-kind weights of the bottleneck norm used by `LUB` selection,
+    /// `coord-LUB` and the rebalancer's pressure tie-breaks.
+    pub weights: ResourceWeights,
 }
 
 impl Default for PolicyConfig {
@@ -409,6 +431,7 @@ impl Default for PolicyConfig {
             oltp_coord: CoordPolicyKind::Random,
             stage_strategy: None,
             adaptive: AdaptiveConfig::default(),
+            weights: ResourceWeights::default(),
         }
     }
 }
@@ -426,16 +449,17 @@ impl PolicyConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::control::NodeState;
+    use crate::resources::ResourceVector;
 
     fn ctl(n: usize, cpu: f64, free: u32) -> ControlNode {
         let mut c = ControlNode::new(n);
         for i in 0..n {
             c.report(
                 i as u32,
-                NodeState {
-                    cpu_util: cpu,
+                ResourceVector {
+                    cpu,
                     free_pages: free,
+                    ..ResourceVector::default()
                 },
             );
         }
@@ -534,18 +558,18 @@ mod tests {
 
         // CPU heats up → controller switches to OPT-IO-CPU.
         let hot = ctl(8, 0.8, 50);
-        a.on_report(&hot, &[]);
+        a.on_report(&hot);
         assert_eq!(a.current(), Strategy::OptIoCpu);
         assert_eq!(a.switches(), 1);
 
         // Cooling into the hysteresis band does NOT switch back…
         let warm = ctl(8, 0.45, 50);
-        a.on_report(&warm, &[]);
+        a.on_report(&warm);
         assert_eq!(a.current(), Strategy::OptIoCpu, "hysteresis holds");
 
         // …but a clear cool-down does.
         let cool = ctl(8, 0.2, 50);
-        a.on_report(&cool, &[]);
+        a.on_report(&cool);
         assert!(matches!(a.current(), Strategy::Isolated { .. }));
         assert_eq!(a.switches(), 2);
     }
@@ -564,7 +588,7 @@ mod tests {
             &mut starved,
             &mut rng,
         );
-        a.on_report(&starved, &[]);
+        a.on_report(&starved);
         assert_eq!(a.current(), Strategy::MinIoSuopt);
     }
 
@@ -575,11 +599,49 @@ mod tests {
             ..AdaptiveConfig::default()
         });
         // Plenty of memory, cool CPUs, but saturated disks.
-        let c = ctl(8, 0.2, 50);
-        a.on_report(&c, &[0.9; 8]);
+        let disk = |disk: f64| {
+            let mut c = ControlNode::new(8);
+            for i in 0..8 {
+                c.report(
+                    i,
+                    ResourceVector {
+                        cpu: 0.2,
+                        disk,
+                        free_pages: 50,
+                        ..ResourceVector::default()
+                    },
+                );
+            }
+            c
+        };
+        a.on_report(&disk(0.9));
         assert_eq!(a.current(), Strategy::MinIoSuopt);
-        a.on_report(&c, &[0.1; 8]);
+        a.on_report(&disk(0.1));
         assert!(matches!(a.current(), Strategy::Isolated { .. }));
+    }
+
+    #[test]
+    fn least_bottleneck_coordinator_avoids_hot_links() {
+        let mut c = ControlNode::new(4);
+        for (i, net) in [0.9, 0.1, 0.5, 0.7].into_iter().enumerate() {
+            c.report(
+                i as u32,
+                ResourceVector {
+                    cpu: 0.1,
+                    net,
+                    free_pages: 50,
+                    ..ResourceVector::default()
+                },
+            );
+        }
+        let mut rng = SimRng::new(9);
+        let mut p = CoordinatorPolicy::new(CoordPolicyKind::LeastBottleneck);
+        assert_eq!(p.name(), "coord-LUB");
+        let req = PlacementRequest::coordinator(WorkClass::Scan, 0, 4);
+        assert_eq!(p.place(&req, &mut c, &mut rng).nodes, vec![1]);
+        // Restricted to the hot half, it still picks the cooler candidate.
+        let req = PlacementRequest::coordinator(WorkClass::Scan, 2, 2);
+        assert_eq!(p.place(&req, &mut c, &mut rng).nodes, vec![2]);
     }
 
     #[test]
@@ -591,10 +653,10 @@ mod tests {
             ..AdaptiveConfig::default()
         });
         let hot = ctl(4, 0.9, 50);
-        a.on_report(&hot, &[]);
-        a.on_report(&hot, &[]);
+        a.on_report(&hot);
+        a.on_report(&hot);
         assert_eq!(a.switches(), 0, "too early to switch");
-        a.on_report(&hot, &[]);
+        a.on_report(&hot);
         assert_eq!(a.switches(), 1);
     }
 }

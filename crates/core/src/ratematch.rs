@@ -94,17 +94,18 @@ impl RateMatch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::control::NodeState;
     use crate::costmodel::paper_join_profile;
+    use crate::resources::ResourceVector;
 
     fn ctl(n: usize, u: f64) -> ControlNode {
         let mut c = ControlNode::new(n);
         for i in 0..n {
             c.report(
                 i as u32,
-                NodeState {
-                    cpu_util: u,
+                ResourceVector {
+                    cpu: u,
                     free_pages: 50,
+                    ..ResourceVector::default()
                 },
             );
         }

@@ -9,7 +9,9 @@
 //! emits a bounded set of concurrent [`MigrationPlan`]s; the simulator
 //! executes each plan as real disk/network/disk traffic
 //! (`engine::migrate`) and reports completion back via
-//! [`RebalanceController::migration_finished`].
+//! [`RebalanceController::migration_finished`]. Utilization signals are
+//! read from the control node's generic per-kind state (the bottleneck
+//! norm), never from per-resource side channels.
 //!
 //! The trigger is **data imbalance** — the per-node tuple masses of the
 //! placement layer — because that signal is exact and stable, where
@@ -151,7 +153,6 @@ impl RebalanceController {
     pub fn on_report_round(
         &mut self,
         ctl: &ControlNode,
-        disk: &[f64],
         frags: &[FragmentInfo],
     ) -> Vec<MigrationPlan> {
         if self.cooldown > 0 {
@@ -186,11 +187,10 @@ impl RebalanceController {
             }
         }
         let mean = load.iter().sum::<u64>() as f64 / n as f64;
-        // Reported pressure (the binding resource) breaks data-mass ties.
-        let pressure = |i: usize| -> f64 {
-            let cpu = ctl.state(i as u32).cpu_util;
-            cpu.max(disk.get(i).copied().unwrap_or(0.0))
-        };
+        // Reported pressure breaks data-mass ties: the weighted bottleneck
+        // score over *all* resource kinds, so a node whose egress link is
+        // saturated by query traffic counts as hot even with idle CPUs.
+        let pressure = |i: usize| -> f64 { ctl.bottleneck(i as u32) };
         let mut plans: Vec<MigrationPlan> = Vec::new();
         while self.active.len() + plans.len() < self.cfg.max_concurrent.max(1) as usize {
             if self.cfg.max_migrations > 0
@@ -259,16 +259,17 @@ impl RebalanceController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::control::NodeState;
+    use crate::resources::ResourceVector;
 
     fn ctl(cpu: &[f64]) -> ControlNode {
         let mut c = ControlNode::new(cpu.len());
         for (i, &u) in cpu.iter().enumerate() {
             c.report(
                 i as u32,
-                NodeState {
-                    cpu_util: u,
+                ResourceVector {
+                    cpu: u,
                     free_pages: 50,
+                    ..ResourceVector::default()
                 },
             );
         }
@@ -309,7 +310,7 @@ mod tests {
     fn plans_largest_gap_shrinking_move_to_emptiest_node() {
         let mut r = RebalanceController::new(cfg());
         let c = ctl(&[0.9, 0.2, 0.1]);
-        let plans = r.on_report_round(&c, &[0.0; 3], &frags());
+        let plans = r.on_report_round(&c, &frags());
         assert_eq!(plans.len(), 1);
         let plan = plans[0];
         assert_eq!(plan.from, 0, "node with the most data");
@@ -334,7 +335,7 @@ mod tests {
             frag(0, 4, 2, 10_000),
         ];
         let c = ctl(&[0.5, 0.5, 0.1, 0.0]);
-        let plans = r.on_report_round(&c, &[0.0; 4], &frags);
+        let plans = r.on_report_round(&c, &frags);
         assert_eq!(plans.len(), 2, "both overloaded nodes unload at once");
         let mut moved: Vec<u32> = plans.iter().map(|p| p.fragment).collect();
         moved.sort_unstable();
@@ -342,7 +343,7 @@ mod tests {
         assert_eq!(moved.len(), 2, "distinct fragments");
         // The virtual loads see both moves applied: no further gap over
         // the threshold, so the next round plans nothing new.
-        assert!(r.on_report_round(&c, &[0.0; 4], &frags).is_empty());
+        assert!(r.on_report_round(&c, &frags).is_empty());
         r.migration_finished(plans[0].relation, plans[0].fragment);
         r.migration_finished(plans[1].relation, plans[1].fragment);
         assert_eq!(r.migrations_started(), 2);
@@ -361,7 +362,7 @@ mod tests {
             frag(0, 2, 0, 80_000),
         ];
         let c = ctl(&[0.5, 0.3, 0.2, 0.1]);
-        let plans = r.on_report_round(&c, &[0.0; 4], &frags);
+        let plans = r.on_report_round(&c, &frags);
         assert!(
             plans.len() >= 2,
             "several moves may drain one hot node concurrently: {plans:?}"
@@ -383,7 +384,7 @@ mod tests {
         });
         let frags = vec![frag(0, 0, 0, 500_000), frag(0, 1, 1, 490_000)];
         let c = ctl(&[0.9, 0.1]);
-        assert!(r.on_report_round(&c, &[0.0; 2], &frags).is_empty());
+        assert!(r.on_report_round(&c, &frags).is_empty());
     }
 
     #[test]
@@ -397,7 +398,7 @@ mod tests {
         ];
         let mut r = RebalanceController::new(cfg());
         let c = ctl(&[0.2, 0.8, 0.0]);
-        let plans = r.on_report_round(&c, &[0.0; 3], &frags);
+        let plans = r.on_report_round(&c, &frags);
         assert_eq!(plans.len(), 1);
         assert_eq!(plans[0].from, 1, "hotter of the two equal-data nodes");
         assert_eq!(plans[0].to, 2);
@@ -414,20 +415,17 @@ mod tests {
         let c = ctl(&[0.5, 0.4, 0.3]);
         let mut r = RebalanceController::new(cfg());
         assert!(
-            r.on_report_round(&c, &[0.0; 3], &balanced).is_empty(),
+            r.on_report_round(&c, &balanced).is_empty(),
             "10k gap < half the 103k mean"
         );
-        let plans = r.on_report_round(&c, &[0.0; 3], &frags());
+        let plans = r.on_report_round(&c, &frags());
         assert_eq!(plans.len(), 1);
         // In flight: nothing until finished, then a cooldown.
-        assert!(r.on_report_round(&c, &[0.0; 3], &frags()).is_empty());
+        assert!(r.on_report_round(&c, &frags()).is_empty());
         r.migration_finished(plans[0].relation, plans[0].fragment);
-        assert!(r.on_report_round(&c, &[0.0; 3], &frags()).is_empty());
-        assert!(r.on_report_round(&c, &[0.0; 3], &frags()).is_empty());
-        assert!(
-            !r.on_report_round(&c, &[0.0; 3], &frags()).is_empty(),
-            "cooldown over"
-        );
+        assert!(r.on_report_round(&c, &frags()).is_empty());
+        assert!(r.on_report_round(&c, &frags()).is_empty());
+        assert!(!r.on_report_round(&c, &frags()).is_empty(), "cooldown over");
     }
 
     #[test]
@@ -438,20 +436,17 @@ mod tests {
             cooldown_rounds: 0,
             ..cfg()
         });
-        let plans = r.on_report_round(&c, &[0.0; 3], &frags());
+        let plans = r.on_report_round(&c, &frags());
         assert_eq!(plans.len(), 1);
         r.migration_finished(plans[0].relation, plans[0].fragment);
-        assert!(
-            r.on_report_round(&c, &[0.0; 3], &frags()).is_empty(),
-            "cap reached"
-        );
+        assert!(r.on_report_round(&c, &frags()).is_empty(), "cap reached");
 
         let mut r = RebalanceController::new(RebalanceConfig {
             min_fragment_tuples: 1_000_000,
             ..cfg()
         });
         assert!(
-            r.on_report_round(&c, &[0.0; 3], &frags()).is_empty(),
+            r.on_report_round(&c, &frags()).is_empty(),
             "all fragments below the minimum size"
         );
 
@@ -459,7 +454,7 @@ mod tests {
             max_fragment_tuples: 300_000,
             ..cfg()
         });
-        let plans = r.on_report_round(&c, &[0.0; 3], &frags());
+        let plans = r.on_report_round(&c, &frags());
         assert_eq!(
             plans[0].fragment, 1,
             "the 500k fragment is over the cap; the 200k one moves"

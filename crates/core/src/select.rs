@@ -10,7 +10,13 @@
 //! * DL — data-locality-aware extension (beyond the paper): join
 //!   processors co-located with the build input's fragments, so a share
 //!   of the redistribution traffic stays node-local. Requires the
-//!   placement layer's locality view to be registered with the broker.
+//!   placement layer's locality view to be registered with the broker;
+//! * LUB — least-utilized-**bottleneck** extension: nodes ranked by the
+//!   weighted max-utilization norm over *all* resource kinds (CPU,
+//!   memory, disk, egress link), so a node whose network link is
+//!   saturated is avoided even when its CPU is idle. This is the
+//!   selection policy that makes the interconnect a first-class balanced
+//!   resource.
 
 use crate::control::ControlNode;
 use serde::{Deserialize, Serialize};
@@ -28,6 +34,9 @@ pub enum SelectPolicy {
     /// Data Locality: nodes holding the most tuples of the build input
     /// first (local redistribution is free in a Shared Nothing node).
     DataLocal,
+    /// Least Utilized Bottleneck: nodes with the lowest weighted
+    /// max-utilization over all resource kinds first.
+    Lub,
 }
 
 impl SelectPolicy {
@@ -64,6 +73,12 @@ impl SelectPolicy {
                 .take(p)
                 .map(|(i, _)| i)
                 .collect(),
+            SelectPolicy::Lub => ctl
+                .by_bottleneck()
+                .into_iter()
+                .take(p)
+                .map(|(i, _)| i)
+                .collect(),
         };
         if !matches!(self, SelectPolicy::Random) {
             ctl.note_assignment(&nodes, pages_per_node);
@@ -78,6 +93,19 @@ impl SelectPolicy {
             SelectPolicy::Luc => "LUC",
             SelectPolicy::Lum => "LUM",
             SelectPolicy::DataLocal => "DL",
+            SelectPolicy::Lub => "LUB",
+        }
+    }
+
+    /// Dense index into the static isolated-label table
+    /// (`crate::strategy`).
+    pub(crate) fn label_index(&self) -> usize {
+        match self {
+            SelectPolicy::Random => 0,
+            SelectPolicy::Luc => 1,
+            SelectPolicy::Lum => 2,
+            SelectPolicy::DataLocal => 3,
+            SelectPolicy::Lub => 4,
         }
     }
 }
@@ -85,16 +113,17 @@ impl SelectPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::control::NodeState;
+    use crate::resources::ResourceVector;
 
     fn ctl(free: &[u32], cpu: &[f64]) -> ControlNode {
         let mut c = ControlNode::new(free.len());
         for (i, (&f, &u)) in free.iter().zip(cpu).enumerate() {
             c.report(
                 i as u32,
-                NodeState {
-                    cpu_util: u,
+                ResourceVector {
+                    cpu: u,
                     free_pages: f,
+                    ..ResourceVector::default()
                 },
             );
         }
@@ -155,6 +184,46 @@ mod tests {
         assert_eq!(second, vec![1]);
         let third = SelectPolicy::Luc.select(1, &mut c, &mut rng, 0, 0);
         assert_eq!(third, vec![2], "bumped nodes now rank behind 0.5");
+    }
+
+    #[test]
+    fn lub_avoids_the_bottlenecked_node() {
+        // Node 0 has an idle CPU but a saturated egress link; node 2 has a
+        // hot disk. LUC would pick node 0 first; LUB ranks by the tightest
+        // resource and picks node 1, then node 2 (0.5 disk < 0.9 net).
+        let mut c = ControlNode::new(3);
+        for (i, (cpu, disk, net)) in [(0.1, 0.0, 0.9), (0.3, 0.2, 0.1), (0.2, 0.5, 0.0)]
+            .into_iter()
+            .enumerate()
+        {
+            c.report(
+                i as u32,
+                ResourceVector {
+                    cpu,
+                    disk,
+                    net,
+                    free_pages: 50,
+                    ..ResourceVector::default()
+                },
+            );
+        }
+        let mut rng = SimRng::new(1);
+        let nodes = SelectPolicy::Lub.select(2, &mut c, &mut rng, 0, 0);
+        assert_eq!(nodes, vec![1, 2], "link-saturated node 0 avoided");
+        assert_eq!(SelectPolicy::Lub.name(), "LUB");
+    }
+
+    #[test]
+    fn lub_feedback_spreads_consecutive_joins() {
+        // Equal vectors: the cpu bump from the first selection pushes the
+        // second selection onto the untouched nodes.
+        let mut c = ctl(&[50; 4], &[0.1; 4]);
+        c.luc_bump = 0.3;
+        let mut rng = SimRng::new(2);
+        let first = SelectPolicy::Lub.select(2, &mut c, &mut rng, 10, 0);
+        let second = SelectPolicy::Lub.select(2, &mut c, &mut rng, 10, 0);
+        assert_eq!(first, vec![0, 1]);
+        assert_eq!(second, vec![2, 3], "feedback pushed the next join away");
     }
 
     #[test]

@@ -149,7 +149,7 @@ impl Strategy {
             Strategy::MinIoSuopt
         } else {
             Strategy::Isolated {
-                degree: DegreePolicy::MuCpu,
+                degree: DegreePolicy::MU_CPU,
                 select: SelectPolicy::Lum,
             }
         }
@@ -159,35 +159,72 @@ impl Strategy {
     ///
     /// Returns a static string — this is called once per placement in hot
     /// experiment loops, and an allocation per call showed up in profiles.
-    /// Isolated combinations are enumerated in a static table;
-    /// `Fixed(p)` degrees lose the numeric value in the label.
+    /// Isolated combinations are enumerated in a static
+    /// `degree × selection` table; `Fixed(p)` degrees lose the numeric
+    /// value in the label.
     pub fn name(&self) -> &'static str {
+        /// `ISO_NAMES[degree.label_index()][select.label_index()]`.
+        static ISO_NAMES: [[&str; 5]; 8] = [
+            [
+                "psu-opt+RANDOM",
+                "psu-opt+LUC",
+                "psu-opt+LUM",
+                "psu-opt+DL",
+                "psu-opt+LUB",
+            ],
+            [
+                "psu-noIO+RANDOM",
+                "psu-noIO+LUC",
+                "psu-noIO+LUM",
+                "psu-noIO+DL",
+                "psu-noIO+LUB",
+            ],
+            [
+                "pmu-cpu+RANDOM",
+                "pmu-cpu+LUC",
+                "pmu-cpu+LUM",
+                "pmu-cpu+DL",
+                "pmu-cpu+LUB",
+            ],
+            [
+                "pmu-mem+RANDOM",
+                "pmu-mem+LUC",
+                "pmu-mem+LUM",
+                "pmu-mem+DL",
+                "pmu-mem+LUB",
+            ],
+            [
+                "pmu-disk+RANDOM",
+                "pmu-disk+LUC",
+                "pmu-disk+LUM",
+                "pmu-disk+DL",
+                "pmu-disk+LUB",
+            ],
+            [
+                "pmu-net+RANDOM",
+                "pmu-net+LUC",
+                "pmu-net+LUM",
+                "pmu-net+DL",
+                "pmu-net+LUB",
+            ],
+            [
+                "p-fixed+RANDOM",
+                "p-fixed+LUC",
+                "p-fixed+LUM",
+                "p-fixed+DL",
+                "p-fixed+LUB",
+            ],
+            [
+                "RateMatch+RANDOM",
+                "RateMatch+LUC",
+                "RateMatch+LUM",
+                "RateMatch+DL",
+                "RateMatch+LUB",
+            ],
+        ];
         match self {
             Strategy::Isolated { degree, select } => {
-                use DegreePolicy as D;
-                use SelectPolicy as S;
-                match (degree, select) {
-                    (D::SuOpt, S::Random) => "psu-opt+RANDOM",
-                    (D::SuOpt, S::Luc) => "psu-opt+LUC",
-                    (D::SuOpt, S::Lum) => "psu-opt+LUM",
-                    (D::SuOpt, S::DataLocal) => "psu-opt+DL",
-                    (D::SuNoIo, S::Random) => "psu-noIO+RANDOM",
-                    (D::SuNoIo, S::Luc) => "psu-noIO+LUC",
-                    (D::SuNoIo, S::Lum) => "psu-noIO+LUM",
-                    (D::SuNoIo, S::DataLocal) => "psu-noIO+DL",
-                    (D::MuCpu, S::Random) => "pmu-cpu+RANDOM",
-                    (D::MuCpu, S::Luc) => "pmu-cpu+LUC",
-                    (D::MuCpu, S::Lum) => "pmu-cpu+LUM",
-                    (D::MuCpu, S::DataLocal) => "pmu-cpu+DL",
-                    (D::Fixed(_), S::Random) => "p-fixed+RANDOM",
-                    (D::Fixed(_), S::Luc) => "p-fixed+LUC",
-                    (D::Fixed(_), S::Lum) => "p-fixed+LUM",
-                    (D::Fixed(_), S::DataLocal) => "p-fixed+DL",
-                    (D::RateMatch(_), S::Random) => "RateMatch+RANDOM",
-                    (D::RateMatch(_), S::Luc) => "RateMatch+LUC",
-                    (D::RateMatch(_), S::Lum) => "RateMatch+LUM",
-                    (D::RateMatch(_), S::DataLocal) => "RateMatch+DL",
-                }
+                ISO_NAMES[degree.label_index()][select.label_index()]
             }
             Strategy::MinIo => "MIN-IO",
             Strategy::MinIoSuopt => "MIN-IO-SUOPT",
@@ -205,8 +242,9 @@ impl Strategy {
     /// * the integrated labels `MIN-IO`, `MIN-IO-SUOPT`, `OPT-IO-CPU` and
     ///   the meta-policy `ADAPTIVE`;
     /// * `<degree>+<selection>` for isolated strategies, with degree one
-    ///   of `psu-opt`, `psu-noIO`, `pmu-cpu` or `fixed(p)` (also spelled
-    ///   `p-fixed(p)`) and selection one of `RANDOM`, `LUC`, `LUM`, `DL`.
+    ///   of `psu-opt`, `psu-noIO`, `pmu-<resource>` (`pmu-cpu`, `pmu-mem`,
+    ///   `pmu-disk`, `pmu-net`) or `fixed(p)` (also spelled `p-fixed(p)`)
+    ///   and selection one of `RANDOM`, `LUC`, `LUM`, `DL`, `LUB`.
     ///
     /// `RateMatch` degrees carry cost-model parameters and have no label
     /// form. Failures return a [`StrategyParseError`] naming the
@@ -235,8 +273,12 @@ impl Strategy {
             DegreePolicy::SuOpt
         } else if deg.eq_ignore_ascii_case("psu-noIO") {
             DegreePolicy::SuNoIo
-        } else if deg.eq_ignore_ascii_case("pmu-cpu") {
-            DegreePolicy::MuCpu
+        } else if let Some(kind) = deg
+            .get(..4)
+            .filter(|p| p.eq_ignore_ascii_case("pmu-"))
+            .and_then(|_| crate::resources::ResourceKind::parse(&deg[4..]))
+        {
+            DegreePolicy::Mu(kind)
         } else {
             let inner = deg
                 .strip_prefix("p-fixed(")
@@ -245,7 +287,8 @@ impl Strategy {
                 .ok_or_else(|| {
                     StrategyParseError::new(
                         deg,
-                        "a degree policy: `psu-opt`, `psu-noIO`, `pmu-cpu` or `fixed(<p>)`",
+                        "a degree policy: `psu-opt`, `psu-noIO`, \
+                         `pmu-<cpu|mem|disk|net>` or `fixed(<p>)`",
                     )
                 })?;
             let p = inner.trim().parse().map_err(|_| {
@@ -258,10 +301,11 @@ impl Strategy {
             s if s.eq_ignore_ascii_case("LUC") => SelectPolicy::Luc,
             s if s.eq_ignore_ascii_case("LUM") => SelectPolicy::Lum,
             s if s.eq_ignore_ascii_case("DL") => SelectPolicy::DataLocal,
+            s if s.eq_ignore_ascii_case("LUB") => SelectPolicy::Lub,
             other => {
                 return Err(StrategyParseError::new(
                     other,
-                    "a selection policy: `RANDOM`, `LUC`, `LUM` or `DL`",
+                    "a selection policy: `RANDOM`, `LUC`, `LUM`, `DL` or `LUB`",
                 ))
             }
         };
@@ -291,11 +335,11 @@ impl Strategy {
             Strategy::MinIo,
             Strategy::MinIoSuopt,
             Strategy::Isolated {
-                degree: DegreePolicy::MuCpu,
+                degree: DegreePolicy::MU_CPU,
                 select: SelectPolicy::Random,
             },
             Strategy::Isolated {
-                degree: DegreePolicy::MuCpu,
+                degree: DegreePolicy::MU_CPU,
                 select: SelectPolicy::Lum,
             },
             Strategy::OptIoCpu,
@@ -320,7 +364,7 @@ fn integrated_placement(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::control::NodeState;
+    use crate::resources::{ResourceKind, ResourceVector};
     use proptest::prelude::{prop_assert, prop_assert_eq, proptest};
 
     fn ctl(n: usize, cpu: f64, free: u32) -> ControlNode {
@@ -328,9 +372,10 @@ mod tests {
         for i in 0..n {
             c.report(
                 i as u32,
-                NodeState {
-                    cpu_util: cpu,
+                ResourceVector {
+                    cpu,
                     free_pages: free,
+                    ..ResourceVector::default()
                 },
             );
         }
@@ -412,13 +457,17 @@ mod tests {
         for degree in [
             DegreePolicy::SuOpt,
             DegreePolicy::SuNoIo,
-            DegreePolicy::MuCpu,
+            DegreePolicy::Mu(ResourceKind::Cpu),
+            DegreePolicy::Mu(ResourceKind::Mem),
+            DegreePolicy::Mu(ResourceKind::Disk),
+            DegreePolicy::Mu(ResourceKind::Net),
         ] {
             for select in [
                 SelectPolicy::Random,
                 SelectPolicy::Luc,
                 SelectPolicy::Lum,
                 SelectPolicy::DataLocal,
+                SelectPolicy::Lub,
             ] {
                 all.push(Strategy::Isolated { degree, select });
             }
@@ -445,11 +494,15 @@ mod tests {
             SelectPolicy::Luc,
             SelectPolicy::Lum,
             SelectPolicy::DataLocal,
+            SelectPolicy::Lub,
         ] {
             for degree in [
                 DegreePolicy::SuOpt,
                 DegreePolicy::SuNoIo,
-                DegreePolicy::MuCpu,
+                DegreePolicy::Mu(ResourceKind::Cpu),
+                DegreePolicy::Mu(ResourceKind::Mem),
+                DegreePolicy::Mu(ResourceKind::Disk),
+                DegreePolicy::Mu(ResourceKind::Net),
                 DegreePolicy::Fixed(1),
                 DegreePolicy::Fixed(22),
                 DegreePolicy::Fixed(80),
@@ -485,6 +538,30 @@ mod tests {
         assert!(e.expected.contains("RANDOM"));
         let msg = e.to_string();
         assert!(msg.contains("`NEAREST`") && msg.contains("expected"));
+        // An unknown pmu resource names the degree grammar.
+        let e = Strategy::parse("pmu-gpu+LUM").unwrap_err();
+        assert_eq!(e.token, "pmu-gpu");
+        assert!(e.expected.contains("pmu-<cpu|mem|disk|net>"));
+    }
+
+    #[test]
+    fn net_aware_labels_round_trip() {
+        let lub = Strategy::Isolated {
+            degree: DegreePolicy::MU_CPU,
+            select: SelectPolicy::Lub,
+        };
+        assert_eq!(lub.name(), "pmu-cpu+LUB");
+        assert_eq!(Strategy::parse("pmu-cpu+LUB"), Ok(lub));
+        assert_eq!(Strategy::parse("pmu-cpu+lub"), Ok(lub));
+        let pmu_net = Strategy::Isolated {
+            degree: DegreePolicy::Mu(ResourceKind::Net),
+            select: SelectPolicy::Lum,
+        };
+        assert_eq!(pmu_net.name(), "pmu-net+LUM");
+        assert_eq!(Strategy::parse("pmu-net+LUM"), Ok(pmu_net));
+        assert_eq!(Strategy::parse("PMU-NET+lum"), Ok(pmu_net));
+        assert_eq!(Strategy::parse("Pmu-Net+lum"), Ok(pmu_net), "mixed case");
+        assert_eq!(pmu_net.spec_label().as_deref(), Some("pmu-net+LUM"));
     }
 
     #[test]
@@ -514,7 +591,7 @@ mod tests {
         assert_eq!(Strategy::MinIoSuopt.name(), "MIN-IO-SUOPT");
         assert_eq!(Strategy::OptIoCpu.name(), "OPT-IO-CPU");
         let iso = Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Lum,
         };
         assert_eq!(iso.name(), "pmu-cpu+LUM");
@@ -534,7 +611,12 @@ mod tests {
         ) {
             let mut c = ControlNode::new(n);
             for i in 0..n {
-                c.report(i as u32, NodeState { cpu_util: cpu[i], free_pages: free[i] });
+                c.report(i as u32, ResourceVector {
+                    cpu: cpu[i],
+                    net: cpu[(i + 1) % 60],
+                    free_pages: free[i],
+                    ..ResourceVector::default()
+                });
             }
             let r = JoinRequest { table_pages: table, psu_opt, psu_noio: 3, outer_scan_nodes: 8, inner_rel: 0, degree_cap: 0 };
             let mut rng = SimRng::new(seed);
@@ -543,9 +625,10 @@ mod tests {
                 Strategy::MinIoSuopt,
                 Strategy::OptIoCpu,
                 Strategy::Adaptive,
-                Strategy::Isolated { degree: DegreePolicy::MuCpu, select: SelectPolicy::Lum },
+                Strategy::Isolated { degree: DegreePolicy::MU_CPU, select: SelectPolicy::Lum },
                 Strategy::Isolated { degree: DegreePolicy::SuOpt, select: SelectPolicy::Random },
                 Strategy::Isolated { degree: DegreePolicy::SuNoIo, select: SelectPolicy::Luc },
+                Strategy::Isolated { degree: DegreePolicy::Mu(ResourceKind::Net), select: SelectPolicy::Lub },
             ] {
                 let p = s.place(&r, &mut c, &mut rng);
                 prop_assert!(p.degree() >= 1 && p.degree() <= n as u32, "{}", s.name());

@@ -49,13 +49,14 @@ impl<T> Cpu<T> {
         self.server.complete(now)
     }
 
-    /// Cumulative utilization in `[0, 1]`.
-    pub fn utilization(&mut self, now: SimTime) -> f64 {
+    /// Cumulative utilization in `[0, 1]` (read-only).
+    pub fn utilization(&self, now: SimTime) -> f64 {
         self.server.utilization(now)
     }
 
-    /// Busy integral for windowed utilization reports to the control node.
-    pub fn busy_integral(&mut self, now: SimTime) -> u128 {
+    /// Busy integral for windowed utilization reports to the control node
+    /// (read-only: the report-round sampler shares the CPUs).
+    pub fn busy_integral(&self, now: SimTime) -> u128 {
         self.server.busy_integral_at(now)
     }
 

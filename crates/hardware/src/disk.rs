@@ -185,28 +185,28 @@ impl<T> DiskSubsystem<T> {
         self.units[disk.0 as usize].server.complete(now)
     }
 
-    /// Average cumulative utilization across this PE's disks.
-    pub fn utilization(&mut self, now: SimTime) -> f64 {
+    /// Average cumulative utilization across this PE's disks (read-only).
+    pub fn utilization(&self, now: SimTime) -> f64 {
         let n = self.units.len() as f64;
         self.units
-            .iter_mut()
+            .iter()
             .map(|u| u.server.utilization(now))
             .sum::<f64>()
             / n
     }
 
-    /// Utilization of the busiest disk (bottleneck view).
-    pub fn max_utilization(&mut self, now: SimTime) -> f64 {
+    /// Utilization of the busiest disk (bottleneck view; read-only).
+    pub fn max_utilization(&self, now: SimTime) -> f64 {
         self.units
-            .iter_mut()
+            .iter()
             .map(|u| u.server.utilization(now))
             .fold(0.0, f64::max)
     }
 
-    /// Sum of busy integrals (unit-ns) for windowed reporting.
-    pub fn busy_integral(&mut self, now: SimTime) -> u128 {
+    /// Sum of busy integrals (unit-ns) for windowed reporting (read-only).
+    pub fn busy_integral(&self, now: SimTime) -> u128 {
         self.units
-            .iter_mut()
+            .iter()
             .map(|u| u.server.busy_integral_at(now))
             .sum()
     }

@@ -64,9 +64,21 @@ impl<T> Network<T> {
         self.params.latency
     }
 
-    /// Cumulative utilization of one PE's egress link.
-    pub fn link_utilization(&mut self, now: SimTime, src: usize) -> f64 {
+    /// Cumulative utilization of one PE's egress link (read-only: the
+    /// report-round sampler shares the fabric with in-flight sends).
+    pub fn link_utilization(&self, now: SimTime, src: usize) -> f64 {
         self.egress[src].utilization(now)
+    }
+
+    /// Busy integral (unit-ns) of one PE's egress link, for windowed
+    /// utilization reports to the control node (read-only).
+    pub fn link_busy_integral(&self, now: SimTime, src: usize) -> u128 {
+        self.egress[src].busy_integral_at(now)
+    }
+
+    /// Messages waiting on one PE's egress link (diagnostics).
+    pub fn link_queued(&self, src: usize) -> usize {
+        self.egress[src].queued()
     }
 
     pub fn messages_sent(&self) -> u64 {

@@ -9,14 +9,41 @@
 //! already run on.
 
 use crate::ticket::{AdmissionTicket, Grant, Verdict};
+use lb_core::ResourceKind;
 
-/// Cluster-level resource signals sampled at each broker report round.
+/// Cluster-level resource signals sampled at each broker report round:
+/// one average utilization per [`ResourceKind`], filled generically by
+/// the host system (`signals.set(kind, broker.avg(kind))` for every
+/// kind) — no per-resource fields to keep in sync when a resource is
+/// added.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ResourceSignals {
-    /// Average CPU utilization over all nodes, in `[0, 1]`.
-    pub avg_cpu: f64,
-    /// Average disk utilization over all nodes, in `[0, 1]`.
-    pub avg_disk: f64,
+    avg: [f64; ResourceKind::COUNT],
+}
+
+impl ResourceSignals {
+    /// Set the cluster-average utilization of one resource.
+    pub fn set(&mut self, kind: ResourceKind, avg: f64) {
+        self.avg[kind.index()] = avg;
+    }
+
+    /// Builder form of [`ResourceSignals::set`] (tests, hand-built
+    /// signals).
+    pub fn with(mut self, kind: ResourceKind, avg: f64) -> ResourceSignals {
+        self.set(kind, avg);
+        self
+    }
+
+    /// Cluster-average utilization of one resource.
+    pub fn util(&self, kind: ResourceKind) -> f64 {
+        self.avg[kind.index()]
+    }
+
+    /// Bottleneck over all kinds: the highest cluster-average utilization
+    /// (unweighted max norm).
+    pub fn bottleneck(&self) -> f64 {
+        self.avg.iter().copied().fold(0.0, f64::max)
+    }
 }
 
 /// An admission decision maker (object-safe; owned by the
@@ -68,6 +95,12 @@ pub struct MemoryReservation {
     /// Reservable pages (a fraction of the cluster's buffer pool).
     budget_pages: f64,
     reserved: f64,
+    /// Outstanding grants that actually reserved memory. The
+    /// oversized-query bypass keys on this integer, not on
+    /// `reserved > 0.0`: releases subtract floats in arbitrary order, and
+    /// a leftover rounding epsilon must not disable the bypass forever
+    /// (the queue head would then wait on a release that never comes).
+    holders: u32,
 }
 
 impl MemoryReservation {
@@ -76,6 +109,7 @@ impl MemoryReservation {
         MemoryReservation {
             budget_pages: budget_pages.max(1.0),
             reserved: 0.0,
+            holders: 0,
         }
     }
 
@@ -92,12 +126,15 @@ impl AdmissionPolicy for MemoryReservation {
 
     fn admit(&mut self, ticket: &AdmissionTicket) -> Verdict {
         if ticket.mem_pages > 0.0
-            && self.reserved > 0.0
+            && self.holders > 0
             && self.reserved + ticket.mem_pages > self.budget_pages
         {
             return Verdict::Wait;
         }
-        self.reserved += ticket.mem_pages;
+        if ticket.mem_pages > 0.0 {
+            self.reserved += ticket.mem_pages;
+            self.holders += 1;
+        }
         Verdict::Admit(Grant {
             mem_pages: ticket.mem_pages,
             slots: 0,
@@ -106,7 +143,13 @@ impl AdmissionPolicy for MemoryReservation {
     }
 
     fn release(&mut self, grant: &Grant) {
-        self.reserved = (self.reserved - grant.mem_pages).max(0.0);
+        if grant.mem_pages > 0.0 {
+            self.reserved = (self.reserved - grant.mem_pages).max(0.0);
+            self.holders = self.holders.saturating_sub(1);
+            if self.holders == 0 {
+                self.reserved = 0.0;
+            }
+        }
     }
 }
 
@@ -122,6 +165,11 @@ impl AdmissionPolicy for MemoryReservation {
 pub struct Malleable {
     mem_budget: f64,
     mem_reserved: f64,
+    /// Outstanding memory-reserving grants (see
+    /// [`MemoryReservation::holders`]: the idle-budget bypass must key on
+    /// an integer, not on a float sum that release-order rounding can
+    /// leave permanently positive).
+    mem_holders: u32,
     slot_budget: u32,
     slots_used: u32,
     /// Average-CPU threshold above which new admissions shrink straight
@@ -137,6 +185,7 @@ impl Malleable {
         Malleable {
             mem_budget: mem_budget.max(1.0),
             mem_reserved: 0.0,
+            mem_holders: 0,
             slot_budget: slot_budget.max(1),
             slots_used: 0,
             cpu_hot,
@@ -162,7 +211,7 @@ impl AdmissionPolicy for Malleable {
 
     fn admit(&mut self, ticket: &AdmissionTicket) -> Verdict {
         if ticket.mem_pages > 0.0
-            && self.mem_reserved > 0.0
+            && self.mem_holders > 0
             && self.mem_reserved + ticket.mem_pages > self.mem_budget
         {
             return Verdict::Wait;
@@ -180,7 +229,10 @@ impl AdmissionPolicy for Malleable {
         } else {
             return Verdict::Wait;
         };
-        self.mem_reserved += ticket.mem_pages;
+        if ticket.mem_pages > 0.0 {
+            self.mem_reserved += ticket.mem_pages;
+            self.mem_holders += 1;
+        }
         self.slots_used += granted;
         Verdict::Admit(Grant {
             mem_pages: ticket.mem_pages,
@@ -190,12 +242,20 @@ impl AdmissionPolicy for Malleable {
     }
 
     fn release(&mut self, grant: &Grant) {
-        self.mem_reserved = (self.mem_reserved - grant.mem_pages).max(0.0);
+        if grant.mem_pages > 0.0 {
+            self.mem_reserved = (self.mem_reserved - grant.mem_pages).max(0.0);
+            self.mem_holders = self.mem_holders.saturating_sub(1);
+            if self.mem_holders == 0 {
+                self.mem_reserved = 0.0;
+            }
+        }
         self.slots_used = self.slots_used.saturating_sub(grant.slots);
     }
 
     fn on_report(&mut self, signals: &ResourceSignals) {
-        self.hot = signals.avg_cpu > self.cpu_hot;
+        // Read through the generic per-kind accessor: the shrink trigger
+        // is "the CPU kind's cluster average", not a bespoke field.
+        self.hot = signals.util(ResourceKind::Cpu) > self.cpu_hot;
     }
 }
 
@@ -249,6 +309,44 @@ mod tests {
     }
 
     #[test]
+    fn float_residue_never_disables_the_oversized_bypass() {
+        // Releases subtract floats in admit order; non-representable page
+        // counts can leave `reserved` at a tiny positive epsilon with no
+        // grant outstanding. The bypass keys on the integer holder count,
+        // so an oversized query must still admit on the idle budget.
+        let mut p = MemoryReservation::new(100.0);
+        let sizes = [30.1f64, 30.2, 0.3];
+        let grants: Vec<Grant> = sizes
+            .iter()
+            .map(|&mem| match p.admit(&ticket(mem, 2, 1)) {
+                Verdict::Admit(g) => g,
+                Verdict::Wait => panic!("fits the budget"),
+            })
+            .collect();
+        for g in &grants {
+            p.release(g);
+        }
+        assert_eq!(p.reserved(), 0.0, "idle budget fully reset");
+        assert!(
+            matches!(p.admit(&ticket(500.0, 10, 5)), Verdict::Admit(_)),
+            "oversized query admits on the idle budget despite residue"
+        );
+        // Same for Malleable's memory gate.
+        let mut m = Malleable::new(100.0, 1000, 0.85);
+        let grants: Vec<Grant> = sizes
+            .iter()
+            .map(|&mem| match m.admit(&ticket(mem, 2, 1)) {
+                Verdict::Admit(g) => g,
+                Verdict::Wait => panic!("fits the budget"),
+            })
+            .collect();
+        for g in &grants {
+            m.release(g);
+        }
+        assert!(matches!(m.admit(&ticket(500.0, 10, 5)), Verdict::Admit(_)));
+    }
+
+    #[test]
     fn zero_memory_tickets_always_pass_the_memory_gate() {
         // OLTP/scan tickets reserve nothing: a full budget must not make
         // them wait (that would head-of-line block the whole queue on a
@@ -287,10 +385,11 @@ mod tests {
     #[test]
     fn malleable_hot_mode_shrinks_to_floor() {
         let mut p = Malleable::new(1e9, 100, 0.85);
-        p.on_report(&ResourceSignals {
-            avg_cpu: 0.9,
-            avg_disk: 0.1,
-        });
+        p.on_report(
+            &ResourceSignals::default()
+                .with(ResourceKind::Cpu, 0.9)
+                .with(ResourceKind::Disk, 0.1),
+        );
         assert!(p.hot());
         let Verdict::Admit(g) = p.admit(&ticket(10.0, 30, 3)) else {
             panic!("admit")

@@ -153,30 +153,36 @@ impl<T> FcfsServer<T> {
 
     /// Busy integral (unit-nanoseconds) up to `now`. Differencing two
     /// snapshots and dividing by `units × Δt` yields windowed utilization.
-    pub fn busy_integral_at(&mut self, now: SimTime) -> u128 {
-        self.advance(now);
-        self.busy_integral
+    ///
+    /// Read-only: the integral is *projected* to `now` (accumulated value
+    /// plus `busy × (now − last_change)`) without mutating the server, so
+    /// periodic report-round samplers never need exclusive access.
+    pub fn busy_integral_at(&self, now: SimTime) -> u128 {
+        debug_assert!(now >= self.last_change, "sampling in the past");
+        let dt = now.since(self.last_change).as_nanos() as u128;
+        self.busy_integral + dt * self.busy as u128
     }
 
-    /// Cumulative utilization in `[0, 1]` over `[t0, now]`.
-    pub fn utilization(&mut self, now: SimTime) -> f64 {
-        self.advance(now);
-        let span = self.last_change.as_nanos() as u128 * self.units as u128;
+    /// Cumulative utilization in `[0, 1]` over `[t0, now]` (read-only).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let span = now.as_nanos() as u128 * self.units as u128;
         if span == 0 {
             0.0
         } else {
-            self.busy_integral as f64 / span as f64
+            self.busy_integral_at(now) as f64 / span as f64
         }
     }
 
-    /// Mean queue length over `[0, now]`.
-    pub fn mean_queue_len(&mut self, now: SimTime) -> f64 {
-        self.advance(now);
-        let span = self.last_change.as_nanos() as u128;
+    /// Mean queue length over `[0, now]` (read-only).
+    pub fn mean_queue_len(&self, now: SimTime) -> f64 {
+        let span = now.as_nanos() as u128;
         if span == 0 {
             0.0
         } else {
-            self.queue_integral as f64 / span as f64
+            let dt = now.since(self.last_change).as_nanos() as u128;
+            let projected = self.queue_integral
+                + dt * (self.queue_high.len() + self.queue_normal.len()) as u128;
+            projected as f64 / span as f64
         }
     }
 }

@@ -59,11 +59,11 @@ fn strategy_by_name(name: &str, cfg: &SimConfig) -> Strategy {
             select: SelectPolicy::Lum,
         },
         "mu-lum" => Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Lum,
         },
         "mu-random" => Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Random,
         },
         "min-io" => Strategy::MinIo,

@@ -184,6 +184,18 @@ impl SimConfig {
         self
     }
 
+    /// Scale the interconnect's link bandwidth by `factor` (1.0 = the
+    /// paper's ≈20 MB/s EDS links; 0.1 = a 10× slower fabric whose egress
+    /// links become the bottleneck under shuffle-heavy joins). The wire
+    /// time per packet is divided by the factor, rounded to whole
+    /// nanoseconds so lowering stays exactly reproducible.
+    pub fn with_net_speed(mut self, factor: f64) -> SimConfig {
+        let factor = factor.max(1e-6);
+        let nanos = (self.hw.net.per_packet.as_nanos() as f64 / factor).round() as u64;
+        self.hw.net.per_packet = SimDur::from_nanos(nanos.max(1));
+        self
+    }
+
     /// CPU parameters of one PE, with its heterogeneity factor applied
     /// (at least 1 MIPS).
     pub fn cpu_params_for(&self, pe: usize) -> hardware::CpuParams {

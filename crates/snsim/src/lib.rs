@@ -14,8 +14,9 @@
 //!    the clock, and calls back into `System` (which implements
 //!    [`simkit::Simulation`]); after every event the engine's action/input
 //!    protocol is drained to quiescence (the private `exec` module).
-//! 2. **`lb_core::ResourceBroker`** owns the per-node CPU/memory/disk
-//!    state. `System` reports windowed utilization samples on every
+//! 2. **`lb_core::ResourceBroker`** owns the per-node resource vectors
+//!    (CPU, memory, disk and egress-link utilization plus free pages).
+//!    `System` reports one windowed `ResourceVector` per PE on every
 //!    control tick and forwards **all** placement decisions — two-way
 //!    joins, multi-join stages, sort operators, scan/update query
 //!    coordinators, and OLTP home nodes — as

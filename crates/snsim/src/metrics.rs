@@ -6,9 +6,58 @@
 //! with dense [`ClassId`] indices and never touches a `String` — names are
 //! resolved only when the final [`Summary`] is built.
 
+use lb_core::{ResourceKind, ResourceVector};
 use serde::{Deserialize, Serialize};
 use simkit::stats::{Histogram, OnlineStats};
 use simkit::{SimDur, SimTime};
+
+/// Fixed-bucket histogram over `[0, 1]` utilization samples: per-node,
+/// per-report-round samples go in, deterministic quantiles come out.
+/// Pre-sized (1001 buckets of 0.001) — recording allocates nothing.
+#[derive(Debug, Clone)]
+pub struct UtilHist {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for UtilHist {
+    fn default() -> Self {
+        UtilHist {
+            buckets: vec![0; 1001],
+            count: 0,
+        }
+    }
+}
+
+impl UtilHist {
+    /// Record one utilization sample (clamped into `[0, 1]`).
+    pub fn record(&mut self, util: f64) {
+        let i = (util.clamp(0.0, 1.0) * 1000.0).round() as usize;
+        self.buckets[i.min(1000)] += 1;
+        self.count += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (bucket upper edge; 0.0 with no samples).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return i as f64 / 1000.0;
+            }
+        }
+        1.0
+    }
+}
 
 /// Dense index of a workload class (queries first, then OLTP classes), in
 /// the order the names were interned at [`Metrics::new`].
@@ -59,6 +108,9 @@ pub struct Metrics {
     /// queues, sampled at every point the backlog can grow. (Rejection
     /// counts live in the scheduler, the single owner of that decision.)
     pub peak_queue_depth: u64,
+    /// Per-resource utilization histograms (index = `ResourceKind::index`),
+    /// fed one sample per node per post-warmup report round.
+    pub util_hists: Vec<UtilHist>,
 }
 
 impl Metrics {
@@ -81,7 +133,24 @@ impl Metrics {
             queue_wait: OnlineStats::new(),
             queue_hist: Histogram::new(),
             peak_queue_depth: 0,
+            util_hists: (0..ResourceKind::COUNT)
+                .map(|_| UtilHist::default())
+                .collect(),
         }
+    }
+
+    /// Record one node's report-round resource vector (post-warmup rounds
+    /// only — the caller gates on the warm-up mark like every sampler).
+    pub fn record_util_sample(&mut self, v: &ResourceVector) {
+        for kind in ResourceKind::ALL {
+            self.util_hists[kind.index()].record(v.get(kind));
+        }
+    }
+
+    /// The p-quantile of one resource's per-node, per-round utilization
+    /// samples.
+    pub fn util_quantile(&self, kind: ResourceKind, q: f64) -> f64 {
+        self.util_hists[kind.index()].quantile(q)
     }
 
     /// Interned name of a class.
@@ -158,6 +227,17 @@ pub struct Summary {
     pub max_cpu_util: f64,
     pub avg_disk_util: f64,
     pub avg_mem_util: f64,
+    /// Mean egress-link utilization over the measurement window (the
+    /// interconnect as a first-class balanced resource).
+    pub avg_net_util: f64,
+    /// p95 of per-node, per-round CPU utilization samples.
+    pub p95_cpu_util: f64,
+    /// p95 of per-node, per-round memory utilization samples.
+    pub p95_mem_util: f64,
+    /// p95 of per-node, per-round disk utilization samples.
+    pub p95_disk_util: f64,
+    /// p95 of per-node, per-round egress-link utilization samples.
+    pub p95_net_util: f64,
     pub avg_join_degree: f64,
     pub spill_pages: u64,
     pub temp_reads: u64,
@@ -266,6 +346,47 @@ mod tests {
     }
 
     #[test]
+    fn util_hist_quantiles_are_deterministic() {
+        let mut h = UtilHist::default();
+        assert_eq!(h.quantile(0.95), 0.0, "empty");
+        for i in 0..100 {
+            h.record(i as f64 / 100.0);
+        }
+        assert_eq!(h.count(), 100);
+        assert!(
+            (h.quantile(0.95) - 0.94).abs() < 1e-9,
+            "{}",
+            h.quantile(0.95)
+        );
+        assert!((h.quantile(1.0) - 0.99).abs() < 1e-9);
+        h.record(7.5); // clamped
+        assert!((h.quantile(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resource_samples_feed_per_kind_hists() {
+        let mut m = Metrics::new(vec![], SimTime(0));
+        m.record_util_sample(&ResourceVector {
+            cpu: 0.5,
+            mem: 0.2,
+            disk: 0.9,
+            net: 0.1,
+            free_pages: 0,
+        });
+        m.record_util_sample(&ResourceVector {
+            cpu: 0.7,
+            mem: 0.2,
+            disk: 0.1,
+            net: 0.4,
+            free_pages: 0,
+        });
+        assert_eq!(m.util_hists[ResourceKind::Cpu.index()].count(), 2);
+        assert!((m.util_quantile(ResourceKind::Cpu, 1.0) - 0.7).abs() < 1e-9);
+        assert!((m.util_quantile(ResourceKind::Net, 1.0) - 0.4).abs() < 1e-9);
+        assert!((m.util_quantile(ResourceKind::Disk, 0.5) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
     fn migration_counters_accumulate() {
         let mut m = Metrics::new(vec![], SimTime(0));
         m.record_migration(40_000);
@@ -286,6 +407,11 @@ mod tests {
             max_cpu_util: 0.9,
             avg_disk_util: 0.3,
             avg_mem_util: 0.4,
+            avg_net_util: 0.1,
+            p95_cpu_util: 0.8,
+            p95_mem_util: 0.6,
+            p95_disk_util: 0.5,
+            p95_net_util: 0.2,
             avg_join_degree: 3.0,
             spill_pages: 0,
             temp_reads: 0,

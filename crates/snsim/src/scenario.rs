@@ -31,8 +31,11 @@ pub fn build_config(knobs: &Knobs) -> SimConfig {
     if let Some(policies) = knobs.policies {
         cfg = cfg.with_policies(policies);
     }
-    // Absent placement knobs lower to DataPlacementConfig::default(), so
-    // legacy specs produce byte-identical configurations.
+    // Absent knobs lower to the paper's defaults byte-identically: the
+    // network is only touched when a spec actually slows (or speeds) it.
+    if knobs.net_speed != 1.0 {
+        cfg = cfg.with_net_speed(knobs.net_speed);
+    }
     if knobs.data_skew != 0.0 || knobs.fragment_count != 0 || knobs.rebalance {
         cfg = cfg.with_data_placement(DataPlacementConfig {
             data_skew: knobs.data_skew,

@@ -26,7 +26,10 @@ use engine::migrate::MigrationJob;
 use engine::{Job, JobId, Pe, PeId};
 use hardware::{Cpu, DiskId, DiskSubsystem, Network};
 use lb_core::rebalance::{FragmentInfo, MigrationPlan, RebalanceController};
-use lb_core::{DataLocality, JoinRequest, PlacementRequest, ResourceBroker, WorkClass};
+use lb_core::{
+    DataLocality, JoinRequest, PlacementRequest, ResourceBroker, ResourceKind, ResourceVector,
+    WorkClass,
+};
 use sched::{AdmissionTicket, ResourceSignals, Scheduler};
 use simkit::server::UtilizationWindow;
 use simkit::stats::OnlineStats;
@@ -144,6 +147,7 @@ pub struct System {
     frag_scratch: Vec<FragmentInfo>,
     pub(crate) cpu_windows: Vec<UtilizationWindow>,
     pub(crate) disk_windows: Vec<UtilizationWindow>,
+    pub(crate) net_windows: Vec<UtilizationWindow>,
 
     pub(crate) rng_arrivals: Vec<SimRng>,
     pub(crate) rng_place: SimRng,
@@ -158,6 +162,7 @@ pub struct System {
     // Utilization snapshots (taken at the warm-up mark).
     pub(crate) cpu_busy_at_warmup: Vec<u128>,
     pub(crate) disk_busy_at_warmup: u128,
+    pub(crate) net_busy_at_warmup: u128,
     pub(crate) mem_util_samples: OnlineStats,
     pub(crate) warmup_time: SimTime,
 }
@@ -254,6 +259,7 @@ impl System {
             frag_scratch: Vec::new(),
             cpu_windows: vec![UtilizationWindow::default(); n],
             disk_windows: vec![UtilizationWindow::default(); n],
+            net_windows: vec![UtilizationWindow::default(); n],
             rng_arrivals,
             rng_place: root.fork(1),
             rng_coord: root.fork(2),
@@ -264,6 +270,7 @@ impl System {
             pending: VecDeque::new(),
             cpu_busy_at_warmup: vec![0; n],
             disk_busy_at_warmup: 0,
+            net_busy_at_warmup: 0,
             mem_util_samples: OnlineStats::new(),
             warmup_time,
             cfg,
@@ -581,11 +588,13 @@ impl System {
                     .after(self.cfg.deadlock_interval, Ev::DeadlockTick);
             }
             Ev::WarmupMark => {
-                for (i, cpu) in self.cpus.iter_mut().enumerate() {
+                for (i, cpu) in self.cpus.iter().enumerate() {
                     self.cpu_busy_at_warmup[i] = cpu.busy_integral(now);
                 }
-                self.disk_busy_at_warmup =
-                    self.disks.iter_mut().map(|d| d.busy_integral(now)).sum();
+                self.disk_busy_at_warmup = self.disks.iter().map(|d| d.busy_integral(now)).sum();
+                self.net_busy_at_warmup = (0..self.pes.len())
+                    .map(|pe| self.net.link_busy_integral(now, pe))
+                    .sum();
             }
         }
     }
@@ -707,49 +716,50 @@ impl System {
     // Periodic services
     // -----------------------------------------------------------------
 
-    /// One report round: every PE samples its windowed CPU, memory and
-    /// disk state into the broker, then adaptive policies observe the
-    /// refreshed state.
+    /// One report round: every PE samples its windowed per-resource state
+    /// — CPU, memory, disk and egress link — into one [`ResourceVector`]
+    /// report, then adaptive policies observe the refreshed state.
+    ///
+    /// The sampling loop is allocation-free: each node's vector is a
+    /// stack-built `Copy` value, the broker overwrites per-kind columns in
+    /// place, and the windowed samplers difference read-only busy
+    /// integrals (no exclusive access to the fabric or the disks).
     fn control_tick(&mut self) {
         let now = self.events.now();
+        let measuring = now >= self.warmup_time;
         for pe in 0..self.cfg.n_pes as usize {
             let integral = self.cpus[pe].busy_integral(now);
             let units = self.cpus[pe].units();
-            let cpu_util = self.cpu_windows[pe].sample(now, integral, units);
             let disk_integral = self.disks[pe].busy_integral(now);
             let disk_units = self.disks[pe].disks();
-            let disk_util = self.disk_windows[pe].sample(now, disk_integral, disk_units);
-            let free_pages = self.pes[pe].buffer.free_pages_reported();
-            self.broker.report(
-                pe as u32,
-                lb_core::NodeState {
-                    cpu_util,
-                    free_pages,
-                },
-            );
-            self.broker.report_disk(pe as u32, disk_util);
+            let net_integral = self.net.link_busy_integral(now, pe);
+            let v = ResourceVector {
+                cpu: self.cpu_windows[pe].sample(now, integral, units),
+                mem: self.pes[pe].buffer.utilization(),
+                disk: self.disk_windows[pe].sample(now, disk_integral, disk_units),
+                net: self.net_windows[pe].sample(now, net_integral, 1),
+                free_pages: self.pes[pe].buffer.free_pages_reported(),
+            };
+            self.broker.report(pe as u32, v);
+            if measuring {
+                self.metrics.record_util_sample(&v);
+            }
             self.pes[pe].buffer.roll_epoch();
         }
         self.broker.end_report_round();
-        if now >= self.warmup_time {
+        if measuring {
             let mem: f64 = self.pes.iter().map(|p| p.buffer.utilization()).sum::<f64>()
                 / self.pes.len() as f64;
             self.mem_util_samples.record(mem);
         }
         // The admission controller rides the same report rounds as the
-        // adaptive placement controller: feed it the refreshed signals,
-        // then give the queue a chance (Malleable's hot-mode flip can
-        // unblock admissions without any completion).
-        let disk = self.broker.disk_utils();
-        let avg_disk = if disk.is_empty() {
-            0.0
-        } else {
-            disk.iter().sum::<f64>() / disk.len() as f64
-        };
-        let signals = ResourceSignals {
-            avg_cpu: self.broker.control().avg_cpu(),
-            avg_disk,
-        };
+        // adaptive placement controller: feed it the refreshed per-kind
+        // signals, then give the queue a chance (Malleable's hot-mode
+        // flip can unblock admissions without any completion).
+        let mut signals = ResourceSignals::default();
+        for kind in ResourceKind::ALL {
+            signals.set(kind, self.broker.avg(kind));
+        }
         self.sched.on_report(&signals);
         self.pump_admissions();
         // Rebalancing rides the same report rounds the adaptive
@@ -779,11 +789,7 @@ impl System {
                 }
             }
             let rc = self.rebalancer.as_mut().expect("checked above");
-            let plans = rc.on_report_round(
-                self.broker.control(),
-                self.broker.disk_utils(),
-                &self.frag_scratch,
-            );
+            let plans = rc.on_report_round(self.broker.control(), &self.frag_scratch);
             for plan in plans {
                 self.start_migration(plan);
             }
@@ -888,7 +894,7 @@ impl System {
         let window_units = measured.as_nanos() as u128;
 
         let mut cpu_utils = Vec::with_capacity(self.cpus.len());
-        for (i, cpu) in self.cpus.iter_mut().enumerate() {
+        for (i, cpu) in self.cpus.iter().enumerate() {
             let delta = cpu.busy_integral(now) - self.cpu_busy_at_warmup[i];
             let cap = window_units * cpu.units() as u128;
             cpu_utils.push(if cap == 0 {
@@ -903,7 +909,7 @@ impl System {
         let disk_units: u128 = self.disks.iter().map(|d| d.disks() as u128).sum();
         let disk_delta: u128 = self
             .disks
-            .iter_mut()
+            .iter()
             .map(|d| d.busy_integral(now))
             .sum::<u128>()
             - self.disk_busy_at_warmup;
@@ -911,6 +917,17 @@ impl System {
             0.0
         } else {
             disk_delta as f64 / (window_units * disk_units) as f64
+        };
+
+        let net_delta: u128 = (0..self.pes.len())
+            .map(|pe| self.net.link_busy_integral(now, pe))
+            .sum::<u128>()
+            - self.net_busy_at_warmup;
+        let net_units = self.pes.len() as u128;
+        let avg_net = if window_units * net_units == 0 {
+            0.0
+        } else {
+            net_delta as f64 / (window_units * net_units) as f64
         };
 
         let classes = self
@@ -941,6 +958,11 @@ impl System {
             max_cpu_util: max_cpu,
             avg_disk_util: avg_disk,
             avg_mem_util: self.mem_util_samples.mean(),
+            avg_net_util: avg_net,
+            p95_cpu_util: self.metrics.util_quantile(ResourceKind::Cpu, 0.95),
+            p95_mem_util: self.metrics.util_quantile(ResourceKind::Mem, 0.95),
+            p95_disk_util: self.metrics.util_quantile(ResourceKind::Disk, 0.95),
+            p95_net_util: self.metrics.util_quantile(ResourceKind::Net, 0.95),
             avg_join_degree: self.metrics.joins.degree.mean(),
             spill_pages: self.metrics.joins.spill_pages,
             temp_reads: self.metrics.joins.temp_reads,

@@ -49,7 +49,7 @@ fn ratematch_degree_grows_with_load_and_underperforms_hot() {
         80,
         WorkloadSpec::homogeneous_join(0.01, 0.25),
         Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Lum,
         },
     )));
@@ -69,7 +69,7 @@ fn skewed_redistribution_runs_clean() {
         20,
         WorkloadSpec::homogeneous_join_skewed(0.01, 0.1, 1.0),
         Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Lum,
         },
     )));
@@ -87,7 +87,7 @@ fn skewed_redistribution_runs_clean() {
         20,
         WorkloadSpec::homogeneous_join(0.01, 0.1),
         Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Lum,
         },
     )));
@@ -109,7 +109,7 @@ fn size_aware_placement_helps_under_skew() {
             40,
             WorkloadSpec::homogeneous_join_skewed(0.01, 0.15, 1.0),
             Strategy::Isolated {
-                degree: DegreePolicy::MuCpu,
+                degree: DegreePolicy::MU_CPU,
                 select,
             },
         ))

@@ -196,6 +196,11 @@ pub struct Knobs {
     pub buffer_pages: u32,
     /// Data disks per PE (the paper varies 1 / 5 / 10).
     pub disks_per_pe: u32,
+    /// Interconnect link-bandwidth factor (1.0 = the paper's ≈20 MB/s
+    /// EDS links; 0.1 = a 10× slower fabric). Lowered through
+    /// `SimConfig::with_net_speed` only when it differs from 1.0, so
+    /// legacy specs stay byte-identical.
+    pub net_speed: f64,
     /// Per-PE multiprogramming level (the paper's 64; admission
     /// experiments lower it to make MPL backpressure visible).
     pub mpl: u32,
@@ -233,6 +238,7 @@ impl Default for Knobs {
             oltp_modulation: Modulation::None,
             buffer_pages: 50,
             disks_per_pe: 10,
+            net_speed: 1.0,
             mpl: 64,
             admission: AdmissionConfig::default(),
             node_speed: NodeSpeed::Uniform,
@@ -311,6 +317,8 @@ pub struct Patch {
     pub buffer_pages: Option<u32>,
     /// Override [`Knobs::disks_per_pe`].
     pub disks_per_pe: Option<u32>,
+    /// Override [`Knobs::net_speed`].
+    pub net_speed: Option<f64>,
     /// Override [`Knobs::mpl`].
     pub mpl: Option<u32>,
     /// Override [`Knobs::admission`].
@@ -351,6 +359,7 @@ impl Patch {
             oltp_modulation,
             buffer_pages,
             disks_per_pe,
+            net_speed,
             mpl,
             admission,
             node_speed,
@@ -413,6 +422,9 @@ impl Patch {
         }
         if let Some(v) = self.disks_per_pe {
             parts.push(format!("disks={v}"));
+        }
+        if let Some(v) = self.net_speed {
+            parts.push(format!("net={v}"));
         }
         if let Some(v) = self.mpl {
             parts.push(format!("mpl={v}"));
@@ -485,6 +497,8 @@ pub struct Sweep {
     pub buffer_pages: Vec<u32>,
     /// Disks per PE.
     pub disks_per_pe: Vec<u32>,
+    /// Interconnect link-bandwidth factors.
+    pub net_speed: Vec<f64>,
     /// Multiprogramming levels.
     pub mpl: Vec<u32>,
     /// Node-speed profiles.
@@ -557,6 +571,7 @@ impl ScenarioSpec {
             s.tps_per_node.len(),
             s.buffer_pages.len(),
             s.disks_per_pe.len(),
+            s.net_speed.len(),
             s.mpl.len(),
             s.node_speed.len(),
             s.seed.len(),
@@ -661,6 +676,9 @@ impl ScenarioSpec {
             u32::to_string,
             |k, v| k.disks_per_pe = *v,
         );
+        runs = expand(runs, "net_speed", &s.net_speed, f64::to_string, |k, v| {
+            k.net_speed = *v
+        });
         runs = expand(runs, "mpl", &s.mpl, u32::to_string, |k, v| k.mpl = *v);
         runs = expand(
             runs,
@@ -807,7 +825,7 @@ mod tests {
         assert_eq!(
             s.0,
             Strategy::Isolated {
-                degree: DegreePolicy::MuCpu,
+                degree: DegreePolicy::MU_CPU,
                 select: SelectPolicy::Lum,
             }
         );

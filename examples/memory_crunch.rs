@@ -19,7 +19,7 @@ fn main() {
     );
     for strategy in [
         Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Lum,
         },
         Strategy::MinIo,

@@ -23,7 +23,7 @@ fn main() {
             select: SelectPolicy::Random,
         },
         Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Lum,
         },
         Strategy::OptIoCpu,

@@ -42,11 +42,11 @@ fn main() {
             select: SelectPolicy::Lum,
         },
         Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Random,
         },
         Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Lum,
         },
         Strategy::MinIo,

@@ -43,7 +43,7 @@ fn multi_user_strategies_all_run_clean() {
         Strategy::OptIoCpu,
         Strategy::Adaptive,
         Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Lum,
         },
         Strategy::Isolated {

@@ -1,0 +1,94 @@
+//! Acceptance tests for the interconnect as a first-class balanced
+//! resource: the bundled `network_bound_shuffle` spec (net-aware LUB
+//! placement beats memory-only placement when the fabric is the
+//! bottleneck) and the `migration_interference` inversion (rebalancing
+//! pays at full fabric speed, hurts on a slow fabric whose links the
+//! migrations saturate).
+
+use parallel_lb::prelude::*;
+use workload::scenario::ScenarioSpec;
+
+fn load_spec(name: &str) -> ScenarioSpec {
+    let json = std::fs::read_to_string(format!("scenarios/{name}.json"))
+        .unwrap_or_else(|e| panic!("scenarios/{name}.json: {e}"));
+    serde_json::from_str(&json).unwrap_or_else(|e| panic!("scenarios/{name}.json: {e}"))
+}
+
+/// CI acceptance: on the `network_bound_shuffle` base point (slow fabric,
+/// shuffle traffic concentrated on the data nodes' egress links), the
+/// net-aware `pmu-cpu+LUB` strategy is strictly better than the
+/// memory-only `pmu-cpu+LUM` on mean join response — and the links are
+/// measurably the pressured resource.
+#[test]
+fn lub_beats_lum_on_network_bound_shuffle() {
+    let spec = load_spec("network_bound_shuffle");
+    let run_with = |label: &str| {
+        let mut knobs = spec.base.clone();
+        knobs.strategy = workload::scenario::StrategySpec(Strategy::parse(label).unwrap());
+        knobs.seed = 0xDEAD_BEEF;
+        // The full spec runs 120 s; 60 s keeps the test cheap and the
+        // margin (~8 %) intact.
+        knobs.sim_secs = 60.0;
+        knobs.warmup_secs = 15.0;
+        snsim::run_one(snsim::scenario::build_config(&knobs))
+    };
+    let lum = run_with("pmu-cpu+LUM");
+    let lub = run_with("pmu-cpu+LUB");
+    assert!(
+        lum.p95_net_util > 0.5,
+        "the fabric must be the pressured resource: p95 link util {}",
+        lum.p95_net_util
+    );
+    assert!(
+        lub.join_resp_ms() < 0.97 * lum.join_resp_ms(),
+        "net-aware LUB must clearly beat memory-only LUM: {:.1} ms vs {:.1} ms",
+        lub.join_resp_ms(),
+        lum.join_resp_ms()
+    );
+}
+
+/// `migration_interference`: the same 16 migrations that roughly halve
+/// join response at full fabric speed make it clearly *worse* at
+/// net_speed 0.15 — migration traffic competes with queries for the
+/// already-saturated egress links, and the per-resource columns show it.
+#[test]
+fn migrations_interfere_on_a_slow_fabric() {
+    let spec = load_spec("migration_interference");
+    let run_with = |rebalance: bool, net_speed: f64| {
+        let mut knobs = spec.base.clone();
+        knobs.rebalance = rebalance;
+        knobs.net_speed = net_speed;
+        knobs.seed = 0xDEAD_BEEF;
+        snsim::run_one(snsim::scenario::build_config(&knobs))
+    };
+    // Full fabric speed: rebalancing clearly pays.
+    let stat_fast = run_with(false, 1.0);
+    let dyn_fast = run_with(true, 1.0);
+    assert!(dyn_fast.migrations > 0, "skew must trigger migrations");
+    assert!(
+        dyn_fast.join_resp_ms() < 0.7 * stat_fast.join_resp_ms(),
+        "rebalancing pays at full fabric speed: {:.0} vs {:.0} ms",
+        dyn_fast.join_resp_ms(),
+        stat_fast.join_resp_ms()
+    );
+    // Slow fabric: the same moves now hurt — interference inverts the
+    // verdict, and the link columns show saturation.
+    let stat_slow = run_with(false, 0.15);
+    let dyn_slow = run_with(true, 0.15);
+    assert_eq!(
+        dyn_slow.migrations, dyn_fast.migrations,
+        "same layout, same planned moves"
+    );
+    assert!(
+        dyn_slow.p95_net_util >= 0.99,
+        "migrations saturate the slow links: p95 {}",
+        dyn_slow.p95_net_util
+    );
+    assert!(
+        dyn_slow.join_resp_ms() > 1.5 * stat_slow.join_resp_ms(),
+        "migration traffic must visibly interfere on the slow fabric: \
+         {:.0} vs {:.0} ms",
+        dyn_slow.join_resp_ms(),
+        stat_slow.join_resp_ms()
+    );
+}

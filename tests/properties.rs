@@ -20,7 +20,7 @@ fn strategy_from(idx: u8) -> Strategy {
         2 => Strategy::OptIoCpu,
         3 => Strategy::Adaptive,
         4 => Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Lum,
         },
         _ => Strategy::Isolated {

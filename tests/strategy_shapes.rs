@@ -29,7 +29,7 @@ fn dynamic_degree_beats_static_at_scale() {
         60,
         wl(),
         Strategy::Isolated {
-            degree: DegreePolicy::MuCpu,
+            degree: DegreePolicy::MU_CPU,
             select: SelectPolicy::Lum,
         },
         30,
@@ -57,7 +57,7 @@ fn memory_bound_raises_degree() {
             .with_sim_time(SimDur::from_secs(40), SimDur::from_secs(8))
     };
     let fixed = snsim::run_one(mk(Strategy::Isolated {
-        degree: DegreePolicy::MuCpu,
+        degree: DegreePolicy::MU_CPU,
         select: SelectPolicy::Lum,
     }));
     let adaptive = snsim::run_one(mk(Strategy::MinIoSuopt));
@@ -111,7 +111,7 @@ fn pmu_cpu_shrinks_degree_with_load() {
             40,
             WorkloadSpec::homogeneous_join(0.01, rate),
             Strategy::Isolated {
-                degree: DegreePolicy::MuCpu,
+                degree: DegreePolicy::MU_CPU,
                 select: SelectPolicy::Lum,
             },
         )
