@@ -1,0 +1,155 @@
+//! Broker order-statistics microbenchmarks: the control node's report →
+//! ranked-read → assignment cycle at cluster sizes from the paper's 80
+//! PEs up to 10 000, under both read modes. The incremental indices turn
+//! the per-read O(n log n) sort + allocation into an O(log n) positional
+//! repair plus an allocation-free view, which is the headline speedup of
+//! the thousand-PE soak.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lb_core::{ControlNode, ReadMode, ResourceVector};
+
+const SIZES: [usize; 3] = [80, 1_000, 10_000];
+
+/// Triangle wave in [0, 1]: consecutive inputs move by ±1/p, like the
+/// windowed utilizations a PE actually reports — smooth drift, no jumps.
+fn tri(x: u64, p: u64) -> f64 {
+    let m = x % (2 * p);
+    let v = if m < p { m } else { 2 * p - m };
+    v as f64 / p as f64
+}
+
+/// Smoothly drifting per-PE vector (each round nudges every key by one
+/// step): the repair distance of the incremental indices stays O(1),
+/// matching steady-state simulator behaviour.
+fn vector(i: u64) -> ResourceVector {
+    ResourceVector {
+        cpu: tri(i, 97),
+        disk: tri(i, 53),
+        net: tri(i, 31),
+        mem: tri(i, 11),
+        free_pages: 10 + (i % 40) as u32,
+    }
+}
+
+/// Adversarial vector: keys wrap modulo a small prime, so ~1% of nodes
+/// leap across the entire ranking every round — the O(distance-moved)
+/// worst case of positional repair.
+fn vector_adversarial(i: u64) -> ResourceVector {
+    ResourceVector {
+        cpu: (i % 97) as f64 / 97.0,
+        disk: (i % 53) as f64 / 53.0,
+        net: (i % 31) as f64 / 31.0,
+        mem: (i % 11) as f64 / 11.0,
+        free_pages: 10 + (i % 40) as u32,
+    }
+}
+
+fn warmed(n: usize, mode: ReadMode) -> ControlNode {
+    let mut ctl = ControlNode::new(n);
+    ctl.set_read_mode(mode);
+    for pe in 0..n as u64 {
+        ctl.report(pe as u32, vector(pe * 7));
+    }
+    ctl
+}
+
+/// One report round: every PE refreshes its vector (the per-tick cost).
+fn bench_report(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broker/report_round");
+    for n in SIZES {
+        for (label, mode) in [
+            ("incremental", ReadMode::Incremental),
+            ("sort_per_call", ReadMode::SortPerCall),
+        ] {
+            let mut ctl = warmed(n, mode);
+            let mut round = 1u64;
+            g.bench_function(&format!("{label}/n{n}"), |b| {
+                b.iter(|| {
+                    round += 1;
+                    for pe in 0..n as u64 {
+                        ctl.report(pe as u32, vector(pe * 7 + round));
+                    }
+                    black_box(ctl.len())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Worst case for the incremental mode: every round a slice of nodes
+/// teleports across the ranking, so each repair bubbles O(n) positions.
+/// Kept honest in the suite — this is the pattern where sort-per-call's
+/// do-nothing report wins, and reads have to pay it back.
+fn bench_report_adversarial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broker/report_round_adversarial");
+    let n = 1_000;
+    for (label, mode) in [
+        ("incremental", ReadMode::Incremental),
+        ("sort_per_call", ReadMode::SortPerCall),
+    ] {
+        let mut ctl = warmed(n, mode);
+        let mut round = 1u64;
+        g.bench_function(&format!("{label}/n{n}"), |b| {
+            b.iter(|| {
+                round += 1;
+                for pe in 0..n as u64 {
+                    ctl.report(pe as u32, vector_adversarial(pe * 7 + round));
+                }
+                black_box(ctl.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// One ranked read + assignment: the per-arrival placement cost.
+fn bench_by_bottleneck(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broker/by_bottleneck");
+    for n in SIZES {
+        for (label, mode) in [
+            ("incremental", ReadMode::Incremental),
+            ("sort_per_call", ReadMode::SortPerCall),
+        ] {
+            let mut ctl = warmed(n, mode);
+            g.bench_function(&format!("{label}/n{n}"), |b| {
+                b.iter(|| {
+                    let head = ctl.by_bottleneck()[0].0;
+                    ctl.note_assignment(&[head], 1);
+                    black_box(head)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// The lazy top-k head read the coordinator policies actually issue
+/// (incremental mode only: it never materializes the full ranking).
+fn bench_ranked_head(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broker/ranked_head");
+    for n in SIZES {
+        let mut ctl = warmed(n, ReadMode::Incremental);
+        g.bench_function(&format!("incremental/n{n}"), |b| {
+            b.iter(|| {
+                let head = ctl
+                    .ranked_bottleneck()
+                    .map(|(id, _)| id)
+                    .next()
+                    .expect("non-empty");
+                ctl.note_assignment(&[head], 1);
+                black_box(head)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_report,
+    bench_report_adversarial,
+    bench_by_bottleneck,
+    bench_ranked_head
+);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Future-event-list microbenchmarks: binary heap vs. calendar queue
+//! under push/pop mixes shaped like real runs — a steady-state hold
+//! (every pop schedules a successor, the simulator's common case), a
+//! fill-then-drain sweep, and a heavy-tie burst (group commits and
+//! control ticks land whole cohorts on one timestamp).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simkit::{CalendarQueue, EventHeap, SimRng, SimTime};
+
+const LIVE: usize = 4_096;
+const OPS: usize = 10_000;
+
+/// Pre-generated inter-event gaps (exponential-ish via modulo mixing so
+/// the two queues replay the identical schedule).
+fn gaps(seed: u64) -> Vec<u64> {
+    let mut rng = SimRng::new(seed);
+    (0..OPS).map(|_| rng.below(200_000) + 1).collect()
+}
+
+macro_rules! bench_both {
+    ($group:expr, $make_heap:expr, $make_cal:expr, $body:expr) => {{
+        let g = &mut $group;
+        g.bench_function("heap", |b| {
+            b.iter(|| {
+                let mut q = $make_heap;
+                $body(&mut q)
+            })
+        });
+        g.bench_function("calendar", |b| {
+            b.iter(|| {
+                let mut q = $make_cal;
+                $body(&mut q)
+            })
+        });
+    }};
+}
+
+/// Shared driver trait so one closure exercises both queues.
+trait Fel {
+    fn push(&mut self, t: SimTime, v: usize);
+    fn pop(&mut self) -> Option<(SimTime, usize)>;
+}
+
+impl Fel for EventHeap<usize> {
+    fn push(&mut self, t: SimTime, v: usize) {
+        EventHeap::push(self, t, v)
+    }
+    fn pop(&mut self) -> Option<(SimTime, usize)> {
+        EventHeap::pop(self)
+    }
+}
+
+impl Fel for CalendarQueue<usize> {
+    fn push(&mut self, t: SimTime, v: usize) {
+        CalendarQueue::push(self, t, v)
+    }
+    fn pop(&mut self) -> Option<(SimTime, usize)> {
+        CalendarQueue::pop(self)
+    }
+}
+
+/// Steady state: `LIVE` events in flight, every pop schedules one
+/// successor — the shape of a saturated simulation run.
+fn steady_state<Q: Fel>(q: &mut Q) -> usize {
+    let gaps = gaps(1);
+    for (i, &g) in gaps[..LIVE].iter().enumerate() {
+        q.push(SimTime(g), i);
+    }
+    let mut acc = 0usize;
+    for &g in &gaps[LIVE..] {
+        let (t, v) = q.pop().expect("live set never empties");
+        acc = acc.wrapping_add(v);
+        q.push(SimTime(t.as_nanos() + g), v);
+    }
+    black_box(acc)
+}
+
+/// Fill completely, then drain dry (arrival floods, end-of-run tails).
+fn fill_drain<Q: Fel>(q: &mut Q) -> usize {
+    let gaps = gaps(2);
+    let mut t = 0u64;
+    for (i, &g) in gaps.iter().enumerate() {
+        t += g;
+        q.push(SimTime(t), i);
+    }
+    let mut acc = 0usize;
+    while let Some((_, v)) = q.pop() {
+        acc = acc.wrapping_add(v);
+    }
+    black_box(acc)
+}
+
+/// Heavy ties: cohorts of 64 events share each timestamp (group commit /
+/// control tick shape); FIFO order within a cohort is part of the
+/// contract both queues must honor.
+fn tie_burst<Q: Fel>(q: &mut Q) -> usize {
+    let gaps = gaps(3);
+    let mut t = 0u64;
+    for (i, &g) in gaps.iter().enumerate() {
+        if i % 64 == 0 {
+            t += g;
+        }
+        q.push(SimTime(t), i);
+    }
+    let mut acc = 0usize;
+    while let Some((_, v)) = q.pop() {
+        acc = acc.wrapping_add(v);
+    }
+    black_box(acc)
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue/steady_state_4k_live");
+    bench_both!(
+        g,
+        EventHeap::with_capacity(LIVE),
+        CalendarQueue::with_capacity(LIVE),
+        steady_state
+    );
+    g.finish();
+}
+
+fn bench_fill_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue/fill_drain_10k");
+    bench_both!(
+        g,
+        EventHeap::with_capacity(OPS),
+        CalendarQueue::with_capacity(OPS),
+        fill_drain
+    );
+    g.finish();
+}
+
+fn bench_tie_burst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue/tie_burst_10k");
+    bench_both!(
+        g,
+        EventHeap::with_capacity(OPS),
+        CalendarQueue::with_capacity(OPS),
+        tie_burst
+    );
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_steady_state,
+    bench_fill_drain,
+    bench_tie_burst
+);
+criterion_main!(benches);

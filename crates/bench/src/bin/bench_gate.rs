@@ -1,0 +1,188 @@
+//! CI perf-regression gate over `lab --bench` output.
+//!
+//! Compares freshly measured per-scenario `events_per_sec` against the
+//! committed baseline (`BENCH_lab.json` at the repo root) and fails the
+//! build when any scenario regresses by more than the tolerance:
+//!
+//! ```text
+//! bench_gate BENCH_lab.json BENCH_fresh_fig.json BENCH_fresh_soak.json
+//! ```
+//!
+//! The first path is the committed baseline; every further path is a
+//! fresh `lab --bench` output. Fresh files may cover different scenario
+//! subsets (CI reruns the cheap smoke slices, not the full soak); only
+//! scenarios present in both baseline and a fresh file are compared.
+//!
+//! Two checks run:
+//!
+//! 1. **Regression**: fresh events/sec must be at least
+//!    `(1 - tolerance) ×` the committed value. Default tolerance 0.25
+//!    (`--tolerance`, or `BENCH_GATE_TOLERANCE` for slow CI runners —
+//!    wall-clock throughput is machine-dependent, the committed numbers
+//!    are from the lab machine).
+//! 2. **Soak ratio**: when a fresh file carries both
+//!    `thousand_pe_soak_smoke` and `thousand_pe_soak_baseline`, the
+//!    incremental-vs-sort-per-call events/sec ratio must stay at or
+//!    above `--min-soak-ratio` (default 8.0; the committed trajectory
+//!    is 12.5× full / 10.6× smoke — the floor leaves headroom for
+//!    noisy shared runners). The ratio is same-machine, so unlike the
+//!    absolute gate it does not need a machine-speed tolerance.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct Row {
+    events_per_sec: f64,
+    events: u64,
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::F64(f) => Some(f),
+        Value::U64(u) => Some(u as f64),
+        Value::I64(i) => Some(i as f64),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match *v {
+        Value::U64(u) => Some(u),
+        Value::I64(i) => u64::try_from(i).ok(),
+        _ => None,
+    }
+}
+
+fn load_rows(path: &str) -> Result<BTreeMap<String, Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: bad JSON: {e}"))?;
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(|s| s.as_array())
+        .ok_or_else(|| format!("{path}: missing \"scenarios\" array"))?;
+    let mut rows = BTreeMap::new();
+    for s in scenarios {
+        let name = s
+            .get("scenario")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{path}: scenario row without a name"))?;
+        let evs = s
+            .get("events_per_sec")
+            .and_then(as_f64)
+            .ok_or_else(|| format!("{path}: {name}: missing events_per_sec"))?;
+        let events = s.get("events").and_then(as_u64).unwrap_or(0);
+        rows.insert(
+            name.to_string(),
+            Row {
+                events_per_sec: evs,
+                events,
+            },
+        );
+    }
+    Ok(rows)
+}
+
+fn run() -> Result<bool, String> {
+    let mut tolerance = match std::env::var("BENCH_GATE_TOLERANCE") {
+        Ok(v) => v
+            .parse::<f64>()
+            .map_err(|_| format!("BENCH_GATE_TOLERANCE={v}: not a number"))?,
+        Err(_) => 0.25,
+    };
+    let mut min_soak_ratio = 8.0;
+    let mut paths: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a value")?;
+                tolerance = v
+                    .parse()
+                    .map_err(|_| format!("--tolerance {v}: not a number"))?;
+            }
+            "--min-soak-ratio" => {
+                let v = args.next().ok_or("--min-soak-ratio needs a value")?;
+                min_soak_ratio = v
+                    .parse()
+                    .map_err(|_| format!("--min-soak-ratio {v}: not a number"))?;
+            }
+            _ => paths.push(a),
+        }
+    }
+    if paths.len() < 2 {
+        return Err("usage: bench_gate <baseline.json> <fresh.json>... \
+             [--tolerance 0.25] [--min-soak-ratio 8]"
+            .into());
+    }
+
+    let baseline = load_rows(&paths[0])?;
+    let mut ok = true;
+
+    for fresh_path in &paths[1..] {
+        let fresh = load_rows(fresh_path)?;
+        for (name, row) in &fresh {
+            let Some(base) = baseline.get(name) else {
+                println!("  skip  {name:32} (not in baseline)");
+                continue;
+            };
+            let change = row.events_per_sec / base.events_per_sec - 1.0;
+            let fail = change < -tolerance;
+            println!(
+                "  {}  {name:32} {:>12.0} ev/s vs {:>12.0} committed ({:+.1}%)",
+                if fail { "FAIL" } else { " ok " },
+                row.events_per_sec,
+                base.events_per_sec,
+                change * 100.0,
+            );
+            if fail {
+                ok = false;
+            }
+        }
+
+        if let (Some(smoke), Some(sort)) = (
+            fresh.get("thousand_pe_soak_smoke"),
+            fresh.get("thousand_pe_soak_baseline"),
+        ) {
+            if smoke.events != sort.events {
+                println!(
+                    "  FAIL  soak smoke/baseline event counts differ \
+                     ({} vs {}) — runs are no longer bit-identical",
+                    smoke.events, sort.events
+                );
+                ok = false;
+            }
+            let ratio = smoke.events_per_sec / sort.events_per_sec;
+            let fail = ratio < min_soak_ratio;
+            println!(
+                "  {}  incremental broker reads are {ratio:.1}x sort-per-call \
+                 (floor {min_soak_ratio:.1}x)",
+                if fail { "FAIL" } else { " ok " },
+            );
+            if fail {
+                ok = false;
+            }
+        }
+    }
+
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("bench_gate: all scenarios within tolerance");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench_gate: events/sec regression beyond tolerance");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

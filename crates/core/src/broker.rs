@@ -201,6 +201,13 @@ impl CentralBroker {
         broker.ctl.weights = policies.weights;
         broker
     }
+
+    /// Select how the control node serves ranking reads (incremental
+    /// indices vs. the legacy sort-per-call baseline). Results are
+    /// identical either way; only the cost profile differs.
+    pub fn set_read_mode(&mut self, mode: crate::control::ReadMode) {
+        self.ctl.set_read_mode(mode);
+    }
 }
 
 impl ResourceBroker for CentralBroker {
@@ -216,12 +223,14 @@ impl ResourceBroker for CentralBroker {
     }
 
     fn end_report_round(&mut self) {
-        self.join.on_report(&self.ctl);
+        // Split borrows: policies may read rankings, which are &mut views.
+        let ctl = &mut self.ctl;
+        self.join.on_report(ctl);
         if let Some(stage) = &mut self.stage {
-            stage.on_report(&self.ctl);
+            stage.on_report(ctl);
         }
-        self.scan.on_report(&self.ctl);
-        self.oltp.on_report(&self.ctl);
+        self.scan.on_report(ctl);
+        self.oltp.on_report(ctl);
     }
 
     fn place(&mut self, req: &PlacementRequest, rng: &mut SimRng) -> Placement {

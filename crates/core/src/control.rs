@@ -23,9 +23,40 @@
 //! that subsequent join queries are assigned to the same processors due to
 //! the delayed updating" (LUC), and "the control node's information is
 //! directly adapted for newly selected join processors" (LUM).
+//!
+//! # Incremental order statistics
+//!
+//! The paper keeps `AVAIL-MEMORY` *sorted* and repairs it on updates; the
+//! original port instead re-sorted on every read, which costs
+//! O(n log n) + an allocation per placement decision and dominates the
+//! control plane beyond a few hundred PEs. This module now maintains one
+//! **canonical index** per ranking — ids ordered by `(key, id)` (free
+//! memory descending) — repaired when a single node's key changes:
+//! binary search on the strict total order locates the old and new
+//! slots, one `copy_within` shifts the span between them (`RankIndex`
+//! repair, O(log n) probes + O(distance moved), typically a short
+//! memmove for the small per-report drifts and feedback bumps).
+//!
+//! Tie rotation is *not* baked into the stored order: the rotating cursor
+//! `rr` changes on every assignment and would force a global re-sort. The
+//! canonical `(key, id)` order is rotation-independent, and the cursor is
+//! applied at read time: within each maximal run of equal keys, ids `>= rr
+//! % n` are emitted before ids `< rr % n`, which is exactly the order the
+//! old comparator `key.then(rank(a).cmp(&rank(b)))` produced. Head-only
+//! readers get a lazy iterator ([`ControlNode::ranked_cpu`] and friends,
+//! O(log n) to find the first run boundary, O(1) per item); prefix-scanning
+//! readers get a materialized view into a reusable scratch buffer
+//! ([`ControlNode::avail_memory`], O(n) copy, no sort, no allocation in
+//! steady state).
+//!
+//! The previous behaviour is preserved behind [`ReadMode::SortPerCall`]
+//! (fresh allocation + full sort per read) as the measurable baseline;
+//! both modes produce byte-identical rankings (see the equivalence
+//! proptest below and `tests/perf_parity.rs` at the workspace root).
 
 use crate::resources::{ResourceKind, ResourceVector, ResourceWeights};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// The CPU + free-memory slice of a node's state: the paper's original
 /// §3 control data. Kept as the view most placement policies consume
@@ -37,6 +68,19 @@ pub struct NodeState {
     pub cpu_util: f64,
     /// Buffer pages a new join working space could claim.
     pub free_pages: u32,
+}
+
+/// How the control node serves its rankings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadMode {
+    /// Maintained indices repaired in place on every report/assignment;
+    /// reads are allocation-free views (the default).
+    #[default]
+    Incremental,
+    /// The pre-index behaviour: every read allocates a fresh vector and
+    /// runs a full O(n log n) sort. Kept as the benchmark baseline and as
+    /// the reference implementation for the parity tests.
+    SortPerCall,
 }
 
 /// Where the data currently lives: tuples of each relation per node,
@@ -59,6 +103,176 @@ impl DataLocality {
             .copied()
             .unwrap_or(0)
     }
+}
+
+/// One maintained ranking: ids in canonical `(key, id)` order, repaired
+/// when one key changes. The strict total order makes every position
+/// recoverable by binary search, so no inverse permutation is kept: a
+/// repair is two `partition_point`s plus one `copy_within` (memmove),
+/// O(log n) compares and O(distance moved) sequential byte moves.
+#[derive(Debug, Clone)]
+struct RankIndex<K: Copy> {
+    /// Current key per node id.
+    key: Vec<K>,
+    /// Node ids sorted by `(cmp(key), id)`.
+    order: Vec<u32>,
+    /// Key comparator (ascending for utilizations, descending for free
+    /// memory); ties always fall back to ascending id.
+    cmp: fn(&K, &K) -> Ordering,
+}
+
+impl<K: Copy> RankIndex<K> {
+    fn new(n: usize, init: K, cmp: fn(&K, &K) -> Ordering) -> Self {
+        RankIndex {
+            key: vec![init; n],
+            order: (0..n as u32).collect(),
+            cmp,
+        }
+    }
+
+    /// Index of `id` in `order` (binary search on the strict `(key, id)`
+    /// total order — `order` is always fully sorted between updates).
+    fn position(&self, id: u32) -> usize {
+        let cmp = self.cmp;
+        let key = &self.key;
+        let p = self.order.partition_point(|&o| {
+            cmp(&key[o as usize], &key[id as usize])
+                .then(o.cmp(&id))
+                .is_lt()
+        });
+        debug_assert_eq!(self.order[p], id);
+        p
+    }
+
+    /// Set `id`'s key and move it to its canonical position. Feedback
+    /// bumps routinely throw a node across a large slice of the ranking
+    /// (the least-loaded node is picked, bumped, and lands above every
+    /// tied peer), so the repair must not pay per displaced element: the
+    /// destination is found by binary search and the displaced ids are
+    /// shifted with a single `copy_within` — no inverse table to patch,
+    /// no per-position swaps.
+    fn update(&mut self, id: u32, new_key: K) {
+        let p = self.position(id);
+        self.key[id as usize] = new_key;
+        let RankIndex { key, order, cmp } = self;
+        let cmp = *cmp;
+        // Does `other` sort strictly before `id` under the new key?
+        let before_id = |other: u32| {
+            cmp(&key[other as usize], &key[id as usize])
+                .then(other.cmp(&id))
+                .is_lt()
+        };
+        if p > 0 && !before_id(order[p - 1]) {
+            // Move left: everything in `order[..p]` is sorted, so the
+            // first element not before `id` marks the destination.
+            let dest = order[..p].partition_point(|&o| before_id(o));
+            order.copy_within(dest..p, dest + 1);
+            order[dest] = id;
+        } else if p + 1 < order.len() && before_id(order[p + 1]) {
+            // Move right: count the successors that now sort before `id`.
+            let shifted = order[p + 1..].partition_point(|&o| before_id(o));
+            let dest = p + shifted;
+            order.copy_within(p + 1..dest + 1, p);
+            order[dest] = id;
+        }
+    }
+
+    /// Re-sort from the current keys (used when every key changed at once,
+    /// e.g. a bottleneck-weight swap).
+    fn rebuild(&mut self) {
+        let key = &self.key;
+        let cmp = self.cmp;
+        self.order
+            .sort_unstable_by(|&a, &b| cmp(&key[a as usize], &key[b as usize]).then(a.cmp(&b)));
+    }
+}
+
+/// Append `order` to `out` with the rotation cursor applied: within each
+/// maximal equal-key run, ids `>= s` first, then ids `< s` (each ascending)
+/// — the read-time equivalent of sorting by `(key, rank)`.
+fn rotate_into<K: Copy + PartialEq>(order: &[u32], key: &[K], s: u32, out: &mut Vec<(u32, K)>) {
+    out.clear();
+    let mut rest = order;
+    while let Some(&head) = rest.first() {
+        let k = key[head as usize];
+        let end = rest.partition_point(|&id| key[id as usize] == k);
+        let (run, tail) = rest.split_at(end);
+        let split = run.partition_point(|&id| id < s);
+        for &id in run[split..].iter().chain(&run[..split]) {
+            out.push((id, key[id as usize]));
+        }
+        rest = tail;
+    }
+}
+
+/// Lazy rotated walk over a canonical index: finds each equal-key run by
+/// binary search (O(log n)) and yields its members in rotated order, so
+/// reading the head of a ranking is O(log n + k) with zero allocation.
+pub struct Ranked<'a, K: Copy + PartialEq> {
+    key: &'a [K],
+    rest: &'a [u32],
+    run: &'a [u32],
+    s: u32,
+    split: usize,
+    hi: usize,
+    lo: usize,
+}
+
+impl<K: Copy + PartialEq> Iterator for Ranked<'_, K> {
+    type Item = (u32, K);
+
+    fn next(&mut self) -> Option<(u32, K)> {
+        loop {
+            if self.hi < self.run.len() {
+                let id = self.run[self.hi];
+                self.hi += 1;
+                return Some((id, self.key[id as usize]));
+            }
+            if self.lo < self.split {
+                let id = self.run[self.lo];
+                self.lo += 1;
+                return Some((id, self.key[id as usize]));
+            }
+            let &head = self.rest.first()?;
+            let k = self.key[head as usize];
+            let end = self.rest.partition_point(|&id| self.key[id as usize] == k);
+            let (run, tail) = self.rest.split_at(end);
+            self.rest = tail;
+            self.run = run;
+            self.split = run.partition_point(|&id| id < self.s);
+            self.hi = self.split;
+            self.lo = 0;
+        }
+    }
+}
+
+/// Head-first view of one ranking: lazy over the maintained index in
+/// [`ReadMode::Incremental`], a drain of the freshly sorted scratch in
+/// [`ReadMode::SortPerCall`]. Either way the iteration order is identical.
+pub enum TopK<'a, K: Copy + PartialEq> {
+    /// Rotated walk over the canonical index.
+    Lazy(Ranked<'a, K>),
+    /// Iterator over a materialized (already rotated) view.
+    Slice(std::slice::Iter<'a, (u32, K)>),
+}
+
+impl<K: Copy + PartialEq> Iterator for TopK<'_, K> {
+    type Item = (u32, K);
+
+    fn next(&mut self) -> Option<(u32, K)> {
+        match self {
+            TopK::Lazy(it) => it.next(),
+            TopK::Slice(it) => it.next().copied(),
+        }
+    }
+}
+
+fn cmp_f64_asc(a: &f64, b: &f64) -> Ordering {
+    a.partial_cmp(b).expect("finite")
+}
+
+fn cmp_u32_desc(a: &u32, b: &u32) -> Ordering {
+    b.cmp(a)
 }
 
 /// Control-node view of the whole system.
@@ -87,6 +301,22 @@ pub struct ControlNode {
     /// Registered data-locality view (fragment tuples per node), when the
     /// simulator has a placement layer to report.
     locality: Option<DataLocality>,
+    /// Index maintenance / read strategy.
+    read_mode: ReadMode,
+    /// Canonical per-kind utilization rankings (ascending).
+    util_idx: [RankIndex<f64>; ResourceKind::COUNT],
+    /// Canonical weighted-bottleneck ranking (ascending).
+    bott_idx: RankIndex<f64>,
+    /// Canonical AVAIL-MEMORY ranking (effective free pages, descending).
+    mem_idx: RankIndex<u32>,
+    /// Weights the bottleneck keys were computed under; `weights` is a
+    /// public field mutated after construction (e.g. by
+    /// `CentralBroker::from_config`), so reads re-key lazily on mismatch.
+    weights_snap: ResourceWeights,
+    /// Reusable buffers for materialized float/memory views (sized once;
+    /// steady-state reads allocate nothing).
+    scratch_f: Vec<(u32, f64)>,
+    scratch_m: Vec<(u32, u32)>,
 }
 
 impl ControlNode {
@@ -99,7 +329,44 @@ impl ControlNode {
             weights: ResourceWeights::default(),
             rr: 0,
             locality: None,
+            read_mode: ReadMode::default(),
+            util_idx: std::array::from_fn(|_| RankIndex::new(n, 0.0, cmp_f64_asc)),
+            bott_idx: RankIndex::new(n, 0.0, cmp_f64_asc),
+            mem_idx: RankIndex::new(n, 0, cmp_u32_desc),
+            weights_snap: ResourceWeights::default(),
+            scratch_f: Vec::with_capacity(n),
+            scratch_m: Vec::with_capacity(n),
         }
+    }
+
+    /// Switch the index maintenance / read strategy (indices are rebuilt
+    /// from the current state when switching back to incremental).
+    pub fn set_read_mode(&mut self, mode: ReadMode) {
+        if self.read_mode == mode {
+            return;
+        }
+        self.read_mode = mode;
+        if mode == ReadMode::Incremental {
+            self.weights_snap = self.weights;
+            for id in 0..self.utils.len() as u32 {
+                let v = self.utils[id as usize];
+                for kind in ResourceKind::ALL {
+                    self.util_idx[kind.index()].key[id as usize] = v.get(kind);
+                }
+                self.bott_idx.key[id as usize] = v.bottleneck(&self.weights);
+                self.mem_idx.key[id as usize] = self.effective_free(id);
+            }
+            for idx in &mut self.util_idx {
+                idx.rebuild();
+            }
+            self.bott_idx.rebuild();
+            self.mem_idx.rebuild();
+        }
+    }
+
+    /// The active read strategy.
+    pub fn read_mode(&self) -> ReadMode {
+        self.read_mode
     }
 
     /// Register / refresh the data-locality view.
@@ -115,6 +382,8 @@ impl ControlNode {
     /// Nodes sorted descending by local tuples of `rel` (ties rotated like
     /// every other ranking). Data-locality-aware selection uses this to
     /// co-locate join processors with the build input's fragments.
+    /// Locality changes wholesale on migration (not per report), so this
+    /// cold-path ranking stays sort-per-call.
     pub fn by_local_data(&self, rel: u32) -> Vec<(u32, u64)> {
         let mut v: Vec<(u32, u64)> = (0..self.utils.len() as u32)
             .map(|i| {
@@ -134,6 +403,17 @@ impl ControlNode {
         (id + n - self.rr % n) % n
     }
 
+    /// First id of the rotation window: ties emit ids `>= cursor` before
+    /// ids `< cursor`, each ascending — identical to ascending [`rank`].
+    fn cursor(&self) -> u32 {
+        let n = self.utils.len() as u32;
+        if n == 0 {
+            0
+        } else {
+            self.rr % n
+        }
+    }
+
     /// Number of nodes under control.
     pub fn len(&self) -> usize {
         self.utils.len()
@@ -144,12 +424,41 @@ impl ControlNode {
         self.utils.is_empty()
     }
 
+    /// Free pages net of outstanding promises: the AVAIL-MEMORY key.
+    fn effective_free(&self, id: u32) -> u32 {
+        self.utils[id as usize]
+            .free_pages
+            .saturating_sub(self.promised[id as usize])
+    }
+
+    /// Re-key the bottleneck index if `weights` was mutated since the keys
+    /// were computed (it is a public field, deliberately).
+    fn sync_weights(&mut self) {
+        if self.read_mode == ReadMode::Incremental && self.weights != self.weights_snap {
+            self.weights_snap = self.weights;
+            for id in 0..self.utils.len() {
+                self.bott_idx.key[id] = self.utils[id].bottleneck(&self.weights);
+            }
+            self.bott_idx.rebuild();
+        }
+    }
+
     /// Periodic report from node `id`: the full resource vector.
     /// Outstanding promises decay by half: reservations placed since the
     /// previous report are now visible in the reported numbers.
+    /// Incremental mode repairs all six indices positionally — O(total
+    /// displacement), O(1) per index for the usual small drifts.
     pub fn report(&mut self, id: u32, state: ResourceVector) {
         self.utils[id as usize] = state;
         self.promised[id as usize] /= 2;
+        if self.read_mode == ReadMode::Incremental {
+            self.sync_weights();
+            for kind in ResourceKind::ALL {
+                self.util_idx[kind.index()].update(id, state.get(kind));
+            }
+            self.bott_idx.update(id, state.bottleneck(&self.weights));
+            self.mem_idx.update(id, self.effective_free(id));
+        }
     }
 
     /// Effective §3 state: reported CPU + free pages minus still-
@@ -170,7 +479,9 @@ impl ControlNode {
     }
 
     /// Average utilization of one resource over all nodes (`u_cpu` of
-    /// eq. 3.2 generalized to every kind).
+    /// eq. 3.2 generalized to every kind). Deliberately the naive O(n)
+    /// sum: it is read a handful of times per control tick and per join
+    /// arrival, and a running sum would drift from the exact float total.
     pub fn avg(&self, kind: ResourceKind) -> f64 {
         if self.utils.is_empty() {
             return 0.0;
@@ -190,63 +501,174 @@ impl ControlNode {
 
     /// The AVAIL-MEMORY array: `(node-ID, free)` sorted descending on free
     /// memory; ties broken by the rotating cursor (deterministic but not
-    /// id-biased).
-    pub fn avail_memory(&self) -> Vec<(u32, u32)> {
-        let mut v: Vec<(u32, u32)> = (0..self.utils.len() as u32)
-            .map(|i| (i, self.state(i).free_pages))
-            .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then(self.rank(a.0).cmp(&self.rank(b.0))));
-        v
+    /// id-biased). Incremental mode copies the maintained index into a
+    /// reusable scratch buffer — O(n), no sort, no allocation.
+    pub fn avail_memory(&mut self) -> &[(u32, u32)] {
+        match self.read_mode {
+            ReadMode::Incremental => {
+                let s = self.cursor();
+                rotate_into(
+                    &self.mem_idx.order,
+                    &self.mem_idx.key,
+                    s,
+                    &mut self.scratch_m,
+                );
+            }
+            ReadMode::SortPerCall => {
+                let mut v: Vec<(u32, u32)> = (0..self.utils.len() as u32)
+                    .map(|i| (i, self.state(i).free_pages))
+                    .collect();
+                v.sort_by(|a, b| b.1.cmp(&a.1).then(self.rank(a.0).cmp(&self.rank(b.0))));
+                self.scratch_m = v;
+            }
+        }
+        &self.scratch_m
     }
 
     /// Nodes sorted ascending by CPU utilization (for LUC), rotating ties.
-    pub fn by_cpu(&self) -> Vec<(u32, f64)> {
+    pub fn by_cpu(&mut self) -> &[(u32, f64)] {
         self.by_util(ResourceKind::Cpu)
     }
 
     /// Nodes sorted ascending by one resource's utilization, rotating
     /// ties (the per-kind generalization behind LUC and `pmu-<kind>`
     /// diagnostics).
-    pub fn by_util(&self, kind: ResourceKind) -> Vec<(u32, f64)> {
-        let mut v: Vec<(u32, f64)> = self
-            .utils
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i as u32, s.get(kind)))
-            .collect();
-        v.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite")
-                .then(self.rank(a.0).cmp(&self.rank(b.0)))
-        });
-        v
+    pub fn by_util(&mut self, kind: ResourceKind) -> &[(u32, f64)] {
+        match self.read_mode {
+            ReadMode::Incremental => {
+                let s = self.cursor();
+                let idx = &self.util_idx[kind.index()];
+                rotate_into(&idx.order, &idx.key, s, &mut self.scratch_f);
+            }
+            ReadMode::SortPerCall => {
+                let mut v: Vec<(u32, f64)> = self
+                    .utils
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (i as u32, s.get(kind)))
+                    .collect();
+                v.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("finite")
+                        .then(self.rank(a.0).cmp(&self.rank(b.0)))
+                });
+                self.scratch_f = v;
+            }
+        }
+        &self.scratch_f
     }
 
     /// Nodes sorted ascending by weighted bottleneck score (for LUB),
     /// rotating ties.
-    pub fn by_bottleneck(&self) -> Vec<(u32, f64)> {
-        let mut v: Vec<(u32, f64)> = self
-            .utils
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i as u32, s.bottleneck(&self.weights)))
-            .collect();
-        v.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite")
-                .then(self.rank(a.0).cmp(&self.rank(b.0)))
-        });
-        v
+    pub fn by_bottleneck(&mut self) -> &[(u32, f64)] {
+        self.sync_weights();
+        match self.read_mode {
+            ReadMode::Incremental => {
+                let s = self.cursor();
+                rotate_into(
+                    &self.bott_idx.order,
+                    &self.bott_idx.key,
+                    s,
+                    &mut self.scratch_f,
+                );
+            }
+            ReadMode::SortPerCall => {
+                let mut v: Vec<(u32, f64)> = self
+                    .utils
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (i as u32, s.bottleneck(&self.weights)))
+                    .collect();
+                v.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("finite")
+                        .then(self.rank(a.0).cmp(&self.rank(b.0)))
+                });
+                self.scratch_f = v;
+            }
+        }
+        &self.scratch_f
+    }
+
+    fn lazy_f64<'a>(idx: &'a RankIndex<f64>, s: u32) -> Ranked<'a, f64> {
+        Ranked {
+            key: &idx.key,
+            rest: &idx.order,
+            run: &[],
+            s,
+            split: 0,
+            hi: 0,
+            lo: 0,
+        }
+    }
+
+    /// Head-first walk of the by-CPU ranking: O(log n) to the first item.
+    pub fn ranked_cpu(&mut self) -> TopK<'_, f64> {
+        self.ranked_util(ResourceKind::Cpu)
+    }
+
+    /// Head-first walk of one per-kind utilization ranking.
+    pub fn ranked_util(&mut self, kind: ResourceKind) -> TopK<'_, f64> {
+        match self.read_mode {
+            ReadMode::Incremental => {
+                let s = self.cursor();
+                TopK::Lazy(Self::lazy_f64(&self.util_idx[kind.index()], s))
+            }
+            ReadMode::SortPerCall => TopK::Slice(self.by_util(kind).iter()),
+        }
+    }
+
+    /// Head-first walk of the weighted-bottleneck ranking (LUB head).
+    pub fn ranked_bottleneck(&mut self) -> TopK<'_, f64> {
+        self.sync_weights();
+        match self.read_mode {
+            ReadMode::Incremental => {
+                let s = self.cursor();
+                TopK::Lazy(Self::lazy_f64(&self.bott_idx, s))
+            }
+            ReadMode::SortPerCall => TopK::Slice(self.by_bottleneck().iter()),
+        }
+    }
+
+    /// Head-first walk of AVAIL-MEMORY (most free pages first).
+    pub fn ranked_memory(&mut self) -> TopK<'_, u32> {
+        match self.read_mode {
+            ReadMode::Incremental => {
+                let s = self.cursor();
+                TopK::Lazy(Ranked {
+                    key: &self.mem_idx.key,
+                    rest: &self.mem_idx.order,
+                    run: &[],
+                    s,
+                    split: 0,
+                    hi: 0,
+                    lo: 0,
+                })
+            }
+            ReadMode::SortPerCall => TopK::Slice(self.avail_memory().iter()),
+        }
     }
 
     /// Adaptive feedback after assigning a join to `nodes`, each expected
     /// to take `pages_per_node` of memory: the control copy is updated
-    /// immediately so the next placement sees the claim.
+    /// immediately so the next placement sees the claim. Only the touched
+    /// nodes' index entries are repaired; the cursor advance is free
+    /// because rotation is applied at read time.
     pub fn note_assignment(&mut self, nodes: &[u32], pages_per_node: u32) {
+        let incremental = self.read_mode == ReadMode::Incremental;
+        if incremental {
+            self.sync_weights();
+        }
         for &id in nodes {
             self.promised[id as usize] = self.promised[id as usize].saturating_add(pages_per_node);
             let s = &mut self.utils[id as usize];
             s.cpu = (s.cpu + self.luc_bump).min(1.0);
+            if incremental {
+                let v = self.utils[id as usize];
+                self.util_idx[ResourceKind::Cpu.index()].update(id, v.cpu);
+                self.bott_idx.update(id, v.bottleneck(&self.weights));
+                self.mem_idx.update(id, self.effective_free(id));
+            }
         }
         // Rotate tie-breaking so the next placement starts elsewhere.
         self.rr = self.rr.wrapping_add(nodes.len().max(1) as u32);
@@ -256,6 +678,7 @@ impl ControlNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn ctl(free: &[u32], cpu: &[f64]) -> ControlNode {
         let mut c = ControlNode::new(free.len());
@@ -274,14 +697,14 @@ mod tests {
 
     #[test]
     fn avail_memory_sorted_desc() {
-        let c = ctl(&[5, 20, 10], &[0.0, 0.0, 0.0]);
+        let mut c = ctl(&[5, 20, 10], &[0.0, 0.0, 0.0]);
         let am = c.avail_memory();
         assert_eq!(am, vec![(1, 20), (2, 10), (0, 5)]);
     }
 
     #[test]
     fn avail_memory_ties_by_id() {
-        let c = ctl(&[7, 7, 7], &[0.0, 0.0, 0.0]);
+        let mut c = ctl(&[7, 7, 7], &[0.0, 0.0, 0.0]);
         let am = c.avail_memory();
         assert_eq!(am, vec![(0, 7), (1, 7), (2, 7)]);
     }
@@ -294,7 +717,7 @@ mod tests {
 
     #[test]
     fn by_cpu_sorted_asc() {
-        let c = ctl(&[0, 0, 0], &[0.9, 0.1, 0.5]);
+        let mut c = ctl(&[0, 0, 0], &[0.9, 0.1, 0.5]);
         let ids: Vec<u32> = c.by_cpu().iter().map(|(i, _)| *i).collect();
         assert_eq!(ids, vec![1, 2, 0]);
     }
@@ -389,5 +812,101 @@ mod tests {
         report(&mut c);
         report(&mut c);
         assert_eq!(c.state(0).free_pages, 28, "promise gone");
+    }
+
+    #[test]
+    fn tie_rotation_preserved_after_assignments() {
+        // All nodes tied: the first read is id-ordered; after an
+        // assignment of k nodes the window start advances by k.
+        let mut c = ctl(&[7, 7, 7, 7], &[0.0; 4]);
+        c.luc_bump = 0.0; // keep CPUs tied through assignments
+        let ids: Vec<u32> = c.avail_memory().iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        c.note_assignment(&[0, 1], 0);
+        let ids: Vec<u32> = c.avail_memory().iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![2, 3, 0, 1], "cursor advanced by 2");
+        let cpu_ids: Vec<u32> = c.by_cpu().iter().map(|&(i, _)| i).collect();
+        assert_eq!(cpu_ids, vec![2, 3, 0, 1], "same rotation on CPU ties");
+        c.note_assignment(&[2, 3, 0], 0);
+        let ids: Vec<u32> = c.avail_memory().iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![1, 2, 3, 0], "cursor advanced by 3 more");
+    }
+
+    #[test]
+    fn index_repair_tracks_note_assignment_bumps() {
+        let mut c = ctl(&[10, 10, 10], &[0.1, 0.2, 0.3]);
+        // Bump node 0's CPU past both others: it must sink to the tail of
+        // the by-CPU and bottleneck rankings without a fresh sort.
+        c.luc_bump = 0.5;
+        c.note_assignment(&[0], 4);
+        let ids: Vec<u32> = c.by_cpu().iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+        let ids: Vec<u32> = c.by_bottleneck().iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+        // And the promised pages moved it down AVAIL-MEMORY.
+        let am = c.avail_memory().to_vec();
+        assert_eq!(am, vec![(1, 10), (2, 10), (0, 6)]);
+    }
+
+    #[test]
+    fn ranked_heads_match_materialized_views() {
+        let mut c = ctl(&[3, 9, 9, 1], &[0.4, 0.2, 0.2, 0.9]);
+        c.note_assignment(&[1], 2);
+        let full: Vec<(u32, f64)> = c.by_cpu().to_vec();
+        let lazy: Vec<(u32, f64)> = c.ranked_cpu().collect();
+        assert_eq!(full, lazy);
+        let full: Vec<(u32, u32)> = c.avail_memory().to_vec();
+        let lazy: Vec<(u32, u32)> = c.ranked_memory().collect();
+        assert_eq!(full, lazy);
+        let full: Vec<(u32, f64)> = c.by_bottleneck().to_vec();
+        let lazy: Vec<(u32, f64)> = c.ranked_bottleneck().collect();
+        assert_eq!(full, lazy);
+    }
+
+    proptest! {
+        /// Drive both read modes through an arbitrary interleaving of
+        /// reports and assignments; every ranking must stay byte-identical.
+        /// Keys are quantized to eighths/quarters so exact ties (the
+        /// rotation-sensitive case) occur constantly.
+        #[test]
+        fn prop_incremental_matches_sort_per_call(
+            ops in proptest::collection::vec(
+                (0u32..7, 0u64..3, 0.0..1.0f64, 0u32..40, 0u32..10),
+                1..60,
+            ),
+        ) {
+            let n = 7u32;
+            let mut inc = ControlNode::new(n as usize);
+            let mut legacy = ControlNode::new(n as usize);
+            legacy.set_read_mode(ReadMode::SortPerCall);
+            for &(id, kind, raw, free, pages) in &ops {
+                if kind == 0 {
+                    let v = ResourceVector {
+                        cpu: (raw * 8.0).round() / 8.0,
+                        net: (raw * 4.0).round() / 4.0,
+                        free_pages: free,
+                        ..ResourceVector::default()
+                    };
+                    inc.report(id, v);
+                    legacy.report(id, v);
+                } else {
+                    // Assignment of 1–2 nodes derived deterministically.
+                    let nodes: &[u32] =
+                        if kind == 1 { &[id] } else { &[id, (id + 3) % n] };
+                    inc.note_assignment(nodes, pages);
+                    legacy.note_assignment(nodes, pages);
+                }
+                prop_assert_eq!(inc.avail_memory().to_vec(), legacy.avail_memory().to_vec());
+                prop_assert_eq!(inc.by_cpu().to_vec(), legacy.by_cpu().to_vec());
+                prop_assert_eq!(
+                    inc.by_util(ResourceKind::Net).to_vec(),
+                    legacy.by_util(ResourceKind::Net).to_vec()
+                );
+                prop_assert_eq!(inc.by_bottleneck().to_vec(), legacy.by_bottleneck().to_vec());
+                let h: Vec<(u32, f64)> = inc.ranked_bottleneck().take(3).collect();
+                let l: Vec<(u32, f64)> = legacy.ranked_bottleneck().take(3).collect();
+                prop_assert_eq!(h, l);
+            }
+        }
     }
 }

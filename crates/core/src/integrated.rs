@@ -90,12 +90,12 @@ fn admissible_max(req: &JoinRequest, n: u32) -> u32 {
 /// the admission layer's degree cap rules the avoiding selections out —
 /// minimizes the amount of overflow I/O. CPU utilization is not
 /// considered.
-pub fn min_io(req: &JoinRequest, ctl: &ControlNode) -> (u32, Vec<u32>) {
+pub fn min_io(req: &JoinRequest, ctl: &mut ControlNode) -> (u32, Vec<u32>) {
     let avail = ctl.avail_memory();
     let max_k = admissible_max(req, avail.len() as u32);
-    let k = min_k_avoiding_io(&avail, req.table_pages)
+    let k = min_k_avoiding_io(avail, req.table_pages)
         .filter(|&k| k <= max_k)
-        .unwrap_or_else(|| k_minimizing_overflow(&avail, req.table_pages, max_k));
+        .unwrap_or_else(|| k_minimizing_overflow(avail, req.table_pages, max_k));
     let nodes = avail[..k as usize].iter().map(|&(id, _)| id).collect();
     (k, nodes)
 }
@@ -105,15 +105,15 @@ pub fn min_io(req: &JoinRequest, ctl: &ControlNode) -> (u32, Vec<u32>) {
 /// ties prefer the larger degree (the paper notes this strategy
 /// "generally chooses a higher number of join processors" than MIN-IO).
 /// Falls back to overflow minimization.
-pub fn min_io_suopt(req: &JoinRequest, ctl: &ControlNode) -> (u32, Vec<u32>) {
+pub fn min_io_suopt(req: &JoinRequest, ctl: &mut ControlNode) -> (u32, Vec<u32>) {
     let avail = ctl.avail_memory();
     let max_k = admissible_max(req, avail.len() as u32);
-    let candidates: Vec<u32> = ks_avoiding_io(&avail, req.table_pages)
+    let candidates: Vec<u32> = ks_avoiding_io(avail, req.table_pages)
         .into_iter()
         .filter(|&k| k <= max_k)
         .collect();
     let k = if candidates.is_empty() {
-        k_minimizing_overflow(&avail, req.table_pages, max_k)
+        k_minimizing_overflow(avail, req.table_pages, max_k)
     } else {
         *candidates
             .iter()
@@ -132,17 +132,19 @@ pub fn min_io_suopt(req: &JoinRequest, ctl: &ControlNode) -> (u32, Vec<u32>) {
 /// this range, the maximal number of processors avoiding (or minimizing)
 /// temporary I/O is selected." The admission layer's degree cap tightens
 /// the range further.
-pub fn opt_io_cpu(req: &JoinRequest, ctl: &ControlNode) -> (u32, Vec<u32>) {
+pub fn opt_io_cpu(req: &JoinRequest, ctl: &mut ControlNode) -> (u32, Vec<u32>) {
+    // Read the scalar before the view: `avail` borrows the scratch buffer.
+    let avg_cpu = ctl.avg_cpu();
     let avail = ctl.avail_memory();
     let max_k = admissible_max(req, avail.len() as u32);
-    let cap = CostModel::pmu_cpu(req.psu_opt, ctl.avg_cpu()).clamp(1, max_k);
-    let avoiding: Vec<u32> = ks_avoiding_io(&avail, req.table_pages)
+    let cap = CostModel::pmu_cpu(req.psu_opt, avg_cpu).clamp(1, max_k);
+    let avoiding: Vec<u32> = ks_avoiding_io(avail, req.table_pages)
         .into_iter()
         .filter(|&k| k <= cap)
         .collect();
     let k = match avoiding.last() {
         Some(&k) => k,
-        None => k_minimizing_overflow(&avail, req.table_pages, cap),
+        None => k_minimizing_overflow(avail, req.table_pages, cap),
     };
     let nodes = avail[..k as usize].iter().map(|&(id, _)| id).collect();
     (k, nodes)
@@ -184,8 +186,8 @@ mod tests {
         // "storage requirement of 10 MB, n=4, memory availability of 8, 1,
         // 0, 0 MB. MIN-IO selects p_mu=1 and chooses the processor with
         // 8 MB" (pages stand in for MB).
-        let c = ctl(&[8, 1, 0, 0], 0.0);
-        let (k, nodes) = min_io(&req(10.0, 4), &c);
+        let mut c = ctl(&[8, 1, 0, 0], 0.0);
+        let (k, nodes) = min_io(&req(10.0, 4), &mut c);
         assert_eq!(k, 1);
         assert_eq!(nodes, vec![0]);
     }
@@ -193,16 +195,16 @@ mod tests {
     #[test]
     fn min_io_picks_minimal_k() {
         // 131.25 pages needed; nodes with 50 free: k=3 (50·3=150>131.25).
-        let c = ctl(&[50; 80], 0.0);
-        let (k, nodes) = min_io(&req(131.25, 30), &c);
+        let mut c = ctl(&[50; 80], 0.0);
+        let (k, nodes) = min_io(&req(131.25, 30), &mut c);
         assert_eq!(k, 3);
         assert_eq!(nodes.len(), 3);
     }
 
     #[test]
     fn min_io_uses_lum_order() {
-        let c = ctl(&[10, 90, 40, 70], 0.0);
-        let (k, nodes) = min_io(&req(80.0, 4), &c);
+        let mut c = ctl(&[10, 90, 40, 70], 0.0);
+        let (k, nodes) = min_io(&req(80.0, 4), &mut c);
         assert_eq!(k, 1, "90 > 80 on one node");
         assert_eq!(nodes, vec![1]);
     }
@@ -210,8 +212,8 @@ mod tests {
     #[test]
     fn min_io_suopt_goes_closest_to_psuopt() {
         // All k in 3..=80 avoid I/O; psu_opt = 30 → choose 30.
-        let c = ctl(&[50; 80], 0.0);
-        let (k, _) = min_io_suopt(&req(131.25, 30), &c);
+        let mut c = ctl(&[50; 80], 0.0);
+        let (k, _) = min_io_suopt(&req(131.25, 30), &mut c);
         assert_eq!(k, 30);
     }
 
@@ -220,18 +222,18 @@ mod tests {
         // Nodes with 50 pages, need 149: k=3 avoids (150>149).
         // psu_opt = 4 → candidates {3,4,...}: distance 1 for 3 and 5 →
         // prefer 5? No: both 3 and 5 avoid; |3-4| = |5-4| = 1 → larger = 5.
-        let c = ctl(&[50; 10], 0.0);
-        let (k, _) = min_io_suopt(&req(149.0, 4), &c);
+        let mut c = ctl(&[50; 10], 0.0);
+        let (k, _) = min_io_suopt(&req(149.0, 4), &mut c);
         assert_eq!(k, 4, "psu_opt itself avoids I/O");
-        let (k2, _) = min_io_suopt(&req(201.0, 4), &c);
+        let (k2, _) = min_io_suopt(&req(201.0, 4), &mut c);
         // k=5 smallest avoiding (250>201); psu_opt=4 below → closest is 5.
         assert_eq!(k2, 5);
     }
 
     #[test]
     fn min_io_suopt_falls_back_to_overflow_minimization() {
-        let c = ctl(&[8, 1, 0, 0], 0.0);
-        let (k, nodes) = min_io_suopt(&req(10.0, 3), &c);
+        let mut c = ctl(&[8, 1, 0, 0], 0.0);
+        let (k, nodes) = min_io_suopt(&req(10.0, 3), &mut c);
         assert_eq!(k, 1);
         assert_eq!(nodes, vec![0]);
     }
@@ -242,29 +244,29 @@ mod tests {
         // cap = pmu_cpu(30, 0.8) = 15; with 10 pages/node every k ≥ 14
         // avoids I/O (10·14 = 140 > 131.25); the maximal one within the
         // cap is 15.
-        let c = ctl(&[10; 80], 0.8);
-        let (k, _) = opt_io_cpu(&req(131.25, 30), &c);
+        let mut c = ctl(&[10; 80], 0.8);
+        let (k, _) = opt_io_cpu(&req(131.25, 30), &mut c);
         assert_eq!(k, 15);
         // At even hotter CPUs the cap falls below 14: overflow minimized
         // within the cap instead.
-        let c2 = ctl(&[10; 80], 0.95);
-        let (k2, _) = opt_io_cpu(&req(131.25, 30), &c2);
+        let mut c2 = ctl(&[10; 80], 0.95);
+        let (k2, _) = opt_io_cpu(&req(131.25, 30), &mut c2);
         assert!(k2 <= 5, "cap = pmu_cpu(30, 0.95) = {k2}");
     }
 
     #[test]
     fn opt_io_cpu_picks_max_avoiding_within_cap() {
         // Idle CPUs: cap = 30. Many k avoid I/O; choose the largest ≤ 30.
-        let c = ctl(&[50; 80], 0.0);
-        let (k, _) = opt_io_cpu(&req(131.25, 30), &c);
+        let mut c = ctl(&[50; 80], 0.0);
+        let (k, _) = opt_io_cpu(&req(131.25, 30), &mut c);
         assert_eq!(k, 30);
     }
 
     #[test]
     fn opt_io_cpu_minimizes_overflow_when_unavoidable() {
         // cap = pmu_cpu(4, 0.9) = 4·(1−0.729) = 1.08 → 1.
-        let c = ctl(&[8, 1, 0, 0], 0.9);
-        let (k, nodes) = opt_io_cpu(&req(10.0, 4), &c);
+        let mut c = ctl(&[8, 1, 0, 0], 0.9);
+        let (k, nodes) = opt_io_cpu(&req(10.0, 4), &mut c);
         assert_eq!(k, 1);
         assert_eq!(nodes, vec![0]);
     }
@@ -274,8 +276,8 @@ mod tests {
         // Nothing avoids I/O (need 1000); equal nodes → equal per-k
         // overflow? No: overflow shrinks with k here (more memory in
         // total), so max k within cap wins.
-        let c = ctl(&[5; 40], 0.0);
-        let (k, _) = opt_io_cpu(&req(1000.0, 20), &c);
+        let mut c = ctl(&[5; 40], 0.0);
+        let (k, _) = opt_io_cpu(&req(1000.0, 20), &mut c);
         assert_eq!(k, 20, "cap = psu_opt at idle CPU");
     }
 
@@ -293,27 +295,27 @@ mod tests {
     fn degree_cap_tightens_every_integrated_policy() {
         // Uncapped, 131.25 pages over 50-page nodes: MIN-IO picks 3,
         // MIN-IO-SUOPT picks psu_opt = 30, OPT-IO-CPU picks 30.
-        let c = ctl(&[50; 80], 0.0);
+        let mut c = ctl(&[50; 80], 0.0);
         let capped = JoinRequest {
             degree_cap: 2,
             ..req(131.25, 30)
         };
         // No k ≤ 2 avoids I/O (2·50 = 100 < 131.25): all three minimize
         // overflow within the cap instead of exceeding it.
-        let (k, nodes) = min_io(&capped, &c);
+        let (k, nodes) = min_io(&capped, &mut c);
         assert!(k <= 2, "MIN-IO capped: {k}");
         assert_eq!(nodes.len(), k as usize);
-        let (k, _) = min_io_suopt(&capped, &c);
+        let (k, _) = min_io_suopt(&capped, &mut c);
         assert!(k <= 2, "MIN-IO-SUOPT capped: {k}");
-        let (k, _) = opt_io_cpu(&capped, &c);
+        let (k, _) = opt_io_cpu(&capped, &mut c);
         assert!(k <= 2, "OPT-IO-CPU capped: {k}");
         // A cap above the avoiding selection leaves decisions unchanged.
         let loose = JoinRequest {
             degree_cap: 40,
             ..req(131.25, 30)
         };
-        assert_eq!(min_io(&loose, &c).0, 3);
-        assert_eq!(min_io_suopt(&loose, &c).0, 30);
+        assert_eq!(min_io(&loose, &mut c).0, 3);
+        assert_eq!(min_io_suopt(&loose, &mut c).0, 30);
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub mod select;
 pub mod strategy;
 
 pub use broker::{CentralBroker, ResourceBroker};
-pub use control::{ControlNode, DataLocality, NodeState};
+pub use control::{ControlNode, DataLocality, NodeState, Ranked, ReadMode, TopK};
 pub use costmodel::{AdmissionEstimate, CostModel, CostParams, JoinProfile};
 pub use degree::DegreePolicy;
 pub use policy::{

@@ -129,7 +129,7 @@ pub trait PlacementPolicy {
     /// with the refreshed control state, which carries the full per-node
     /// resource vectors (`ControlNode::util` / `avg` / `bottleneck`).
     /// Policies that adapt over time observe the refreshed state here.
-    fn on_report(&mut self, _ctl: &ControlNode) {}
+    fn on_report(&mut self, _ctl: &mut ControlNode) {}
 
     /// How often this policy changed its behaviour mid-run (adaptive
     /// controllers); 0 for stateless policies.
@@ -219,10 +219,12 @@ impl PlacementPolicy for CoordinatorPolicy {
         let in_range = |id: u32| id >= req.first && id < req.first + count;
         let node = match self.kind {
             CoordPolicyKind::Random => req.first + rng.below(count as u64) as u32,
+            // The ranked iterators walk the maintained index head-first:
+            // an unrestricted request resolves in O(log n) instead of a
+            // full sort + allocation per placement.
             CoordPolicyKind::LeastCpu => {
                 let pick = ctl
-                    .by_cpu()
-                    .into_iter()
+                    .ranked_cpu()
                     .find(|&(id, _)| in_range(id))
                     .map(|(id, _)| id)
                     .unwrap_or(req.first);
@@ -233,8 +235,7 @@ impl PlacementPolicy for CoordinatorPolicy {
             }
             CoordPolicyKind::LeastMem => {
                 let pick = ctl
-                    .avail_memory()
-                    .into_iter()
+                    .ranked_memory()
                     .find(|&(id, _)| in_range(id))
                     .map(|(id, _)| id)
                     .unwrap_or(req.first);
@@ -243,8 +244,7 @@ impl PlacementPolicy for CoordinatorPolicy {
             }
             CoordPolicyKind::LeastBottleneck => {
                 let pick = ctl
-                    .by_bottleneck()
-                    .into_iter()
+                    .ranked_bottleneck()
                     .find(|&(id, _)| in_range(id))
                     .map(|(id, _)| id)
                     .unwrap_or(req.first);
@@ -333,7 +333,7 @@ impl AdaptiveController {
         self.current
     }
 
-    fn desired(&self, ctl: &ControlNode) -> Strategy {
+    fn desired(&self, ctl: &mut ControlNode) -> Strategy {
         // Every signal is read through the generic per-kind accessors:
         // adding a resource to the controller's decision is one more
         // `ctl.avg(kind)` comparison, not a new plumbing path.
@@ -356,7 +356,7 @@ impl AdaptiveController {
         }
         if let Some(table_pages) = self.last_table_pages {
             let avail = ctl.avail_memory();
-            if crate::integrated::min_k_avoiding_io(&avail, table_pages).is_none() {
+            if crate::integrated::min_k_avoiding_io(avail, table_pages).is_none() {
                 return Strategy::MinIoSuopt;
             }
         }
@@ -384,7 +384,7 @@ impl PlacementPolicy for AdaptiveController {
         PlacementPolicy::place(&mut self.current, req, ctl, rng)
     }
 
-    fn on_report(&mut self, ctl: &ControlNode) {
+    fn on_report(&mut self, ctl: &mut ControlNode) {
         self.rounds_since_switch = self.rounds_since_switch.saturating_add(1);
         if self.rounds_since_switch < self.cfg.min_rounds_between_switches {
             return;
@@ -557,19 +557,19 @@ mod tests {
         assert!(matches!(a.current(), Strategy::Isolated { .. }));
 
         // CPU heats up → controller switches to OPT-IO-CPU.
-        let hot = ctl(8, 0.8, 50);
-        a.on_report(&hot);
+        let mut hot = ctl(8, 0.8, 50);
+        a.on_report(&mut hot);
         assert_eq!(a.current(), Strategy::OptIoCpu);
         assert_eq!(a.switches(), 1);
 
         // Cooling into the hysteresis band does NOT switch back…
-        let warm = ctl(8, 0.45, 50);
-        a.on_report(&warm);
+        let mut warm = ctl(8, 0.45, 50);
+        a.on_report(&mut warm);
         assert_eq!(a.current(), Strategy::OptIoCpu, "hysteresis holds");
 
         // …but a clear cool-down does.
-        let cool = ctl(8, 0.2, 50);
-        a.on_report(&cool);
+        let mut cool = ctl(8, 0.2, 50);
+        a.on_report(&mut cool);
         assert!(matches!(a.current(), Strategy::Isolated { .. }));
         assert_eq!(a.switches(), 2);
     }
@@ -588,7 +588,7 @@ mod tests {
             &mut starved,
             &mut rng,
         );
-        a.on_report(&starved);
+        a.on_report(&mut starved);
         assert_eq!(a.current(), Strategy::MinIoSuopt);
     }
 
@@ -614,9 +614,9 @@ mod tests {
             }
             c
         };
-        a.on_report(&disk(0.9));
+        a.on_report(&mut disk(0.9));
         assert_eq!(a.current(), Strategy::MinIoSuopt);
-        a.on_report(&disk(0.1));
+        a.on_report(&mut disk(0.1));
         assert!(matches!(a.current(), Strategy::Isolated { .. }));
     }
 
@@ -652,11 +652,11 @@ mod tests {
             min_rounds_between_switches: 3,
             ..AdaptiveConfig::default()
         });
-        let hot = ctl(4, 0.9, 50);
-        a.on_report(&hot);
-        a.on_report(&hot);
+        let mut hot = ctl(4, 0.9, 50);
+        a.on_report(&mut hot);
+        a.on_report(&mut hot);
         assert_eq!(a.switches(), 0, "too early to switch");
-        a.on_report(&hot);
+        a.on_report(&mut hot);
         assert_eq!(a.switches(), 1);
     }
 }

@@ -60,25 +60,17 @@ impl SelectPolicy {
                 .into_iter()
                 .map(|i| i as u32)
                 .collect(),
-            SelectPolicy::Luc => ctl.by_cpu().into_iter().take(p).map(|(i, _)| i).collect(),
-            SelectPolicy::Lum => ctl
-                .avail_memory()
-                .into_iter()
-                .take(p)
-                .map(|(i, _)| i)
-                .collect(),
+            // The ranked iterators read the head of the maintained index
+            // lazily: O(log n + p), no allocation beyond the result.
+            SelectPolicy::Luc => ctl.ranked_cpu().take(p).map(|(i, _)| i).collect(),
+            SelectPolicy::Lum => ctl.ranked_memory().take(p).map(|(i, _)| i).collect(),
             SelectPolicy::DataLocal => ctl
                 .by_local_data(inner_rel)
                 .into_iter()
                 .take(p)
                 .map(|(i, _)| i)
                 .collect(),
-            SelectPolicy::Lub => ctl
-                .by_bottleneck()
-                .into_iter()
-                .take(p)
-                .map(|(i, _)| i)
-                .collect(),
+            SelectPolicy::Lub => ctl.ranked_bottleneck().take(p).map(|(i, _)| i).collect(),
         };
         if !matches!(self, SelectPolicy::Random) {
             ctl.note_assignment(&nodes, pages_per_node);

@@ -137,10 +137,10 @@ impl Strategy {
     }
 
     /// The concrete policy Adaptive delegates to under the current state.
-    pub fn adaptive_choice(&self, req: &JoinRequest, ctl: &ControlNode) -> Strategy {
+    pub fn adaptive_choice(&self, req: &JoinRequest, ctl: &mut ControlNode) -> Strategy {
         let cpu = ctl.avg_cpu();
         let avail = ctl.avail_memory();
-        let no_io_possible = integrated::min_k_avoiding_io(&avail, req.table_pages).is_some();
+        let no_io_possible = integrated::min_k_avoiding_io(avail, req.table_pages).is_some();
         if cpu > 0.5 {
             // CPU (or CPU+memory) bottleneck: cap parallelism by CPU.
             Strategy::OptIoCpu
@@ -420,27 +420,27 @@ mod tests {
 
     #[test]
     fn adaptive_picks_opt_io_cpu_when_hot() {
-        let c = ctl(8, 0.8, 50);
+        let mut c = ctl(8, 0.8, 50);
         assert_eq!(
-            Strategy::Adaptive.adaptive_choice(&req(), &c),
+            Strategy::Adaptive.adaptive_choice(&req(), &mut c),
             Strategy::OptIoCpu
         );
     }
 
     #[test]
     fn adaptive_picks_min_io_suopt_when_memory_bound() {
-        let c = ctl(8, 0.1, 5); // 8·5 = 40 < 131.25: no selection avoids I/O
+        let mut c = ctl(8, 0.1, 5); // 8·5 = 40 < 131.25: no selection avoids I/O
         assert_eq!(
-            Strategy::Adaptive.adaptive_choice(&req(), &c),
+            Strategy::Adaptive.adaptive_choice(&req(), &mut c),
             Strategy::MinIoSuopt
         );
     }
 
     #[test]
     fn adaptive_defaults_to_isolated_dynamic() {
-        let c = ctl(8, 0.1, 50);
+        let mut c = ctl(8, 0.1, 50);
         assert!(matches!(
-            Strategy::Adaptive.adaptive_choice(&req(), &c),
+            Strategy::Adaptive.adaptive_choice(&req(), &mut c),
             Strategy::Isolated { .. }
         ));
     }

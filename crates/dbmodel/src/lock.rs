@@ -10,9 +10,10 @@
 //! central detector (see [`crate::deadlock`]) consumes the union of
 //! [`LockManager::wait_edges`] across PEs.
 
+use simkit::fxhash::FxHashMap;
 use simkit::SimTime;
 use std::collections::hash_map::Entry as MapEntry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Identity of a transaction for locking: globally unique id plus its birth
 /// time (used by the youngest-victim abort policy).
@@ -52,9 +53,14 @@ struct LockEntry {
 /// Per-PE lock table.
 #[derive(Debug, Default)]
 pub struct LockManager {
-    table: HashMap<u64, LockEntry>,
+    table: FxHashMap<u64, LockEntry>,
     /// object ids held per txn, for O(held) release.
-    held_by: HashMap<u64, Vec<u64>>,
+    held_by: FxHashMap<u64, Vec<u64>>,
+    /// Waiters currently enqueued across all entries. Lets `release_all`
+    /// skip its whole-table abandoned-wait sweep in the common
+    /// no-contention commit, where the sweep would visit every bucket
+    /// just to find nothing.
+    waiting: usize,
     grants: u64,
     waits: u64,
 }
@@ -96,6 +102,7 @@ impl LockManager {
                         return LockOutcome::Granted;
                     }
                     entry.waiters.push_back((txn, LockMode::Exclusive));
+                    self.waiting += 1;
                     self.waits += 1;
                     return LockOutcome::Waiting;
                 }
@@ -109,18 +116,25 @@ impl LockManager {
             LockOutcome::Granted
         } else {
             entry.waiters.push_back((txn, mode));
+            self.waiting += 1;
             self.waits += 1;
             LockOutcome::Waiting
         }
     }
 
-    fn promote_waiters(entry: &mut LockEntry, granted: &mut Vec<(TxnToken, u64)>, object: u64) {
+    fn promote_waiters(
+        entry: &mut LockEntry,
+        waiting: &mut usize,
+        granted: &mut Vec<(TxnToken, u64)>,
+        object: u64,
+    ) {
         while let Some(&(txn, mode)) = entry.waiters.front() {
             // Upgrade case: waiter already holds shared and is alone.
             if let Some(pos) = entry.holders.iter().position(|(t, _)| t.id == txn.id) {
                 if entry.holders.len() == 1 && mode == LockMode::Exclusive {
                     entry.holders[pos].1 = LockMode::Exclusive;
                     entry.waiters.pop_front();
+                    *waiting -= 1;
                     granted.push((txn, object));
                     continue;
                 }
@@ -132,6 +146,7 @@ impl LockManager {
             }
             entry.holders.push((txn, mode));
             entry.waiters.pop_front();
+            *waiting -= 1;
             granted.push((txn, object));
         }
     }
@@ -150,7 +165,7 @@ impl LockManager {
         }
         if let Some(entry) = self.table.get_mut(&object) {
             entry.holders.retain(|(t, _)| t.id != txn.id);
-            Self::promote_waiters(entry, &mut granted, object);
+            Self::promote_waiters(entry, &mut self.waiting, &mut granted, object);
             if entry.holders.is_empty() && entry.waiters.is_empty() {
                 self.table.remove(&object);
             }
@@ -173,20 +188,25 @@ impl LockManager {
                 continue;
             };
             entry.holders.retain(|(t, _)| t.id != txn.id);
-            Self::promote_waiters(entry, &mut granted, object);
+            Self::promote_waiters(entry, &mut self.waiting, &mut granted, object);
             if entry.holders.is_empty() && entry.waiters.is_empty() {
                 self.table.remove(&object);
             }
         }
-        // Drop any outstanding waits of this txn (abort path).
-        self.table.retain(|object, entry| {
-            let before = entry.waiters.len();
-            entry.waiters.retain(|(t, _)| t.id != txn.id);
-            if entry.waiters.len() != before {
-                Self::promote_waiters(entry, &mut granted, *object);
-            }
-            !(entry.holders.is_empty() && entry.waiters.is_empty())
-        });
+        // Drop any outstanding waits of this txn (abort path). With no
+        // waiters anywhere the sweep cannot find anything — skip it.
+        if self.waiting > 0 {
+            let waiting = &mut self.waiting;
+            self.table.retain(|object, entry| {
+                let before = entry.waiters.len();
+                entry.waiters.retain(|(t, _)| t.id != txn.id);
+                if entry.waiters.len() != before {
+                    *waiting -= before - entry.waiters.len();
+                    Self::promote_waiters(entry, waiting, &mut granted, *object);
+                }
+                !(entry.holders.is_empty() && entry.waiters.is_empty())
+            });
+        }
         for (t, o) in &granted {
             self.held_by.entry(t.id).or_default().push(*o);
             self.grants += 1;

@@ -35,9 +35,36 @@ pub struct Fragment {
 }
 
 /// The fragments of one relation, in fragment-index order.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RelationPlacement {
     fragments: Vec<Fragment>,
+    /// Derived cache: `tuples_by_pe[pe]` = tuples homed at `pe`. OLTP
+    /// affinity routing asks [`RelationPlacement::tuples_at`] several
+    /// times per transaction; a linear scan over 1000+ fragments there
+    /// dominated the whole event loop at thousand-PE scale. Rebuilt at
+    /// construction and patched on [`PartitionMap::move_fragment`];
+    /// empty (e.g. after deserialization) falls back to the scan.
+    #[serde(skip)]
+    tuples_by_pe: Vec<u64>,
+}
+
+/// Equality is over the fragments only: the per-PE cache is derived
+/// state (and absent on deserialized values).
+impl PartialEq for RelationPlacement {
+    fn eq(&self, other: &Self) -> bool {
+        self.fragments == other.fragments
+    }
+}
+
+impl Eq for RelationPlacement {}
+
+fn tuples_by_pe(fragments: &[Fragment]) -> Vec<u64> {
+    let len = fragments.iter().map(|f| f.pe + 1).max().unwrap_or(0);
+    let mut v = vec![0u64; len as usize];
+    for f in fragments {
+        v[f.pe as usize] += f.tuples;
+    }
+    v
 }
 
 /// Zipf weights `1/i^theta` for `i = 1..=k`, normalized to sum 1.
@@ -57,14 +84,14 @@ impl RelationPlacement {
         assert!(pe_count >= 1, "placement needs at least one PE");
         let n = pe_count as u64;
         let (base, extra) = (tuples / n, tuples % n);
-        RelationPlacement {
-            fragments: (0..pe_count)
+        RelationPlacement::from_fragments(
+            (0..pe_count)
                 .map(|i| Fragment {
                     pe: first_pe + i,
                     tuples: base + u64::from((i as u64) < extra),
                 })
                 .collect(),
-        }
+        )
     }
 
     /// Skewed declustering: `fragment_count` fragments with Zipf(`theta`)
@@ -92,14 +119,14 @@ impl RelationPlacement {
             // identical to `uniform` when k == pe_count.
             let n = k as u64;
             let (base, extra) = (tuples / n, tuples % n);
-            return RelationPlacement {
-                fragments: (0..k)
+            return RelationPlacement::from_fragments(
+                (0..k)
                     .map(|i| Fragment {
                         pe: home(i),
                         tuples: base + u64::from((i as u64) < extra),
                     })
                     .collect(),
-            };
+            );
         }
         let weights = zipf_weights(k, theta);
         let mut fragments = Vec::with_capacity(k as usize);
@@ -119,7 +146,15 @@ impl RelationPlacement {
             fragments.last_mut().expect("k >= 1").tuples += tuples - assigned;
         }
         debug_assert_eq!(fragments.iter().map(|f| f.tuples).sum::<u64>(), tuples);
-        RelationPlacement { fragments }
+        RelationPlacement::from_fragments(fragments)
+    }
+
+    fn from_fragments(fragments: Vec<Fragment>) -> RelationPlacement {
+        let tuples_by_pe = tuples_by_pe(&fragments);
+        RelationPlacement {
+            fragments,
+            tuples_by_pe,
+        }
     }
 
     /// The fragments, in fragment-index order.
@@ -148,12 +183,18 @@ impl RelationPlacement {
     }
 
     /// Tuples currently homed at `pe` (sum over co-resident fragments).
+    /// O(1) via the derived per-PE cache; the scan fallback only runs on
+    /// deserialized values that never saw a constructor.
     pub fn tuples_at(&self, pe: u32) -> u64 {
-        self.fragments
-            .iter()
-            .filter(|f| f.pe == pe)
-            .map(|f| f.tuples)
-            .sum()
+        if self.tuples_by_pe.is_empty() && !self.fragments.is_empty() {
+            return self
+                .fragments
+                .iter()
+                .filter(|f| f.pe == pe)
+                .map(|f| f.tuples)
+                .sum();
+        }
+        self.tuples_by_pe.get(pe as usize).copied().unwrap_or(0)
     }
 
     /// Distinct home PEs in first-appearance (fragment-index) order: the
@@ -229,9 +270,21 @@ impl PartitionMap {
     /// returning the moved tuple count. Sizes are untouched, so the
     /// relation total is preserved by construction.
     pub fn move_fragment(&mut self, rel: u32, fragment: u32, to: u32) -> u64 {
-        let f = &mut self.rels[rel as usize].fragments[fragment as usize];
+        let rp = &mut self.rels[rel as usize];
+        let f = &mut rp.fragments[fragment as usize];
+        let from = f.pe;
         f.pe = to;
-        f.tuples
+        let tuples = f.tuples;
+        if rp.tuples_by_pe.is_empty() {
+            rp.tuples_by_pe = tuples_by_pe(&rp.fragments);
+        } else {
+            rp.tuples_by_pe[from as usize] -= tuples;
+            if rp.tuples_by_pe.len() <= to as usize {
+                rp.tuples_by_pe.resize(to as usize + 1, 0);
+            }
+            rp.tuples_by_pe[to as usize] += tuples;
+        }
+        tuples
     }
 
     /// Per-node tuple counts of every relation: `out[rel][pe]`. This is

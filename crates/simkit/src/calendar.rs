@@ -1,0 +1,359 @@
+//! Calendar-queue future event list (Brown 1988).
+//!
+//! A bucketed timing wheel: events hash into `nbuckets` "days" by
+//! `(time / width) % nbuckets`; one lap of the wheel is a "year" of
+//! `nbuckets · width` nanoseconds. With the width tracking the average
+//! inter-event gap (re-estimated at every resize), each day holds O(1)
+//! events of the current year, so `push` is O(1) and `pop` is expected
+//! O(1) — against O(log n) for the binary heap — at the cost of a full
+//! scan fallback when the queue goes sparse.
+//!
+//! The queue implements the **same total order and API contract** as
+//! [`crate::EventHeap`]: events pop in `(time, seq)` order, with `seq`
+//! assigned at scheduling time (deterministic FIFO tie-breaking), and
+//! scheduling before the causality watermark panics identically. The
+//! dispatch loop peeks before every pop, so the current minimum is cached:
+//! `peek` is O(1), and the day scan runs once per pop, not twice.
+//! `crates/bench/benches/event_queue.rs` races the two implementations;
+//! `tests/perf_parity.rs` proves whole-run Summaries are byte-identical.
+
+use crate::time::SimTime;
+
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+/// Location + key of the current minimum (always valid while `len > 0`:
+/// pushes only append, and pops recompute it).
+#[derive(Clone, Copy)]
+struct MinLoc {
+    time: SimTime,
+    seq: u64,
+    bucket: usize,
+    slot: usize,
+}
+
+const MIN_BUCKETS: usize = 16;
+
+/// Min-ordered future event list over a bucketed timing wheel.
+pub struct CalendarQueue<T> {
+    /// `buckets.len()` is a power of two; entries of *any* year share a
+    /// day, and the scan filters by the current year.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// Bucket width in nanoseconds (≥ 1).
+    width: u64,
+    len: usize,
+    next_seq: u64,
+    last_popped: SimTime,
+    /// Virtual day of the watermark (`last_popped / width`): no live event
+    /// hashes below it, so scans start here.
+    cur_day: u64,
+    cached_min: Option<MinLoc>,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            width: 1024,
+            len: 0,
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+            cur_day: 0,
+            cached_min: None,
+        }
+    }
+
+    /// Capacity is a hint for the initial wheel size; buckets still grow
+    /// and shrink with the live event count.
+    pub fn with_capacity(cap: usize) -> Self {
+        let n = cap.next_power_of_two().clamp(MIN_BUCKETS, 1 << 20);
+        CalendarQueue {
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            width: 1024,
+            len: 0,
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+            cur_day: 0,
+            cached_min: None,
+        }
+    }
+
+    fn day_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() / self.width
+    }
+
+    fn bucket_of(&self, t: SimTime) -> usize {
+        (self.day_of(t) & (self.buckets.len() as u64 - 1)) as usize
+    }
+
+    /// Schedule `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` lies before the time of the most recently popped
+    /// event: scheduling into the past would silently corrupt causality.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        assert!(
+            time >= self.last_popped,
+            "event scheduled in the past: {} < {}",
+            time,
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let b = self.bucket_of(time);
+        let slot = self.buckets[b].len();
+        self.buckets[b].push(Entry { time, seq, payload });
+        self.len += 1;
+        // A later seq never displaces an equal-time cached minimum (FIFO).
+        if self
+            .cached_min
+            .is_none_or(|m| (time, seq) < (m.time, m.seq))
+        {
+            self.cached_min = Some(MinLoc {
+                time,
+                seq,
+                bucket: b,
+                slot,
+            });
+        }
+        if self.len > 2 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// Pop the earliest event, advancing the internal causality watermark.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let min = self.cached_min?;
+        let e = self.buckets[min.bucket].swap_remove(min.slot);
+        debug_assert!(e.time >= self.last_popped);
+        self.len -= 1;
+        self.last_popped = e.time;
+        self.cur_day = self.day_of(e.time);
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.resize(self.buckets.len() / 2); // recomputes the minimum
+        } else {
+            self.recompute_min();
+        }
+        Some((e.time, e.payload))
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.cached_min.map(|m| m.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events ever scheduled (the next sequence number).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Find the new minimum: walk days from the watermark, scanning each
+    /// day's bucket filtered to that year — expected O(1) at design load
+    /// (≈1 event per day). After one empty lap the queue is sparse
+    /// relative to the wheel: fall back to a full scan.
+    fn recompute_min(&mut self) {
+        self.cached_min = None;
+        if self.len == 0 {
+            return;
+        }
+        let mask = self.buckets.len() as u64 - 1;
+        for day in self.cur_day..self.cur_day + self.buckets.len() as u64 {
+            let b = (day & mask) as usize;
+            let mut best: Option<MinLoc> = None;
+            for (slot, e) in self.buckets[b].iter().enumerate() {
+                if e.time.as_nanos() / self.width == day
+                    && best.is_none_or(|m| (e.time, e.seq) < (m.time, m.seq))
+                {
+                    best = Some(MinLoc {
+                        time: e.time,
+                        seq: e.seq,
+                        bucket: b,
+                        slot,
+                    });
+                }
+            }
+            if best.is_some() {
+                self.cached_min = best;
+                return;
+            }
+        }
+        let mut best: Option<MinLoc> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            for (slot, e) in bucket.iter().enumerate() {
+                if best.is_none_or(|m| (e.time, e.seq) < (m.time, m.seq)) {
+                    best = Some(MinLoc {
+                        time: e.time,
+                        seq: e.seq,
+                        bucket: b,
+                        slot,
+                    });
+                }
+            }
+        }
+        self.cached_min = best;
+    }
+
+    /// Rebuild the wheel with `nbuckets` days and a width re-estimated
+    /// from the live span (amortized O(1) per push/pop: rebuilds happen on
+    /// power-of-two crossings only).
+    fn resize(&mut self, nbuckets: usize) {
+        let nbuckets = nbuckets.max(MIN_BUCKETS);
+        let mut entries: Vec<Entry<T>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        if !entries.is_empty() {
+            let min = entries.iter().map(|e| e.time.as_nanos()).min().unwrap_or(0);
+            let max = entries.iter().map(|e| e.time.as_nanos()).max().unwrap_or(0);
+            // ≈4 live events per day of the year that spans the queue;
+            // clamped so degenerate spans (all ties) stay serviceable.
+            self.width = ((max - min) * 4 / entries.len() as u64).max(1);
+        }
+        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        self.cur_day = self.last_popped.as_nanos() / self.width;
+        for e in entries {
+            let b = self.bucket_of(e.time);
+            self.buckets[b].push(e);
+        }
+        self.recompute_min();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::EventHeap;
+    use crate::time::SimDur;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(30), "c");
+        q.push(SimTime(10), "a");
+        q.push(SimTime(20), "b");
+        assert_eq!(q.pop().unwrap(), (SimTime(10), "a"));
+        assert_eq!(q.pop().unwrap(), (SimTime(20), "b"));
+        assert_eq!(q.pop().unwrap(), (SimTime(30), "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = CalendarQueue::new();
+        let t = SimTime(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(10), ());
+        q.pop();
+        q.push(SimTime(9), ());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::ZERO + SimDur::from_millis(3), 1u8);
+        q.push(SimTime::ZERO + SimDur::from_millis(1), 2u8);
+        assert_eq!(q.peek_time(), Some(SimTime(1_000_000)));
+        assert_eq!(q.pop().unwrap().0, SimTime(1_000_000));
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = CalendarQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime(1), ());
+        q.push(SimTime(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn survives_growth_and_sparse_tails() {
+        // Push far more events than the initial wheel, then drain dry:
+        // exercises grow, shrink, the year filter, and the sparse
+        // fallback (huge gap at the end).
+        let mut q = CalendarQueue::new();
+        for i in 0..500u64 {
+            q.push(SimTime(i * 37 % 1009), i);
+        }
+        q.push(SimTime(1_000_000_000), 999);
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut popped = 0;
+        while let Some((t, i)) = q.pop() {
+            assert!(t > last.0 || (t == last.0 && i > last.1) || popped == 0);
+            last = (t, i);
+            popped += 1;
+        }
+        assert_eq!(popped, 501);
+        assert_eq!(last, (SimTime(1_000_000_000), 999));
+    }
+
+    proptest! {
+        /// Interleaved pushes and pops must replay the reference heap
+        /// exactly — same times, same payload order on ties.
+        #[test]
+        fn prop_matches_event_heap(
+            ops in proptest::collection::vec((0u64..3, 0u64..10_000), 1..400),
+        ) {
+            let mut cal = CalendarQueue::new();
+            let mut heap = EventHeap::new();
+            let mut clock = SimTime::ZERO;
+            for (i, &(op, dt)) in ops.iter().enumerate() {
+                if op == 0 {
+                    // Pop from both (pushes outnumber pops 2:1).
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(a.is_some(), b.is_some());
+                    if let (Some((ta, pa)), Some((tb, pb))) = (a, b) {
+                        prop_assert_eq!(ta, tb);
+                        prop_assert_eq!(pa, pb);
+                        clock = ta;
+                    }
+                } else {
+                    let t = clock + crate::time::SimDur::from_nanos(dt);
+                    cal.push(t, i);
+                    heap.push(t, i);
+                }
+                prop_assert_eq!(cal.len(), heap.len());
+                prop_assert_eq!(cal.peek_time(), heap.peek_time());
+            }
+            // Drain both dry.
+            while let (Some(a), Some(b)) = (cal.pop(), heap.pop()) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1, b.1);
+            }
+            prop_assert!(cal.is_empty() && heap.is_empty());
+        }
+    }
+}

@@ -16,12 +16,54 @@
 //! rest of their state freely while scheduling; the dispatcher only ever
 //! touches the queue between handler invocations.
 
+use crate::calendar::CalendarQueue;
 use crate::heap::EventHeap;
 use crate::time::{SimDur, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which future-event-list implementation backs an [`EventQueue`].
+///
+/// Both implement the identical `(time, seq)` total order, so whole-run
+/// results are bit-identical regardless of the choice; only the cost
+/// profile differs (O(log n) heap ops vs. expected-O(1) calendar ops).
+/// `tests/perf_parity.rs` enforces the equivalence on the scenario corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// Binary heap ([`EventHeap`]): O(log n), branch-predictable, compact.
+    #[default]
+    BinaryHeap,
+    /// Bucketed timing wheel ([`CalendarQueue`]): expected O(1) push/pop
+    /// when the live event count tracks the wheel size.
+    Calendar,
+}
+
+/// The future event list behind an [`EventQueue`].
+enum Fel<E> {
+    Heap(EventHeap<E>),
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> Fel<E> {
+    #[inline]
+    fn push(&mut self, t: SimTime, ev: E) {
+        match self {
+            Fel::Heap(h) => h.push(t, ev),
+            Fel::Calendar(c) => c.push(t, ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            Fel::Heap(h) => h.pop(),
+            Fel::Calendar(c) => c.pop(),
+        }
+    }
+}
 
 /// Future event list + clock for one simulation.
 pub struct EventQueue<E> {
-    heap: EventHeap<E>,
+    fel: Fel<E>,
     now: SimTime,
     processed: u64,
 }
@@ -34,18 +76,32 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
+        Self::with_kind(QueueKind::default(), 0)
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self::with_kind(QueueKind::default(), cap)
+    }
+
+    /// Build a queue backed by the chosen implementation. `cap` is a
+    /// capacity hint (heap) or an initial wheel-size hint (calendar).
+    pub fn with_kind(kind: QueueKind, cap: usize) -> Self {
+        let fel = match kind {
+            QueueKind::BinaryHeap => Fel::Heap(EventHeap::with_capacity(cap)),
+            QueueKind::Calendar => Fel::Calendar(CalendarQueue::with_capacity(cap)),
+        };
         EventQueue {
-            heap: EventHeap::new(),
+            fel,
             now: SimTime::ZERO,
             processed: 0,
         }
     }
 
-    pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: EventHeap::with_capacity(cap),
-            now: SimTime::ZERO,
-            processed: 0,
+    /// Which implementation backs this queue.
+    pub fn kind(&self) -> QueueKind {
+        match self.fel {
+            Fel::Heap(_) => QueueKind::BinaryHeap,
+            Fel::Calendar(_) => QueueKind::Calendar,
         }
     }
 
@@ -58,23 +114,26 @@ impl<E> EventQueue<E> {
     /// Schedule `ev` at absolute time `t` (must not lie in the past).
     #[inline]
     pub fn at(&mut self, t: SimTime, ev: E) {
-        self.heap.push(t, ev);
+        self.fel.push(t, ev);
     }
 
     /// Schedule `ev` at `now + delay`.
     #[inline]
     pub fn after(&mut self, delay: SimDur, ev: E) {
-        self.heap.push(self.now + delay, ev);
+        self.fel.push(self.now + delay, ev);
     }
 
     /// Time of the next pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek_time()
+        match &self.fel {
+            Fel::Heap(h) => h.peek_time(),
+            Fel::Calendar(c) => c.peek_time(),
+        }
     }
 
     /// Pop the next event, advancing the clock and the processed counter.
     pub fn pop_next(&mut self) -> Option<(SimTime, E)> {
-        let (t, ev) = self.heap.pop()?;
+        let (t, ev) = self.fel.pop()?;
         self.now = t;
         self.processed += 1;
         Some((t, ev))
@@ -92,11 +151,14 @@ impl<E> EventQueue<E> {
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.fel {
+            Fel::Heap(h) => h.len(),
+            Fel::Calendar(c) => c.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -204,6 +266,23 @@ mod tests {
         let n2 = Dispatcher::run_until(&mut sim, SimTime(60));
         assert_eq!(n2, 1);
         assert_eq!(sim.handled.last(), Some(&(50, 9)));
+    }
+
+    #[test]
+    fn calendar_backed_queue_replays_identically() {
+        let run = |kind: QueueKind| {
+            let mut sim = Ticker {
+                queue: EventQueue::with_kind(kind, 8),
+                handled: Vec::new(),
+                drains: 0,
+            };
+            sim.queue.at(SimTime(5), 0);
+            sim.queue.at(SimTime(5), 7);
+            sim.queue.at(SimTime(90), 9);
+            let n = Dispatcher::run_until(&mut sim, SimTime(100));
+            (n, sim.handled, sim.queue.processed())
+        };
+        assert_eq!(run(QueueKind::BinaryHeap), run(QueueKind::Calendar));
     }
 
     #[test]

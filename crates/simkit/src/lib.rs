@@ -5,7 +5,8 @@
 //! Parallel Database Systems", VLDB 1995*:
 //!
 //! * [`SimTime`] / [`SimDur`] — nanosecond-resolution simulated clock,
-//! * [`EventHeap`] — the future event list with deterministic tie-breaking,
+//! * [`EventHeap`] / [`CalendarQueue`] — future event lists with identical
+//!   deterministic tie-breaking, selectable per run via [`QueueKind`],
 //! * [`FcfsServer`] — queueing resources (CPUs, disks, NICs) with busy-time
 //!   accounting and optional two-level priorities,
 //! * [`SimRng`] — a seedable random source with the variates the workload
@@ -18,7 +19,9 @@
 //! built on top is single-threaded, and two runs with equal seeds produce
 //! bit-identical results.
 
+pub mod calendar;
 pub mod dispatch;
+pub mod fxhash;
 pub mod heap;
 pub mod lru;
 pub mod rng;
@@ -27,7 +30,9 @@ pub mod slab;
 pub mod stats;
 pub mod time;
 
-pub use dispatch::{Dispatcher, EventQueue, Simulation};
+pub use calendar::CalendarQueue;
+pub use dispatch::{Dispatcher, EventQueue, QueueKind, Simulation};
+pub use fxhash::{FxBuildHasher, FxHashMap};
 pub use heap::EventHeap;
 pub use lru::LruMap;
 pub use rng::SimRng;

@@ -5,7 +5,7 @@
 //! a `HashMap` provides O(1) key lookup. Eviction returns the victim so the
 //! caller can model write-back of dirty pages.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 use std::hash::Hash;
 
 const NIL: u32 = u32::MAX;
@@ -19,7 +19,7 @@ struct Node<K, V> {
 
 /// Fixed-capacity LRU map.
 pub struct LruMap<K, V> {
-    map: HashMap<K, u32>,
+    map: FxHashMap<K, u32>,
     nodes: Vec<Node<K, V>>,
     free: Vec<u32>,
     head: u32, // most recent
@@ -32,7 +32,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "LRU capacity must be positive");
         LruMap {
-            map: HashMap::with_capacity(capacity + 1),
+            map: FxHashMap::with_capacity_and_hasher(capacity + 1, Default::default()),
             nodes: Vec::with_capacity(capacity.min(1 << 20)),
             free: Vec::new(),
             head: NIL,
@@ -88,8 +88,10 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     /// Look up `key`, marking it most-recently-used on hit.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         let idx = *self.map.get(key)?;
-        self.detach(idx);
-        self.attach_front(idx);
+        if self.head != idx {
+            self.detach(idx);
+            self.attach_front(idx);
+        }
         self.nodes[idx as usize].value.as_ref()
     }
 
@@ -102,8 +104,10 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     /// Mutable lookup, marking MRU on hit.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
         let idx = *self.map.get(key)?;
-        self.detach(idx);
-        self.attach_front(idx);
+        if self.head != idx {
+            self.detach(idx);
+            self.attach_front(idx);
+        }
         self.nodes[idx as usize].value.as_mut()
     }
 
@@ -118,8 +122,10 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     /// old value is dropped — page contents are not modelled).
     pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
         if let Some(&idx) = self.map.get(&key) {
-            self.detach(idx);
-            self.attach_front(idx);
+            if self.head != idx {
+                self.detach(idx);
+                self.attach_front(idx);
+            }
             self.nodes[idx as usize].value = Some(value);
             return None;
         }

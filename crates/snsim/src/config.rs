@@ -6,9 +6,9 @@ use dbmodel::placement::RelationPlacement;
 use engine::EngineConfig;
 use hardware::HardwareParams;
 use lb_core::costmodel::CostParams;
-use lb_core::{CentralBroker, PolicyConfig, RebalanceConfig, ResourceBroker, Strategy};
+use lb_core::{CentralBroker, PolicyConfig, ReadMode, RebalanceConfig, ResourceBroker, Strategy};
 use serde::{Deserialize, Serialize};
-use simkit::SimDur;
+use simkit::{QueueKind, SimDur};
 use workload::WorkloadSpec;
 
 /// The data-placement layer's configuration: how the join relations are
@@ -87,6 +87,21 @@ pub struct SimConfig {
     pub seed: u64,
     /// PE hosting the control node.
     pub control_pe: u32,
+    /// How the broker's control node serves ranking reads. Both modes
+    /// produce identical results; `SortPerCall` is the legacy baseline
+    /// kept for benchmarks and parity tests.
+    #[serde(default)]
+    pub broker_reads: ReadMode,
+    /// Which future-event-list implementation backs the run. Both obey
+    /// the same `(time, seq)` total order, so results are bit-identical.
+    #[serde(default)]
+    pub event_queue: QueueKind,
+    /// Worker threads for the per-PE sampling phase of each control tick
+    /// (0 or 1 = serial). The parallel phase only computes per-PE resource
+    /// vectors; reports merge serially in PE order, so results are
+    /// identical at any thread count.
+    #[serde(default)]
+    pub tick_threads: u32,
 }
 
 impl SimConfig {
@@ -122,6 +137,9 @@ impl SimConfig {
             warmup: SimDur::from_secs(10),
             seed: 0xC0FFEE,
             control_pe: 0,
+            broker_reads: ReadMode::default(),
+            event_queue: QueueKind::default(),
+            tick_threads: 0,
         }
     }
 
@@ -209,13 +227,33 @@ impl SimConfig {
     /// Build the resource broker this configuration describes: the central
     /// control node plus one placement policy per work class.
     pub fn build_broker(&self) -> Box<dyn ResourceBroker> {
-        Box::new(CentralBroker::from_config(
+        let mut broker = CentralBroker::from_config(
             self.n_pes as usize,
             self.luc_bump,
             self.buffer_pages,
             self.strategy,
             &self.policies,
-        ))
+        );
+        broker.set_read_mode(self.broker_reads);
+        Box::new(broker)
+    }
+
+    /// Select the control node's ranking-read implementation.
+    pub fn with_broker_reads(mut self, mode: ReadMode) -> SimConfig {
+        self.broker_reads = mode;
+        self
+    }
+
+    /// Select the future-event-list implementation.
+    pub fn with_event_queue(mut self, kind: QueueKind) -> SimConfig {
+        self.event_queue = kind;
+        self
+    }
+
+    /// Set the control-tick sampling thread count (0 or 1 = serial).
+    pub fn with_tick_threads(mut self, threads: u32) -> SimConfig {
+        self.tick_threads = threads;
+        self
     }
 
     pub fn with_sim_time(mut self, sim: SimDur, warmup: SimDur) -> SimConfig {

@@ -122,6 +122,9 @@ impl System {
 
     /// Execute queued engine actions against the hardware.
     pub(crate) fn drain_actions(&mut self) {
+        if self.actions.is_empty() {
+            return;
+        }
         let mut actions = std::mem::take(&mut self.actions);
         let mut i = 0;
         while i < actions.len() {

@@ -27,7 +27,10 @@ pub fn build_config(knobs: &Knobs) -> SimConfig {
             SimDur::from_secs_f64(knobs.sim_secs),
             SimDur::from_secs_f64(knobs.warmup_secs),
         )
-        .with_node_speed(knobs.node_speed.resolve(knobs.n_pes));
+        .with_node_speed(knobs.node_speed.resolve(knobs.n_pes))
+        .with_broker_reads(knobs.broker_reads)
+        .with_event_queue(knobs.event_queue)
+        .with_tick_threads(knobs.tick_threads);
     if let Some(policies) = knobs.policies {
         cfg = cfg.with_policies(policies);
     }

@@ -148,6 +148,15 @@ pub struct System {
     pub(crate) cpu_windows: Vec<UtilizationWindow>,
     pub(crate) disk_windows: Vec<UtilizationWindow>,
     pub(crate) net_windows: Vec<UtilizationWindow>,
+    /// Per-PE resource vectors staged by the sampling phase of each
+    /// control tick (serial or parallel), then merged into the broker in
+    /// PE order. Pre-sized to `n_pes`: the tick allocates nothing.
+    tick_scratch: Vec<ResourceVector>,
+    /// Jobs currently parked in MPL input queues, summed over all PEs.
+    /// Maintained at the two queue transitions (`try_admit` miss, `finish`
+    /// hand-off) so the per-arrival backlog watermark does not rescan
+    /// every PE — at 1000 PEs that scan dominated the arrival path.
+    queued_inputs: usize,
 
     pub(crate) rng_arrivals: Vec<SimRng>,
     pub(crate) rng_place: SimRng,
@@ -228,7 +237,7 @@ impl System {
         };
 
         let mut sys = System {
-            events: EventQueue::with_capacity(1 << 16),
+            events: EventQueue::with_kind(cfg.event_queue, 1 << 16),
             pes: (0..n)
                 .map(|i| {
                     Pe::new(
@@ -260,6 +269,8 @@ impl System {
             cpu_windows: vec![UtilizationWindow::default(); n],
             disk_windows: vec![UtilizationWindow::default(); n],
             net_windows: vec![UtilizationWindow::default(); n],
+            tick_scratch: vec![ResourceVector::default(); n],
+            queued_inputs: 0,
             rng_arrivals,
             rng_place: root.fork(1),
             rng_coord: root.fork(2),
@@ -425,6 +436,8 @@ impl System {
                         kind: InKind::Start,
                     },
                 ));
+            } else {
+                self.queued_inputs += 1;
             }
         }
         ready.clear();
@@ -435,6 +448,7 @@ impl System {
     /// queued on it, recording how long it waited.
     fn finish_coord_slot(&mut self, coord: PeId) {
         if let Some(next) = self.pes[coord as usize].finish() {
+            self.queued_inputs -= 1;
             let now = self.events.now();
             if let Some(Some(body)) = self.jobs.get(next) {
                 self.metrics.record_queue_wait(now - body.submitted(), now);
@@ -452,8 +466,11 @@ impl System {
     /// Watermark the backlog (admission queue + every MPL input queue).
     /// Called where the backlog can grow — on arrivals.
     fn note_backlog(&mut self) {
-        let depth =
-            self.sched.queue_len() + self.pes.iter().map(|p| p.input_queue_len()).sum::<usize>();
+        let depth = self.sched.queue_len() + self.queued_inputs;
+        debug_assert_eq!(
+            self.queued_inputs,
+            self.pes.iter().map(|p| p.input_queue_len()).sum::<usize>()
+        );
         self.metrics.note_queue_depth(depth as u64);
     }
 
@@ -727,24 +744,24 @@ impl System {
     fn control_tick(&mut self) {
         let now = self.events.now();
         let measuring = now >= self.warmup_time;
+        // Phase 1 — sample every PE into `tick_scratch` (and roll its
+        // buffer epoch). Each PE touches only its own windows and buffer,
+        // so the phase can fan out across threads without changing any
+        // result. Phase 2 — merge serially in PE order: the broker's
+        // report stream (and thus every downstream ranking) is identical
+        // at any thread count.
+        let threads = (self.cfg.tick_threads as usize).min(self.cfg.n_pes as usize);
+        if threads > 1 {
+            self.sample_all_parallel(now, threads);
+        } else {
+            self.sample_all_serial(now);
+        }
         for pe in 0..self.cfg.n_pes as usize {
-            let integral = self.cpus[pe].busy_integral(now);
-            let units = self.cpus[pe].units();
-            let disk_integral = self.disks[pe].busy_integral(now);
-            let disk_units = self.disks[pe].disks();
-            let net_integral = self.net.link_busy_integral(now, pe);
-            let v = ResourceVector {
-                cpu: self.cpu_windows[pe].sample(now, integral, units),
-                mem: self.pes[pe].buffer.utilization(),
-                disk: self.disk_windows[pe].sample(now, disk_integral, disk_units),
-                net: self.net_windows[pe].sample(now, net_integral, 1),
-                free_pages: self.pes[pe].buffer.free_pages_reported(),
-            };
+            let v = self.tick_scratch[pe];
             self.broker.report(pe as u32, v);
             if measuring {
                 self.metrics.record_util_sample(&v);
             }
-            self.pes[pe].buffer.roll_epoch();
         }
         self.broker.end_report_round();
         if measuring {
@@ -794,6 +811,98 @@ impl System {
                 self.start_migration(plan);
             }
         }
+    }
+
+    /// Sample one PE's windowed per-resource state into a vector, rolling
+    /// its buffer epoch. Shared reads (`cpus`/`disks`/`net`) come in by
+    /// reference so the parallel path can call this from worker threads;
+    /// the mutable pieces (`windows`, `pe`) are that PE's own.
+    #[allow(clippy::too_many_arguments)]
+    fn sample_pe(
+        now: SimTime,
+        pe_idx: usize,
+        cpus: &[Cpu<Token>],
+        disks: &[DiskSubsystem<Option<Token>>],
+        net: &Network<Msg>,
+        cpu_w: &mut UtilizationWindow,
+        disk_w: &mut UtilizationWindow,
+        net_w: &mut UtilizationWindow,
+        pe: &mut Pe,
+    ) -> ResourceVector {
+        let integral = cpus[pe_idx].busy_integral(now);
+        let units = cpus[pe_idx].units();
+        let disk_integral = disks[pe_idx].busy_integral(now);
+        let disk_units = disks[pe_idx].disks();
+        let net_integral = net.link_busy_integral(now, pe_idx);
+        let v = ResourceVector {
+            cpu: cpu_w.sample(now, integral, units),
+            mem: pe.buffer.utilization(),
+            disk: disk_w.sample(now, disk_integral, disk_units),
+            net: net_w.sample(now, net_integral, 1),
+            free_pages: pe.buffer.free_pages_reported(),
+        };
+        pe.buffer.roll_epoch();
+        v
+    }
+
+    fn sample_all_serial(&mut self, now: SimTime) {
+        for pe in 0..self.cfg.n_pes as usize {
+            self.tick_scratch[pe] = Self::sample_pe(
+                now,
+                pe,
+                &self.cpus,
+                &self.disks,
+                &self.net,
+                &mut self.cpu_windows[pe],
+                &mut self.disk_windows[pe],
+                &mut self.net_windows[pe],
+                &mut self.pes[pe],
+            );
+        }
+    }
+
+    /// Fan the sampling phase out over `threads` scoped workers, each
+    /// owning a disjoint contiguous chunk of PEs (disjoint `&mut` slices
+    /// of the windows, buffers and scratch; shared `&` reads of the
+    /// servers). Purely a wall-clock optimization: the merge in
+    /// [`Self::control_tick`] stays serial and in PE order.
+    fn sample_all_parallel(&mut self, now: SimTime, threads: usize) {
+        let n = self.cfg.n_pes as usize;
+        let chunk = n.div_ceil(threads);
+        let cpus = &self.cpus;
+        let disks = &self.disks;
+        let net = &self.net;
+        let out_chunks = self.tick_scratch[..n].chunks_mut(chunk);
+        let cpu_chunks = self.cpu_windows.chunks_mut(chunk);
+        let disk_chunks = self.disk_windows.chunks_mut(chunk);
+        let net_chunks = self.net_windows.chunks_mut(chunk);
+        let pe_chunks = self.pes.chunks_mut(chunk);
+        std::thread::scope(|s| {
+            for (i, ((((out, cw), dw), nw), pes)) in out_chunks
+                .zip(cpu_chunks)
+                .zip(disk_chunks)
+                .zip(net_chunks)
+                .zip(pe_chunks)
+                .enumerate()
+            {
+                let base = i * chunk;
+                s.spawn(move || {
+                    for (j, slot) in out.iter_mut().enumerate() {
+                        *slot = Self::sample_pe(
+                            now,
+                            base + j,
+                            cpus,
+                            disks,
+                            net,
+                            &mut cw[j],
+                            &mut dw[j],
+                            &mut nw[j],
+                            &mut pes[j],
+                        );
+                    }
+                });
+            }
+        });
     }
 
     /// Launch one fragment migration as an engine job (real disk/network

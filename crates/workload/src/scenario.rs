@@ -39,9 +39,10 @@ use crate::arrivals::Modulation;
 use crate::mix::WorkloadSpec;
 use crate::oltp::NodeFilter;
 use dbmodel::RelationId;
-use lb_core::{PolicyConfig, Strategy};
+use lb_core::{PolicyConfig, ReadMode, Strategy};
 use sched::AdmissionConfig;
 use serde::{Deserialize, Serialize};
+use simkit::QueueKind;
 
 /// A placement strategy in a scenario file.
 ///
@@ -212,6 +213,15 @@ pub struct Knobs {
     pub node_speed: NodeSpeed,
     /// Per-work-class placement policies; `None` = paper defaults.
     pub policies: Option<PolicyConfig>,
+    /// How the broker serves ranking reads (`SortPerCall` = legacy
+    /// baseline for benchmarks; results are identical either way).
+    pub broker_reads: ReadMode,
+    /// Future-event-list implementation (heap vs. calendar wheel; results
+    /// are bit-identical either way).
+    pub event_queue: QueueKind,
+    /// Threads for the control tick's sampling phase (0/1 = serial;
+    /// results are identical at any count).
+    pub tick_threads: u32,
     /// Simulated seconds.
     pub sim_secs: f64,
     /// Warm-up seconds discarded from statistics.
@@ -243,6 +253,9 @@ impl Default for Knobs {
             admission: AdmissionConfig::default(),
             node_speed: NodeSpeed::Uniform,
             policies: None,
+            broker_reads: ReadMode::default(),
+            event_queue: QueueKind::default(),
+            tick_threads: 0,
             sim_secs: 40.0,
             warmup_secs: 8.0,
             seed: 0xC0FFEE,
@@ -325,6 +338,12 @@ pub struct Patch {
     pub admission: Option<AdmissionConfig>,
     /// Override [`Knobs::node_speed`].
     pub node_speed: Option<NodeSpeed>,
+    /// Override [`Knobs::broker_reads`].
+    pub broker_reads: Option<ReadMode>,
+    /// Override [`Knobs::event_queue`].
+    pub event_queue: Option<QueueKind>,
+    /// Override [`Knobs::tick_threads`].
+    pub tick_threads: Option<u32>,
     /// Override [`Knobs::sim_secs`].
     pub sim_secs: Option<f64>,
     /// Override [`Knobs::warmup_secs`].
@@ -363,6 +382,9 @@ impl Patch {
             mpl,
             admission,
             node_speed,
+            broker_reads,
+            event_queue,
+            tick_threads,
             sim_secs,
             warmup_secs,
             seed
@@ -434,6 +456,15 @@ impl Patch {
         }
         if let Some(v) = &self.node_speed {
             parts.push(format!("speed={}", v.label()));
+        }
+        if let Some(v) = &self.broker_reads {
+            parts.push(format!("reads={v:?}"));
+        }
+        if let Some(v) = &self.event_queue {
+            parts.push(format!("queue={v:?}"));
+        }
+        if let Some(v) = self.tick_threads {
+            parts.push(format!("tick_threads={v}"));
         }
         if let Some(v) = self.sim_secs {
             parts.push(format!("sim={v}"));
