@@ -117,6 +117,12 @@ fn main() {
                 "disk_util_max": fmax(|s| s.avg_disk_util),
                 "net_util_max": fmax(|s| s.avg_net_util),
                 "net_util_p95_max": fmax(|s| s.p95_net_util),
+                // Control-plane honesty metrics: zero across the board
+                // under the clean central broker; the stale/lossy broker
+                // scenarios publish their degradation here next to
+                // events/sec.
+                "false_suspicions": rows.iter().map(|r| r.summary.false_suspicions).sum::<u64>(),
+                "stale_reads_p95_ms_max": fmax(|s| s.stale_reads_p95_ms),
             }));
         }
         lab::print_tables(&spec, &rows);

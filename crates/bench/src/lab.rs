@@ -283,7 +283,8 @@ pub fn write_lab_csv(name: &str, rows: &[LabRow]) -> Option<PathBuf> {
         out,
         ",strategy,n_pes,join_resp_ms,oltp_resp_ms,avg_cpu_util,avg_disk_util,\
          avg_mem_util,avg_net_util,p95_cpu_util,p95_mem_util,p95_disk_util,\
-         p95_net_util,avg_join_degree,policy_switches,events"
+         p95_net_util,avg_join_degree,policy_switches,events,\
+         stale_reads_p95_ms,false_suspicions,suspected_node_rounds"
     );
     for r in rows {
         let _ = write!(out, "{}", csv_escape(name));
@@ -303,7 +304,8 @@ pub fn write_lab_csv(name: &str, rows: &[LabRow]) -> Option<PathBuf> {
             .unwrap_or_default();
         let _ = writeln!(
             out,
-            ",{},{},{:.3},{oltp},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.3},{},{}",
+            ",{},{},{:.3},{oltp},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.3},{},{},\
+             {:.1},{},{}",
             csv_escape(&r.strategy),
             s.n_pes,
             s.join_resp_ms(),
@@ -318,6 +320,9 @@ pub fn write_lab_csv(name: &str, rows: &[LabRow]) -> Option<PathBuf> {
             s.avg_join_degree,
             s.policy_switches,
             s.events,
+            s.stale_reads_p95_ms,
+            s.false_suspicions,
+            s.suspected_node_rounds,
         );
     }
     let dir = PathBuf::from("results");

@@ -130,6 +130,19 @@ pub trait ResourceBroker {
     /// startup and after every fragment migration, so placement policies
     /// can see where the data currently lives.
     fn set_locality(&mut self, locality: crate::control::DataLocality);
+
+    /// Cumulative control-plane fault accounting (staleness ages, false
+    /// suspicions). Brokers without fault injection report all zeros.
+    fn fault_stats(&self) -> crate::faults::BrokerFaultStats {
+        crate::faults::BrokerFaultStats::default()
+    }
+
+    /// Nodes currently suspected failed by the broker's failure detector
+    /// (0 for brokers without one). The host feeds this into admission's
+    /// live-capacity signal each report round.
+    fn suspected_nodes(&self) -> u32 {
+        0
+    }
 }
 
 /// The designated-control-node broker of the paper: central state, one
@@ -207,6 +220,13 @@ impl CentralBroker {
     /// identical either way; only the cost profile differs.
     pub fn set_read_mode(&mut self, mode: crate::control::ReadMode) {
         self.ctl.set_read_mode(mode);
+    }
+
+    /// Mutable access to the control state for decorating brokers (the
+    /// failure detector marks suspicion on the control node so the
+    /// rebalancer and the adaptive averages can honour it).
+    pub fn control_mut(&mut self) -> &mut ControlNode {
+        &mut self.ctl
     }
 }
 

@@ -281,6 +281,17 @@ pub struct ControlNode {
     /// Last reported resource vector per node (CPU feedback bumps mutate
     /// the CPU component in place).
     utils: Vec<ResourceVector>,
+    /// Failure-detector mask maintained by the broker layer: suspected
+    /// nodes are excluded from cluster averages (their reported state is
+    /// poisoned by the detector, so including them would drag every
+    /// adaptive threshold toward saturation) and skipped by the
+    /// rebalancer's endpoint selection. Always all-false under the
+    /// central broker.
+    suspected: Vec<bool>,
+    /// Count of `true` entries in `suspected` (fast-path guard: the
+    /// zero-suspicion average must fold exactly like the pre-detector
+    /// code).
+    n_suspected: u32,
     /// Memory promised to placements whose reservations have not yet
     /// reached the nodes (placement → StartJoin → reserve takes a few
     /// simulated milliseconds). Periodic reports would otherwise erase the
@@ -324,6 +335,8 @@ impl ControlNode {
     pub fn new(n: usize) -> Self {
         ControlNode {
             utils: vec![ResourceVector::default(); n],
+            suspected: vec![false; n],
+            n_suspected: 0,
             promised: vec![0; n],
             luc_bump: 0.1,
             weights: ResourceWeights::default(),
@@ -478,15 +491,62 @@ impl ControlNode {
         self.utils[id as usize].get(kind)
     }
 
-    /// Average utilization of one resource over all nodes (`u_cpu` of
-    /// eq. 3.2 generalized to every kind). Deliberately the naive O(n)
-    /// sum: it is read a handful of times per control tick and per join
-    /// arrival, and a running sum would drift from the exact float total.
+    /// Mark / unmark one node as suspected failed. Maintained by the
+    /// broker layer's failure detector; suspects drop out of [`avg`]
+    /// (their state is detector-poisoned) and out of the rebalancer's
+    /// endpoint selection.
+    ///
+    /// [`avg`]: ControlNode::avg
+    pub fn set_suspected(&mut self, id: u32, suspected: bool) {
+        let slot = &mut self.suspected[id as usize];
+        if *slot != suspected {
+            *slot = suspected;
+            if suspected {
+                self.n_suspected += 1;
+            } else {
+                self.n_suspected -= 1;
+            }
+        }
+    }
+
+    /// Is this node currently suspected failed by the broker's detector?
+    pub fn is_suspected(&self, id: u32) -> bool {
+        self.suspected[id as usize]
+    }
+
+    /// Nodes currently under suspicion.
+    pub fn suspected_count(&self) -> u32 {
+        self.n_suspected
+    }
+
+    /// Average utilization of one resource over all live nodes (`u_cpu`
+    /// of eq. 3.2 generalized to every kind; suspected nodes are masked
+    /// out — their poisoned vectors would otherwise drag every adaptive
+    /// threshold toward saturation). Deliberately the naive O(n) sum: it
+    /// is read a handful of times per control tick and per join arrival,
+    /// and a running sum would drift from the exact float total. With no
+    /// suspects (the only state the central broker ever has) this folds
+    /// in exactly the pre-detector order.
     pub fn avg(&self, kind: ResourceKind) -> f64 {
         if self.utils.is_empty() {
             return 0.0;
         }
-        self.utils.iter().map(|v| v.get(kind)).sum::<f64>() / self.utils.len() as f64
+        if self.n_suspected == 0 {
+            return self.utils.iter().map(|v| v.get(kind)).sum::<f64>() / self.utils.len() as f64;
+        }
+        let mut sum = 0.0;
+        let mut live = 0u32;
+        for (v, &sus) in self.utils.iter().zip(&self.suspected) {
+            if !sus {
+                sum += v.get(kind);
+                live += 1;
+            }
+        }
+        if live == 0 {
+            0.0
+        } else {
+            sum / f64::from(live)
+        }
     }
 
     /// Average CPU utilization over all nodes (`u_cpu` of eq. 3.2).

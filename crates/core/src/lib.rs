@@ -58,7 +58,12 @@
 //! * [`rebalance`] — the online [`RebalanceController`]: clocked by the
 //!   same report rounds, it detects per-node data imbalance (utilization
 //!   breaks ties) and plans concurrent fragment migrations the simulator
-//!   executes as real disk/network traffic.
+//!   executes as real disk/network traffic;
+//! * [`faults`] — the honest control plane: [`LaggedBroker`] (report
+//!   staleness, heartbeat loss, a consecutive-miss failure detector) and
+//!   [`HierarchicalBroker`] (per-rack aggregation on a slower root
+//!   cadence) decorate the central broker so control-plane degradation
+//!   becomes a first-class, deterministic experiment axis.
 //!
 //! The simulator (`snsim`) holds a `Box<dyn ResourceBroker>` and never
 //! inspects strategies directly; the event loop itself lives one layer
@@ -70,6 +75,7 @@ pub mod broker;
 pub mod control;
 pub mod costmodel;
 pub mod degree;
+pub mod faults;
 pub mod integrated;
 pub mod policy;
 pub mod ratematch;
@@ -82,6 +88,7 @@ pub use broker::{CentralBroker, ResourceBroker};
 pub use control::{ControlNode, DataLocality, NodeState, Ranked, ReadMode, TopK};
 pub use costmodel::{AdmissionEstimate, CostModel, CostParams, JoinProfile};
 pub use degree::DegreePolicy;
+pub use faults::{BrokerConfig, BrokerFaultStats, BrokerKind, HierarchicalBroker, LaggedBroker};
 pub use policy::{
     AdaptiveConfig, AdaptiveController, CoordPolicyKind, CoordinatorPolicy, PlacementPolicy,
     PlacementRequest, PolicyConfig, WorkClass,

@@ -198,15 +198,33 @@ impl RebalanceController {
             {
                 break;
             }
-            let (mut hot, mut cold) = (0usize, 0usize);
-            for i in 1..n {
-                if load[i] > load[hot] || (load[i] == load[hot] && pressure(i) > pressure(hot)) {
-                    hot = i;
+            // Suspected nodes (broker failure detector) are frozen out of
+            // endpoint selection: their reported pressure is detector
+            // poison, and shipping fragments into a possibly-failed node
+            // would be worse than the imbalance. In-flight moves touching
+            // them still complete. With nothing suspected this scan is
+            // the plain argmax/argmin over all nodes.
+            let (mut hot, mut cold) = (None::<usize>, None::<usize>);
+            for i in 0..n {
+                if ctl.is_suspected(i as u32) {
+                    continue;
                 }
-                if load[i] < load[cold] || (load[i] == load[cold] && pressure(i) < pressure(cold)) {
-                    cold = i;
+                match hot {
+                    Some(h)
+                        if !(load[i] > load[h]
+                            || (load[i] == load[h] && pressure(i) > pressure(h))) => {}
+                    _ => hot = Some(i),
+                }
+                match cold {
+                    Some(c)
+                        if !(load[i] < load[c]
+                            || (load[i] == load[c] && pressure(i) < pressure(c))) => {}
+                    _ => cold = Some(i),
                 }
             }
+            let (Some(hot), Some(cold)) = (hot, cold) else {
+                break;
+            };
             let gap = load[hot].saturating_sub(load[cold]);
             if (gap as f64) < self.cfg.min_imbalance * mean {
                 break;
@@ -318,6 +336,28 @@ mod tests {
         assert_eq!(plan.fragment, 0, "largest fragment below the 700k gap");
         assert_eq!(plan.tuples, 500_000);
         assert_eq!(r.migrations_started(), 1);
+    }
+
+    #[test]
+    fn suspected_nodes_are_neither_source_nor_destination() {
+        let mut r = RebalanceController::new(cfg());
+        let mut c = ctl(&[0.9, 0.2, 0.1]);
+        // The emptiest node is suspected failed: the move must divert to
+        // the best live destination instead.
+        c.set_suspected(2, true);
+        let plans = r.on_report_round(&c, &frags());
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].from, 0);
+        assert_eq!(plans[0].to, 1, "suspected node skipped as destination");
+        // A suspected hot node is not drained either.
+        let mut r = RebalanceController::new(cfg());
+        let mut c = ctl(&[0.9, 0.2, 0.1]);
+        c.set_suspected(0, true);
+        let plans = r.on_report_round(&c, &frags());
+        assert!(
+            plans.iter().all(|p| p.from != 0 && p.to != 0),
+            "suspected node must not appear in any plan: {plans:?}"
+        );
     }
 
     #[test]

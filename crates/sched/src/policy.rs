@@ -15,10 +15,23 @@ use lb_core::ResourceKind;
 /// one average utilization per [`ResourceKind`], filled generically by
 /// the host system (`signals.set(kind, broker.avg(kind))` for every
 /// kind) — no per-resource fields to keep in sync when a resource is
-/// added.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// added. Brokers with a failure detector additionally report the live
+/// fraction of the cluster (`1.0` when nothing is suspected), so
+/// capacity-budgeting policies can stop admitting work sized for nodes
+/// the control plane currently believes are gone.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceSignals {
     avg: [f64; ResourceKind::COUNT],
+    live_frac: f64,
+}
+
+impl Default for ResourceSignals {
+    fn default() -> ResourceSignals {
+        ResourceSignals {
+            avg: [0.0; ResourceKind::COUNT],
+            live_frac: 1.0,
+        }
+    }
 }
 
 impl ResourceSignals {
@@ -43,6 +56,17 @@ impl ResourceSignals {
     /// (unweighted max norm).
     pub fn bottleneck(&self) -> f64 {
         self.avg.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Record the fraction of nodes the broker currently believes alive
+    /// (`1.0` with no failure detector or no suspects).
+    pub fn set_live_frac(&mut self, frac: f64) {
+        self.live_frac = frac.clamp(0.0, 1.0);
+    }
+
+    /// Fraction of nodes currently believed alive.
+    pub fn live_frac(&self) -> f64 {
+        self.live_frac
     }
 }
 
@@ -176,6 +200,13 @@ pub struct Malleable {
     /// to their floor.
     cpu_hot: f64,
     hot: bool,
+    /// Live fraction of the cluster from the last report round: the slot
+    /// budget was sized for the whole machine, so when the broker's
+    /// failure detector suspects nodes the effective budget shrinks
+    /// proportionally (and recovers the moment suspicion clears). `1.0`
+    /// under a clean control plane — the budget is then exactly
+    /// `slot_budget`.
+    live_frac: f64,
 }
 
 impl Malleable {
@@ -190,7 +221,14 @@ impl Malleable {
             slots_used: 0,
             cpu_hot,
             hot: false,
+            live_frac: 1.0,
         }
+    }
+
+    /// The slot budget scaled to the live cluster (ceil, never below 1
+    /// so admission cannot wedge; equals `slot_budget` at full health).
+    fn effective_slot_budget(&self) -> u32 {
+        ((f64::from(self.slot_budget) * self.live_frac).ceil() as u32).max(1)
     }
 
     /// Parallelism slots currently in use.
@@ -219,7 +257,7 @@ impl AdmissionPolicy for Malleable {
         let degree = ticket.degree.max(1);
         let floor = ticket.degree_floor.clamp(1, degree);
         let target = if self.hot { floor } else { degree };
-        let avail = self.slot_budget.saturating_sub(self.slots_used);
+        let avail = self.effective_slot_budget().saturating_sub(self.slots_used);
         let granted = if self.slots_used == 0 {
             // An idle slot budget never blocks (a single query wider than
             // the whole budget must not wait forever).
@@ -256,6 +294,7 @@ impl AdmissionPolicy for Malleable {
         // Read through the generic per-kind accessor: the shrink trigger
         // is "the CPU kind's cluster average", not a bespoke field.
         self.hot = signals.util(ResourceKind::Cpu) > self.cpu_hot;
+        self.live_frac = signals.live_frac();
     }
 }
 
@@ -407,6 +446,28 @@ mod tests {
         };
         assert_eq!(g.slots, 30, "idle: full degree even beyond the budget");
         assert_eq!(p.admit(&ticket(10.0, 30, 8)), Verdict::Wait);
+    }
+
+    #[test]
+    fn malleable_slot_budget_tracks_live_fraction() {
+        let mut p = Malleable::new(1e9, 10, 0.85);
+        // Half the cluster suspected: the 10-slot budget behaves like 5.
+        let mut s = ResourceSignals::default();
+        s.set_live_frac(0.5);
+        p.on_report(&s);
+        let t = ticket(10.0, 4, 2);
+        let Verdict::Admit(g1) = p.admit(&t) else {
+            panic!("admit")
+        };
+        assert_eq!(g1.slots, 4);
+        // 1 effective slot left < floor 2 → wait, though the nominal
+        // budget still has 6 slots free.
+        assert_eq!(p.admit(&t), Verdict::Wait);
+        // Suspicion clears: full budget restored immediately.
+        p.on_report(&ResourceSignals::default());
+        assert!(matches!(p.admit(&t), Verdict::Admit(_)));
+        // Default signals carry live_frac 1.0 — nominal budget intact.
+        assert!((ResourceSignals::default().live_frac() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -6,7 +6,10 @@ use dbmodel::placement::RelationPlacement;
 use engine::EngineConfig;
 use hardware::HardwareParams;
 use lb_core::costmodel::CostParams;
-use lb_core::{CentralBroker, PolicyConfig, ReadMode, RebalanceConfig, ResourceBroker, Strategy};
+use lb_core::{
+    BrokerConfig, BrokerKind, CentralBroker, HierarchicalBroker, LaggedBroker, PolicyConfig,
+    ReadMode, RebalanceConfig, ResourceBroker, Strategy,
+};
 use serde::{Deserialize, Serialize};
 use simkit::{QueueKind, SimDur};
 use workload::WorkloadSpec;
@@ -102,6 +105,12 @@ pub struct SimConfig {
     /// identical at any thread count.
     #[serde(default)]
     pub tick_threads: u32,
+    /// Control-plane implementation and fault model (staleness, heartbeat
+    /// loss, failure detection, rack aggregation). The default is the
+    /// clean central broker; every pre-fault configuration lowers
+    /// byte-identically.
+    #[serde(default)]
+    pub broker: BrokerConfig,
 }
 
 impl SimConfig {
@@ -140,6 +149,7 @@ impl SimConfig {
             broker_reads: ReadMode::default(),
             event_queue: QueueKind::default(),
             tick_threads: 0,
+            broker: BrokerConfig::default(),
         }
     }
 
@@ -225,7 +235,12 @@ impl SimConfig {
     }
 
     /// Build the resource broker this configuration describes: the central
-    /// control node plus one placement policy per work class.
+    /// control node plus one placement policy per work class, optionally
+    /// wrapped in the configured control-plane fault model. The lagged
+    /// broker's fault randomness runs on its own stream forked from the
+    /// run seed (stream 3; placement uses 1, coordination 2, arrivals
+    /// 10+), so clean runs consume exactly the same random numbers with
+    /// or without the decorator.
     pub fn build_broker(&self) -> Box<dyn ResourceBroker> {
         let mut broker = CentralBroker::from_config(
             self.n_pes as usize,
@@ -235,7 +250,25 @@ impl SimConfig {
             &self.policies,
         );
         broker.set_read_mode(self.broker_reads);
-        Box::new(broker)
+        let round_ms = self.control_interval.as_millis_f64();
+        match self.broker.kind {
+            BrokerKind::Central => Box::new(broker),
+            BrokerKind::Lagged => Box::new(LaggedBroker::new(
+                broker,
+                self.broker,
+                round_ms,
+                simkit::SimRng::new(self.seed).fork(3),
+            )),
+            BrokerKind::Hierarchical => {
+                Box::new(HierarchicalBroker::new(broker, self.broker, round_ms))
+            }
+        }
+    }
+
+    /// Select the control-plane implementation and fault model.
+    pub fn with_broker(mut self, broker: BrokerConfig) -> SimConfig {
+        self.broker = broker;
+        self
     }
 
     /// Select the control node's ranking-read implementation.

@@ -268,6 +268,16 @@ pub struct Summary {
     pub shrunk_admissions: u64,
     /// Arrivals rejected by the admission queue bound.
     pub rejected: u64,
+    /// 95th percentile age (ms) of the per-node state the broker's
+    /// readers saw at each report round (0 under the fresh central
+    /// broker).
+    pub stale_reads_p95_ms: f64,
+    /// Live nodes the broker's failure detector wrongly suspected failed
+    /// (every suspicion is false in this simulator — nodes never die).
+    pub false_suspicions: u64,
+    /// Sum over report rounds of nodes under suspicion: the integral of
+    /// placement capacity the control plane withheld.
+    pub suspected_node_rounds: u64,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -428,6 +438,9 @@ mod tests {
             peak_queue_depth: 0,
             shrunk_admissions: 0,
             rejected: 0,
+            stale_reads_p95_ms: 0.0,
+            false_suspicions: 0,
+            suspected_node_rounds: 0,
         }
     }
 

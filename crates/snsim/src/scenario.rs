@@ -30,7 +30,8 @@ pub fn build_config(knobs: &Knobs) -> SimConfig {
         .with_node_speed(knobs.node_speed.resolve(knobs.n_pes))
         .with_broker_reads(knobs.broker_reads)
         .with_event_queue(knobs.event_queue)
-        .with_tick_threads(knobs.tick_threads);
+        .with_tick_threads(knobs.tick_threads)
+        .with_broker(knobs.broker);
     if let Some(policies) = knobs.policies {
         cfg = cfg.with_policies(policies);
     }
@@ -127,6 +128,20 @@ mod tests {
         let legacy: Knobs = serde_json::from_str(r#"{ "n_pes": 20 }"#).unwrap();
         let explicit: Knobs = serde_json::from_str(
             r#"{ "n_pes": 20, "mpl": 64, "admission": { "policy": "FcfsMpl" } }"#,
+        )
+        .unwrap();
+        let a = serde_json::to_string(&build_config(&legacy)).unwrap();
+        let b = serde_json::to_string(&build_config(&explicit)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn absent_broker_knob_lowers_byte_identically() {
+        // A legacy spec (no broker knob) and an explicit clean-central
+        // spec must produce the exact same serialized configuration.
+        let legacy: Knobs = serde_json::from_str(r#"{ "n_pes": 20 }"#).unwrap();
+        let explicit: Knobs = serde_json::from_str(
+            r#"{ "n_pes": 20, "broker": { "kind": "Central", "staleness_ms": 0.0 } }"#,
         )
         .unwrap();
         let a = serde_json::to_string(&build_config(&legacy)).unwrap();

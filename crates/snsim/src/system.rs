@@ -777,6 +777,13 @@ impl System {
         for kind in ResourceKind::ALL {
             signals.set(kind, self.broker.avg(kind));
         }
+        // Brokers with a failure detector shrink the live-capacity signal
+        // while nodes are under suspicion (1.0 otherwise — no-op).
+        let suspected = self.broker.suspected_nodes();
+        if suspected > 0 {
+            let n = self.pes.len() as f64;
+            signals.set_live_frac((n - f64::from(suspected)) / n);
+        }
         self.sched.on_report(&signals);
         self.pump_admissions();
         // Rebalancing rides the same report rounds the adaptive
@@ -1039,6 +1046,8 @@ impl System {
             net_delta as f64 / (window_units * net_units) as f64
         };
 
+        let fault_stats = self.broker.fault_stats();
+
         let classes = self
             .metrics
             .classes
@@ -1088,6 +1097,9 @@ impl System {
             peak_queue_depth: self.metrics.peak_queue_depth,
             shrunk_admissions: self.sched.shrunk(),
             rejected: self.sched.rejected(),
+            stale_reads_p95_ms: fault_stats.stale_reads_p95_ms,
+            false_suspicions: fault_stats.false_suspicions,
+            suspected_node_rounds: fault_stats.suspected_node_rounds,
         }
     }
 

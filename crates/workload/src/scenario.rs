@@ -39,7 +39,7 @@ use crate::arrivals::Modulation;
 use crate::mix::WorkloadSpec;
 use crate::oltp::NodeFilter;
 use dbmodel::RelationId;
-use lb_core::{PolicyConfig, ReadMode, Strategy};
+use lb_core::{BrokerConfig, PolicyConfig, ReadMode, Strategy};
 use sched::AdmissionConfig;
 use serde::{Deserialize, Serialize};
 use simkit::QueueKind;
@@ -222,6 +222,10 @@ pub struct Knobs {
     /// Threads for the control tick's sampling phase (0/1 = serial;
     /// results are identical at any count).
     pub tick_threads: u32,
+    /// Control-plane implementation and fault model (report staleness,
+    /// heartbeat loss, failure detection, rack aggregation). Absent in a
+    /// spec = the clean central broker, byte-identical to pre-fault runs.
+    pub broker: BrokerConfig,
     /// Simulated seconds.
     pub sim_secs: f64,
     /// Warm-up seconds discarded from statistics.
@@ -256,6 +260,7 @@ impl Default for Knobs {
             broker_reads: ReadMode::default(),
             event_queue: QueueKind::default(),
             tick_threads: 0,
+            broker: BrokerConfig::default(),
             sim_secs: 40.0,
             warmup_secs: 8.0,
             seed: 0xC0FFEE,
@@ -344,6 +349,8 @@ pub struct Patch {
     pub event_queue: Option<QueueKind>,
     /// Override [`Knobs::tick_threads`].
     pub tick_threads: Option<u32>,
+    /// Override [`Knobs::broker`].
+    pub broker: Option<BrokerConfig>,
     /// Override [`Knobs::sim_secs`].
     pub sim_secs: Option<f64>,
     /// Override [`Knobs::warmup_secs`].
@@ -385,6 +392,7 @@ impl Patch {
             broker_reads,
             event_queue,
             tick_threads,
+            broker,
             sim_secs,
             warmup_secs,
             seed
@@ -466,6 +474,9 @@ impl Patch {
         if let Some(v) = self.tick_threads {
             parts.push(format!("tick_threads={v}"));
         }
+        if let Some(v) = &self.broker {
+            parts.push(format!("broker={}", v.label()));
+        }
         if let Some(v) = self.sim_secs {
             parts.push(format!("sim={v}"));
         }
@@ -534,6 +545,9 @@ pub struct Sweep {
     pub mpl: Vec<u32>,
     /// Node-speed profiles.
     pub node_speed: Vec<NodeSpeed>,
+    /// Control-plane configurations (broker kind + fault model) to
+    /// compare.
+    pub broker: Vec<BrokerConfig>,
     /// Replication seeds.
     pub seed: Vec<u64>,
 }
@@ -605,6 +619,7 @@ impl ScenarioSpec {
             s.net_speed.len(),
             s.mpl.len(),
             s.node_speed.len(),
+            s.broker.len(),
             s.seed.len(),
         ]
         .iter()
@@ -718,6 +733,9 @@ impl ScenarioSpec {
             NodeSpeed::label,
             |k, v| k.node_speed = v.clone(),
         );
+        runs = expand(runs, "broker", &s.broker, BrokerConfig::label, |k, v| {
+            k.broker = *v
+        });
         runs = expand(runs, "seed", &s.seed, u64::to_string, |k, v| k.seed = *v);
         runs
     }

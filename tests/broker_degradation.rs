@@ -1,0 +1,107 @@
+//! Degradation-curve acceptance for the `stale_broker_degradation`
+//! scenario family: the dynamic-balancing wins from the network tests
+//! must survive one report round of control-plane staleness, and policy
+//! quality must degrade monotonically (within seed noise) as the broker
+//! state ages.
+
+use lb_core::{BrokerConfig, BrokerKind, Strategy};
+use parallel_lb::prelude::*;
+use workload::scenario::ScenarioSpec;
+
+fn load_spec(name: &str) -> ScenarioSpec {
+    let json = std::fs::read_to_string(format!("scenarios/{name}.json"))
+        .unwrap_or_else(|e| panic!("scenarios/{name}.json: {e}"));
+    serde_json::from_str(&json).unwrap_or_else(|e| panic!("scenarios/{name}.json: {e}"))
+}
+
+/// Run the scenario's base point under `strategy` with the given mean
+/// staleness (0 ⇒ the clean central broker), at smoke length.
+fn run_point(spec: &ScenarioSpec, strategy: &str, staleness_ms: f64) -> Summary {
+    let mut knobs = spec.base.clone();
+    knobs.strategy = workload::scenario::StrategySpec(Strategy::parse(strategy).unwrap());
+    knobs.seed = 0xDEAD_BEEF;
+    // The full spec runs 120 s; 60 s keeps the test cheap with the
+    // margins intact (same trim as tests/network.rs).
+    knobs.sim_secs = 60.0;
+    knobs.warmup_secs = 15.0;
+    if staleness_ms > 0.0 {
+        knobs.broker = BrokerConfig {
+            kind: BrokerKind::Lagged,
+            staleness_ms,
+            ..BrokerConfig::default()
+        };
+    }
+    snsim::run_one(snsim::scenario::build_config(&knobs))
+}
+
+/// At staleness ≤ 1 report round (100 ms), the `pmu-cpu+LUB` win over
+/// `pmu-cpu+LUM` from `tests/network.rs` is preserved: slightly-aged
+/// utilization data still beats no utilization data.
+#[test]
+fn lub_win_survives_one_round_of_staleness() {
+    let spec = load_spec("stale_broker_degradation");
+    let lum = run_point(&spec, "pmu-cpu+LUM", 100.0);
+    let lub = run_point(&spec, "pmu-cpu+LUB", 100.0);
+    assert!(
+        lub.stale_reads_p95_ms > 0.0,
+        "the lagged broker must actually age the reads"
+    );
+    assert!(
+        lub.join_resp_ms() < 0.97 * lum.join_resp_ms(),
+        "LUB must still beat LUM at one round of staleness: \
+         {:.1} ms vs {:.1} ms",
+        lub.join_resp_ms(),
+        lum.join_resp_ms()
+    );
+}
+
+/// Along the spec's staleness axis (0 → 100 → 300 → 1000 ms), policy
+/// quality degrades monotonically within seed noise — no point improves
+/// by more than 5 % over its fresher neighbor — and the two
+/// resource-reactive policies split exactly as the scenario predicts:
+/// plain LUB, which feeds on the utilization signal staleness corrupts,
+/// pays a clear price at 10 report rounds of mean staleness, while the
+/// ADAPTIVE controller (which falls back to cost-model placement when
+/// the broker state stops looking trustworthy) stays measurably more
+/// staleness-robust.
+#[test]
+fn policy_quality_degrades_monotonically_with_staleness() {
+    let spec = load_spec("stale_broker_degradation");
+    let staleness_axis = [0.0, 100.0, 300.0, 1000.0];
+    let curve = |strategy: &str| -> Vec<f64> {
+        let resp: Vec<f64> = staleness_axis
+            .iter()
+            .map(|&s| run_point(&spec, strategy, s).join_resp_ms())
+            .collect();
+        for w in resp.windows(2) {
+            assert!(
+                w[1] >= w[0] * 0.95,
+                "{strategy}: staler broker must not beat fresher one \
+                 beyond seed noise: {:.1} ms then {:.1} ms (curve {:?})",
+                w[0],
+                w[1],
+                resp
+            );
+        }
+        resp
+    };
+    let lub = curve("pmu-cpu+LUB");
+    let adaptive = curve("ADAPTIVE");
+    // Degradation ratio: response at 10× the report round vs fresh.
+    let lub_ratio = lub[staleness_axis.len() - 1] / lub[0];
+    let adaptive_ratio = adaptive[staleness_axis.len() - 1] / adaptive[0];
+    assert!(
+        lub_ratio > 1.03,
+        "10 rounds of staleness must visibly cost plain LUB: \
+         fresh {:.1} ms vs stale {:.1} ms",
+        lub[0],
+        lub[staleness_axis.len() - 1]
+    );
+    assert!(
+        adaptive_ratio < lub_ratio - 0.02,
+        "ADAPTIVE must be more staleness-robust than plain LUB: \
+         degradation {:.3}× vs {:.3}×",
+        adaptive_ratio,
+        lub_ratio
+    );
+}

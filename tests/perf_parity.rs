@@ -1,15 +1,18 @@
 //! Perf-parity properties: the hot-path engine alternatives — incremental
-//! broker order statistics, the calendar event queue, and the parallel
-//! control-tick sampling phase — are pure cost optimizations. Each must
+//! broker order statistics, the calendar event queue, the parallel
+//! control-tick sampling phase, and the clean-configured control-plane
+//! decorators (lagged broker at zero staleness/loss, single-rack
+//! hierarchical broker) — are pure cost/structure changes. Each must
 //! produce a [`Summary`] **bit-identical** to its reference
-//! implementation (sort-per-call reads, the binary heap, serial
-//! sampling) on the same configuration, across the Fig. 6 strategy set
-//! and the network / placement / admission scenario families.
+//! implementation (central broker, sort-per-call reads, the binary heap,
+//! serial sampling) on the same configuration, across the Fig. 6
+//! strategy set and the network / placement / admission scenario
+//! families.
 //!
 //! "Bit-identical" is checked on the serialized summary, covering every
 //! counter and every float bit pattern.
 
-use lb_core::ReadMode;
+use lb_core::{BrokerConfig, BrokerKind, ReadMode};
 use parallel_lb::prelude::*;
 use proptest::prelude::{proptest, ProptestConfig};
 use simkit::QueueKind;
@@ -24,12 +27,40 @@ fn assert_parity(base: SimConfig, label: &str) {
         .with_tick_threads(0);
     let incremental = base.clone().with_broker_reads(ReadMode::Incremental);
     let calendar = base.clone().with_event_queue(QueueKind::Calendar);
-    let threaded = base.with_tick_threads(4);
+    let threaded = base.clone().with_tick_threads(4);
+    // The broker-kind axis: a lagged broker with no staleness and no loss
+    // and a one-rack hierarchical broker are pass-throughs, under both
+    // read modes and with the parallel sampling phase.
+    let lagged = base
+        .clone()
+        .with_broker(BrokerConfig {
+            kind: BrokerKind::Lagged,
+            ..BrokerConfig::default()
+        })
+        .with_tick_threads(4);
+    let lagged_sorted = base
+        .clone()
+        .with_broker(BrokerConfig {
+            kind: BrokerKind::Lagged,
+            ..BrokerConfig::default()
+        })
+        .with_broker_reads(ReadMode::SortPerCall);
+    let hier = base.with_broker(BrokerConfig {
+        kind: BrokerKind::Hierarchical,
+        ..BrokerConfig::default()
+    });
     let j = |cfg: SimConfig| serde_json::to_string(&snsim::run_one(cfg)).expect("serialize");
     let want = j(reference);
     assert_eq!(want, j(incremental), "incremental reads diverged: {label}");
     assert_eq!(want, j(calendar), "calendar queue diverged: {label}");
     assert_eq!(want, j(threaded), "parallel tick diverged: {label}");
+    assert_eq!(want, j(lagged), "clean lagged broker diverged: {label}");
+    assert_eq!(
+        want,
+        j(lagged_sorted),
+        "clean lagged broker (sorted reads) diverged: {label}"
+    );
+    assert_eq!(want, j(hier), "one-rack hierarchical diverged: {label}");
 }
 
 fn join_cfg(strat: Strategy, n: u32, rate: f64, seed: u64) -> SimConfig {
