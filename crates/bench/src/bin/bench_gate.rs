@@ -15,11 +15,16 @@
 //!
 //! Two checks run:
 //!
-//! 1. **Regression**: fresh events/sec must be at least
-//!    `(1 - tolerance) ×` the committed value. Default tolerance 0.25
+//! 1. **Regression**: fresh events/sec must be at least the scenario's
+//!    floor fraction of the committed value. Scenarios in the [`FLOORS`]
+//!    table carry an explicit pinned floor (the soak family: ≥ 0.75 ×
+//!    committed); everything else (the fig6 smoke slices etc.) uses the
+//!    global `1 - tolerance` rule, default tolerance 0.25
 //!    (`--tolerance`, or `BENCH_GATE_TOLERANCE` for slow CI runners —
 //!    wall-clock throughput is machine-dependent, the committed numbers
-//!    are from the lab machine).
+//!    are from the lab machine). Loosening the default gate does *not*
+//!    loosen the pinned soak floors; that takes the separate
+//!    `BENCH_GATE_SOAK_FLOOR`, so it stays a visible decision.
 //! 2. **Soak ratio**: when a fresh file carries both
 //!    `thousand_pe_soak_smoke` and `thousand_pe_soak_baseline`, the
 //!    incremental-vs-sort-per-call events/sec ratio must stay at or
@@ -31,6 +36,18 @@
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+/// Per-scenario throughput floors as fractions of the committed
+/// events/sec. The soak family is the trajectory the 1000-PE north star
+/// is graded on, so its floors are pinned here rather than riding the
+/// adjustable global tolerance; `BENCH_GATE_SOAK_FLOOR` overrides them
+/// all at once for genuinely slow runners.
+const FLOORS: &[(&str, f64)] = &[
+    ("thousand_pe_soak", 0.75),
+    ("thousand_pe_soak_smoke", 0.75),
+    ("thousand_pe_soak_shuffle", 0.75),
+    ("thousand_pe_soak_baseline", 0.75),
+];
 
 struct Row {
     events_per_sec: f64,
@@ -91,6 +108,13 @@ fn run() -> Result<bool, String> {
             .map_err(|_| format!("BENCH_GATE_TOLERANCE={v}: not a number"))?,
         Err(_) => 0.25,
     };
+    let soak_floor = match std::env::var("BENCH_GATE_SOAK_FLOOR") {
+        Ok(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| format!("BENCH_GATE_SOAK_FLOOR={v}: not a number"))?,
+        ),
+        Err(_) => None,
+    };
     let mut min_soak_ratio = 8.0;
     let mut paths: Vec<String> = Vec::new();
 
@@ -128,14 +152,21 @@ fn run() -> Result<bool, String> {
                 println!("  skip  {name:32} (not in baseline)");
                 continue;
             };
+            let pinned = FLOORS
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|&(_, f)| soak_floor.unwrap_or(f));
+            let floor = pinned.unwrap_or(1.0 - tolerance);
             let change = row.events_per_sec / base.events_per_sec - 1.0;
-            let fail = change < -tolerance;
+            let fail = row.events_per_sec < floor * base.events_per_sec;
             println!(
-                "  {}  {name:32} {:>12.0} ev/s vs {:>12.0} committed ({:+.1}%)",
+                "  {}  {name:32} {:>12.0} ev/s vs {:>12.0} committed ({:+.1}%, floor {:.0}%{})",
                 if fail { "FAIL" } else { " ok " },
                 row.events_per_sec,
                 base.events_per_sec,
                 change * 100.0,
+                floor * 100.0,
+                if pinned.is_some() { " pinned" } else { "" },
             );
             if fail {
                 ok = false;

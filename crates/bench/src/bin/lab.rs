@@ -10,6 +10,10 @@
 //!                    events per wall second, per scenario and total) to
 //!                    `<file>` — the perf-trajectory anchor CI publishes
 //!                    as BENCH_lab.json
+//!   --profile        run serially with per-phase wall-clock profiling;
+//!                    prints the breakdown per scenario and writes
+//!                    `results/<name>.profile.json` (mutually exclusive
+//!                    with --bench: profiled runs are serial by design)
 //! ```
 //!
 //! Each spec file holds one scenario (see `scenarios/` and README.md for
@@ -30,15 +34,22 @@ fn main() {
         args.remove(i);
         path
     });
-    if let Some(unknown) = args
-        .iter()
-        .find(|a| a.starts_with("--") && !matches!(a.as_str(), "--dry-run" | "--full" | "--smoke"))
-    {
+    if let Some(unknown) = args.iter().find(|a| {
+        a.starts_with("--")
+            && !matches!(a.as_str(), "--dry-run" | "--full" | "--smoke" | "--profile")
+    }) {
         eprintln!("error: unknown flag `{unknown}`");
-        eprintln!("usage: lab [--dry-run] [--full|--smoke] [--bench <file>] <spec.json> ...");
+        eprintln!(
+            "usage: lab [--dry-run] [--full|--smoke] [--bench <file>] [--profile] <spec.json> ..."
+        );
         std::process::exit(2);
     }
     let dry_run = args.iter().any(|a| a == "--dry-run");
+    let profile = args.iter().any(|a| a == "--profile");
+    if profile && bench_out.is_some() {
+        eprintln!("error: --profile runs serially and would distort a --bench baseline");
+        std::process::exit(2);
+    }
     let len = RunLength::from_args();
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if paths.is_empty() {
@@ -77,7 +88,18 @@ fn main() {
             continue;
         }
         let started = std::time::Instant::now();
-        let rows = lab::run_scenario(&spec, len);
+        let rows = if profile {
+            let (rows, report) = lab::run_scenario_profiled(&spec, len);
+            println!("{}", report.format_table(&spec.name));
+            if let Some(path) = lab::write_profile_json(&spec.name, &report) {
+                eprintln!("profile written to {}", path.display());
+            } else {
+                failed = true;
+            }
+            rows
+        } else {
+            lab::run_scenario(&spec, len)
+        };
         let wall = started.elapsed().as_secs_f64();
         if bench_out.is_some() {
             let events: u64 = rows.iter().map(|r| r.summary.events).sum();

@@ -99,6 +99,14 @@ pub trait ResourceBroker {
     /// Place one unit of work under the current resource state.
     fn place(&mut self, req: &PlacementRequest, rng: &mut SimRng) -> Placement;
 
+    /// Single-node placement (coordinator / OLTP home): the same decision
+    /// as [`ResourceBroker::place`], without allocating a [`Placement`].
+    /// Arrival-rate hot path — brokers should override when they can
+    /// resolve the node without materializing the vector.
+    fn place_one(&mut self, req: &PlacementRequest, rng: &mut SimRng) -> u32 {
+        self.place(req, rng).nodes[0]
+    }
+
     /// Report label of the policy governing a work class.
     fn policy_name(&self, class: WorkClass) -> &'static str;
 
@@ -263,6 +271,17 @@ impl ResourceBroker for CentralBroker {
             WorkClass::Oltp => &mut self.oltp,
         };
         policy.place(req, ctl, rng)
+    }
+
+    fn place_one(&mut self, req: &PlacementRequest, rng: &mut SimRng) -> u32 {
+        let ctl = &mut self.ctl;
+        let policy = match req.class {
+            WorkClass::Join { stage: 0 } => &mut self.join,
+            WorkClass::Join { .. } => self.stage.as_mut().unwrap_or(&mut self.join),
+            WorkClass::Scan => &mut self.scan,
+            WorkClass::Oltp => &mut self.oltp,
+        };
+        policy.place_one(req, ctl, rng)
     }
 
     fn policy_name(&self, class: WorkClass) -> &'static str {

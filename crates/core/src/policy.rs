@@ -125,6 +125,19 @@ pub trait PlacementPolicy {
         rng: &mut SimRng,
     ) -> Placement;
 
+    /// Single-node fast path: the same decision [`PlacementPolicy::place`]
+    /// would make for a single-node request, without materializing a
+    /// [`Placement`]. Coordinator/OLTP-home placement runs once per
+    /// arrival, so the per-call `Vec` is worth skipping.
+    fn place_one(
+        &mut self,
+        req: &PlacementRequest,
+        ctl: &mut ControlNode,
+        rng: &mut SimRng,
+    ) -> u32 {
+        self.place(req, ctl, rng).nodes[0]
+    }
+
     /// Broker feedback hook: called once per report round (control tick)
     /// with the refreshed control state, which carries the full per-node
     /// resource vectors (`ControlNode::util` / `avg` / `bottleneck`).
@@ -157,6 +170,18 @@ impl PlacementPolicy for Strategy {
             None => Placement {
                 nodes: vec![req.first + rng.below(req.count.max(1) as u64) as u32],
             },
+        }
+    }
+
+    fn place_one(
+        &mut self,
+        req: &PlacementRequest,
+        ctl: &mut ControlNode,
+        rng: &mut SimRng,
+    ) -> u32 {
+        match req.join {
+            Some(join_req) => Strategy::place(self, &join_req, ctl, rng).nodes[0],
+            None => req.first + rng.below(req.count.max(1) as u64) as u32,
         }
     }
 }
@@ -215,9 +240,20 @@ impl PlacementPolicy for CoordinatorPolicy {
         ctl: &mut ControlNode,
         rng: &mut SimRng,
     ) -> Placement {
+        Placement {
+            nodes: vec![self.place_one(req, ctl, rng)],
+        }
+    }
+
+    fn place_one(
+        &mut self,
+        req: &PlacementRequest,
+        ctl: &mut ControlNode,
+        rng: &mut SimRng,
+    ) -> u32 {
         let count = req.count.max(1);
         let in_range = |id: u32| id >= req.first && id < req.first + count;
-        let node = match self.kind {
+        match self.kind {
             CoordPolicyKind::Random => req.first + rng.below(count as u64) as u32,
             // The ranked iterators walk the maintained index head-first:
             // an unrestricted request resolves in O(log n) instead of a
@@ -256,8 +292,7 @@ impl PlacementPolicy for CoordinatorPolicy {
                 self.rr += 1;
                 pick
             }
-        };
-        Placement { nodes: vec![node] }
+        }
     }
 }
 

@@ -61,8 +61,52 @@ pub struct LockManager {
     /// no-contention commit, where the sweep would visit every bucket
     /// just to find nothing.
     waiting: usize,
+    /// Retired [`LockEntry`]s (emptied, capacity kept). OLTP tuple locks
+    /// churn one entry per access; reusing the holder/waiter buffers keeps
+    /// the lock/commit cycle allocation-free in steady state.
+    entry_pool: Vec<LockEntry>,
+    /// Retired `held_by` vectors, same idea (one per transaction).
+    vec_pool: Vec<Vec<u64>>,
     grants: u64,
     waits: u64,
+}
+
+/// Bound on both free lists: enough for every plausible steady state,
+/// small enough that a contention burst cannot pin memory forever.
+const POOL_CAP: usize = 256;
+
+/// Record `object` as held by `txn`, reusing a pooled vector for the
+/// first object (free function: callers hold disjoint field borrows).
+fn note_held(
+    held_by: &mut FxHashMap<u64, Vec<u64>>,
+    pool: &mut Vec<Vec<u64>>,
+    txn: u64,
+    object: u64,
+) {
+    match held_by.entry(txn) {
+        MapEntry::Occupied(mut e) => e.get_mut().push(object),
+        MapEntry::Vacant(v) => {
+            let mut vec = pool.pop().unwrap_or_default();
+            vec.push(object);
+            v.insert(vec);
+        }
+    }
+}
+
+/// Return an emptied entry/vector to its pool (drop it when full).
+fn retire_entry(pool: &mut Vec<LockEntry>, mut e: LockEntry) {
+    if pool.len() < POOL_CAP {
+        e.holders.clear();
+        e.waiters.clear();
+        pool.push(e);
+    }
+}
+
+fn retire_vec(pool: &mut Vec<Vec<u64>>, mut v: Vec<u64>) {
+    if pool.len() < POOL_CAP {
+        v.clear();
+        pool.push(v);
+    }
 }
 
 impl LockManager {
@@ -79,11 +123,13 @@ impl LockManager {
         let entry = match self.table.entry(object) {
             MapEntry::Occupied(e) => e.into_mut(),
             MapEntry::Vacant(v) => {
-                v.insert(LockEntry {
-                    holders: vec![(txn, mode)],
+                let mut e = self.entry_pool.pop().unwrap_or_else(|| LockEntry {
+                    holders: Vec::new(),
                     waiters: VecDeque::new(),
                 });
-                self.held_by.entry(txn.id).or_default().push(object);
+                e.holders.push((txn, mode));
+                v.insert(e);
+                note_held(&mut self.held_by, &mut self.vec_pool, txn.id, object);
                 self.grants += 1;
                 return LockOutcome::Granted;
             }
@@ -111,7 +157,7 @@ impl LockManager {
         let compatible_with_holders = entry.holders.iter().all(|(_, m)| m.compatible(mode));
         if compatible_with_holders && entry.waiters.is_empty() {
             entry.holders.push((txn, mode));
-            self.held_by.entry(txn.id).or_default().push(object);
+            note_held(&mut self.held_by, &mut self.vec_pool, txn.id, object);
             self.grants += 1;
             LockOutcome::Granted
         } else {
@@ -160,18 +206,22 @@ impl LockManager {
         if let Some(held) = self.held_by.get_mut(&txn.id) {
             held.retain(|&o| o != object);
             if held.is_empty() {
-                self.held_by.remove(&txn.id);
+                if let Some(v) = self.held_by.remove(&txn.id) {
+                    retire_vec(&mut self.vec_pool, v);
+                }
             }
         }
         if let Some(entry) = self.table.get_mut(&object) {
             entry.holders.retain(|(t, _)| t.id != txn.id);
             Self::promote_waiters(entry, &mut self.waiting, &mut granted, object);
             if entry.holders.is_empty() && entry.waiters.is_empty() {
-                self.table.remove(&object);
+                if let Some(e) = self.table.remove(&object) {
+                    retire_entry(&mut self.entry_pool, e);
+                }
             }
         }
         for (t, o) in &granted {
-            self.held_by.entry(t.id).or_default().push(*o);
+            note_held(&mut self.held_by, &mut self.vec_pool, t.id, *o);
             self.grants += 1;
         }
         granted
@@ -182,17 +232,20 @@ impl LockManager {
     /// became granted — the engine resumes those transactions.
     pub fn release_all(&mut self, txn: TxnToken) -> Vec<(TxnToken, u64)> {
         let mut granted = Vec::new();
-        let held = self.held_by.remove(&txn.id).unwrap_or_default();
-        for object in held {
+        let mut held = self.held_by.remove(&txn.id).unwrap_or_default();
+        for object in held.drain(..) {
             let Some(entry) = self.table.get_mut(&object) else {
                 continue;
             };
             entry.holders.retain(|(t, _)| t.id != txn.id);
             Self::promote_waiters(entry, &mut self.waiting, &mut granted, object);
             if entry.holders.is_empty() && entry.waiters.is_empty() {
-                self.table.remove(&object);
+                if let Some(e) = self.table.remove(&object) {
+                    retire_entry(&mut self.entry_pool, e);
+                }
             }
         }
+        retire_vec(&mut self.vec_pool, held);
         // Drop any outstanding waits of this txn (abort path). With no
         // waiters anywhere the sweep cannot find anything — skip it.
         if self.waiting > 0 {
@@ -208,7 +261,7 @@ impl LockManager {
             });
         }
         for (t, o) in &granted {
-            self.held_by.entry(t.id).or_default().push(*o);
+            note_held(&mut self.held_by, &mut self.vec_pool, t.id, *o);
             self.grants += 1;
         }
         granted

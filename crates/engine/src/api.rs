@@ -188,7 +188,10 @@ pub enum Action {
     /// Synchronous write to the dedicated log disk.
     LogWrite { pe: PeId, pages: u32, token: Token },
     /// Send a message (send-CPU must have been charged by the caller).
-    Send(Msg),
+    /// Boxed: the message rides one heap allocation end-to-end (action →
+    /// send token → network → delivery), keeping `Action`, `Ev` and the
+    /// event heap entries small.
+    Send(Box<Msg>),
     /// A job finished; the simulator records metrics and releases MPL.
     JobDone { job: JobId },
     /// Wake another job blocked on memory at `pe` (admission after
@@ -222,8 +225,9 @@ pub enum InKind {
     Start,
     /// An asynchronous service completed.
     Step(Step),
-    /// A message arrived (receive CPU already charged).
-    Msg(Msg),
+    /// A message arrived (receive CPU already charged). Boxed so the
+    /// common step/grant inputs stay small on the dispatch queue.
+    Msg(Box<Msg>),
     /// A queued working-space reservation at `pe` was granted `pages`.
     MemGrant { pe: PeId, pages: u32 },
     /// OLTP stole `pages` from this job's working space at `pe`.

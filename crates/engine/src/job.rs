@@ -11,17 +11,22 @@ use crate::sort::SortQueryJob;
 use simkit::SimTime;
 
 /// Any transaction/query instance the simulator can run.
+///
+/// The rare, stateful query variants are boxed so `Job` stays at the size
+/// of the hot small variants (OLTP, scans, updates): the dispatch loop
+/// moves a `Job` out of and back into the job slab on *every* input, so
+/// the enum's footprint is paid per event, not per job.
 pub enum Job {
-    Join(JoinJob),
-    MultiJoin(MultiJoinJob),
+    Join(Box<JoinJob>),
+    MultiJoin(Box<MultiJoinJob>),
     Oltp(OltpJob),
     ScanQ(ScanQueryJob),
     UpdateQ(UpdateJob),
-    SortQ(SortQueryJob),
+    SortQ(Box<SortQueryJob>),
     /// A fragment migration launched by the rebalancing controller — a
     /// system utility, not a workload class (excluded from per-class
     /// response metrics and MPL admission).
-    Migrate(MigrationJob),
+    Migrate(Box<MigrationJob>),
 }
 
 impl Job {

@@ -318,7 +318,7 @@ impl JoinJob {
             InKind::Step(Step::Init) => {
                 self.request_placement(job, ctx);
             }
-            InKind::Msg(msg) => self.coord_msg(job, msg, ctx),
+            InKind::Msg(msg) => self.coord_msg(job, *msg, ctx),
             InKind::Step(Step::TermCpu) => {
                 debug_assert_eq!(self.state, CState::Commit);
                 self.state = CState::Done;

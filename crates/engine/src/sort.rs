@@ -436,7 +436,7 @@ impl SortQueryJob {
                     },
                 );
             }
-            InKind::Msg(msg) => self.coord_msg(job, msg, ctx),
+            InKind::Msg(msg) => self.coord_msg(job, *msg, ctx),
             InKind::Step(Step::TermCpu) => {
                 debug_assert_eq!(self.state, QState::Commit);
                 self.state = QState::Done;

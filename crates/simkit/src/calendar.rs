@@ -151,6 +151,67 @@ impl<T> CalendarQueue<T> {
         self.cached_min.map(|m| m.time)
     }
 
+    /// Time and payload of the next event without popping it.
+    pub fn peek(&self) -> Option<(SimTime, &T)> {
+        let m = self.cached_min?;
+        let e = &self.buckets[m.bucket][m.slot];
+        Some((e.time, &e.payload))
+    }
+
+    /// Pop the earliest event **without** advancing the causality
+    /// watermark (or the scan day), exposing its sequence number. The
+    /// windowed executor re-traverses the popped prefix, so later pushes
+    /// may be timestamped inside it; leaving the watermark behind keeps
+    /// those pushes legal, and a stale scan day only costs scan time.
+    pub fn pop_raw(&mut self) -> Option<(SimTime, u64, T)> {
+        let min = self.cached_min?;
+        let e = self.buckets[min.bucket].swap_remove(min.slot);
+        self.len -= 1;
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.resize(self.buckets.len() / 2);
+        } else {
+            self.recompute_min();
+        }
+        Some((e.time, e.seq, e.payload))
+    }
+
+    /// Reserve the next sequence number (see [`crate::EventHeap::alloc_seq`]).
+    pub fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Schedule `payload` under a sequence number obtained from
+    /// [`CalendarQueue::alloc_seq`] (windowed executor only).
+    pub fn push_with_seq(&mut self, time: SimTime, seq: u64, payload: T) {
+        debug_assert!(seq < self.next_seq, "seq must come from alloc_seq");
+        assert!(
+            time >= self.last_popped,
+            "event scheduled in the past: {} < {}",
+            time,
+            self.last_popped
+        );
+        let b = self.bucket_of(time);
+        let slot = self.buckets[b].len();
+        self.buckets[b].push(Entry { time, seq, payload });
+        self.len += 1;
+        if self
+            .cached_min
+            .is_none_or(|m| (time, seq) < (m.time, m.seq))
+        {
+            self.cached_min = Some(MinLoc {
+                time,
+                seq,
+                bucket: b,
+                slot,
+            });
+        }
+        if self.len > 2 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.len
     }

@@ -23,6 +23,7 @@ pub mod calendar;
 pub mod dispatch;
 pub mod fxhash;
 pub mod heap;
+pub mod lanes;
 pub mod lru;
 pub mod rng;
 pub mod server;
@@ -34,6 +35,7 @@ pub use calendar::CalendarQueue;
 pub use dispatch::{Dispatcher, EventQueue, QueueKind, Simulation};
 pub use fxhash::{FxBuildHasher, FxHashMap};
 pub use heap::EventHeap;
+pub use lanes::{merge_commit, ItemKey, LaneLog};
 pub use lru::LruMap;
 pub use rng::SimRng;
 pub use server::{FcfsServer, Priority};

@@ -1,0 +1,102 @@
+//! Allocation audit of the future-event-list hot path.
+//!
+//! Events are stored by value inside both FEL implementations, so a
+//! steady-state push/pop cycle at constant depth must never touch the
+//! heap once the backing storage is warm — for the binary heap and for
+//! the calendar queue (whose bucket array only resizes when the depth
+//! crosses a threshold). This pins the zero-allocation property the
+//! event-loop perf work relies on: per-event cost is pointer shuffling,
+//! not allocator traffic.
+//!
+//! Lives in its own integration-test binary because a
+//! `#[global_allocator]` is process-wide.
+
+use simkit::{EventQueue, QueueKind, SimDur, SimTime};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The counter is process-wide, so tests must not overlap: each takes
+/// this lock for its whole measurement window.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Hold the queue at constant depth: pop one event, push its follow-up a
+/// little later — the steady state of every hardware server model.
+fn cycle_allocs(q: &mut EventQueue<u64>, steps: u64) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..steps {
+        let (t, ev) = q.pop_next().expect("queue stays non-empty");
+        q.at(t + SimDur::from_micros(100 + ev % striped(ev)), ev);
+    }
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Deterministic per-event jitter so pushes spread across calendar days.
+fn striped(ev: u64) -> u64 {
+    37 + (ev * 31) % 400
+}
+
+fn warmed_queue(kind: QueueKind, warmup_steps: u64) -> EventQueue<u64> {
+    let mut q: EventQueue<u64> = EventQueue::with_kind(kind, 1 << 10);
+    for i in 0..512u64 {
+        q.at(SimTime::ZERO + SimDur::from_micros(i), i);
+    }
+    let _ = cycle_allocs(&mut q, warmup_steps);
+    q
+}
+
+/// The default FEL is *strictly* allocation-free once warm: sift-up and
+/// sift-down move entries inside the backing vector, and constant depth
+/// means that vector never regrows.
+#[test]
+fn event_heap_steady_state_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap();
+    let mut q = warmed_queue(QueueKind::BinaryHeap, 4096);
+    let steady = cycle_allocs(&mut q, 100_000);
+    assert_eq!(
+        steady, 0,
+        "heap FEL allocated {steady} times over 100k steady-state events"
+    );
+    assert_eq!(q.len(), 512);
+}
+
+/// The calendar queue is allocation-free in the *amortized* sense: pops
+/// (`swap_remove`) keep each day's capacity, so a bucket only allocates
+/// when it exceeds its historical high-water mark — rarer and rarer as
+/// occupancy maxima converge, but never exactly never (the tail of the
+/// per-day occupancy distribution is unbounded). Pin the rate at ≤ 0.25%
+/// of events after warm-up; the strict-zero claim belongs to the heap,
+/// which is the default (and the soak's) FEL.
+#[test]
+fn calendar_queue_steady_state_allocations_amortize_away() {
+    let _serial = SERIAL.lock().unwrap();
+    let mut q = warmed_queue(QueueKind::Calendar, 104_096);
+    let steady = cycle_allocs(&mut q, 400_000);
+    assert!(
+        steady <= 1000,
+        "calendar FEL allocated {steady} times over 400k steady-state events (> 0.25%)"
+    );
+    assert_eq!(q.len(), 512);
+}

@@ -105,6 +105,15 @@ pub struct SimConfig {
     /// identical at any thread count.
     #[serde(default)]
     pub tick_threads: u32,
+    /// Worker threads for the lane-parallel event executor (0 = the
+    /// plain sequential dispatch loop, byte-identical lowering; 1 =
+    /// windowed executor on the calling thread; >1 = windows of
+    /// lane-local events run on scoped worker threads). Every setting
+    /// produces a bit-identical [`crate::Summary`] — the merge commit
+    /// replays the sequential `(time, seq)` order exactly — so this is a
+    /// pure throughput knob.
+    #[serde(default)]
+    pub exec_threads: u32,
     /// Control-plane implementation and fault model (staleness, heartbeat
     /// loss, failure detection, rack aggregation). The default is the
     /// clean central broker; every pre-fault configuration lowers
@@ -149,6 +158,7 @@ impl SimConfig {
             broker_reads: ReadMode::default(),
             event_queue: QueueKind::default(),
             tick_threads: 0,
+            exec_threads: 0,
             broker: BrokerConfig::default(),
         }
     }
@@ -286,6 +296,12 @@ impl SimConfig {
     /// Set the control-tick sampling thread count (0 or 1 = serial).
     pub fn with_tick_threads(mut self, threads: u32) -> SimConfig {
         self.tick_threads = threads;
+        self
+    }
+
+    /// Set the lane-parallel executor thread count (0 = sequential loop).
+    pub fn with_exec_threads(mut self, threads: u32) -> SimConfig {
+        self.exec_threads = threads;
         self
     }
 

@@ -15,10 +15,10 @@ use hardware::{DiskId, IoKind, IoRequest};
 
 impl System {
     /// A CPU grant completed: route by step.
-    pub(crate) fn handle_cpu_token(&mut self, _pe: PeId, token: Token) {
+    pub(crate) fn handle_cpu_token(&mut self, _pe: PeId, mut token: Token) {
         match token.step {
             Step::SendCpu => {
-                let msg = *token.msg.expect("send token carries the message");
+                let msg = token.msg.expect("send token carries the message");
                 let from = msg.from as usize;
                 let bytes = msg.bytes;
                 if let Some(grant) = self.net.send(self.events.now(), from, bytes, msg) {
@@ -29,9 +29,9 @@ impl System {
                 }
             }
             Step::MsgCpu => {
-                let msg = *token.msg.clone().expect("msg token carries the message");
+                let msg = token.msg.take().expect("msg token carries the message");
                 if matches!(msg.kind, MsgKind::ControlReq { .. }) {
-                    self.handle_control_req(msg);
+                    self.handle_control_req(*msg);
                 } else {
                     self.route_token(token, Some(msg));
                 }
@@ -41,7 +41,7 @@ impl System {
     }
 
     /// Deliver a message: charge receive CPU at the destination.
-    pub(crate) fn deliver(&mut self, msg: Msg) {
+    pub(crate) fn deliver(&mut self, msg: Box<Msg>) {
         if msg.from == msg.to {
             // Local messages skip the network and CPU costs entirely.
             let to = msg.to;
@@ -49,7 +49,7 @@ impl System {
                 job: msg.job,
                 task: msg.task,
                 step: Step::MsgCpu,
-                msg: Some(Box::new(msg)),
+                msg: Some(msg),
             };
             self.handle_cpu_token(to, token);
             return;
@@ -60,7 +60,7 @@ impl System {
             job: msg.job,
             task: msg.task,
             step: Step::MsgCpu,
-            msg: Some(Box::new(msg)),
+            msg: Some(msg),
         };
         if let Some(grant) = self.cpus[to as usize].request(self.events.now(), instr, false, token)
         {
@@ -75,7 +75,7 @@ impl System {
     }
 
     /// Route a completed token into the owning job.
-    pub(crate) fn route_token(&mut self, token: Token, msg: Option<Msg>) {
+    pub(crate) fn route_token(&mut self, token: Token, msg: Option<Box<Msg>>) {
         let kind = match msg {
             Some(m) => InKind::Msg(m),
             None => InKind::Step(token.step),
@@ -100,12 +100,13 @@ impl System {
                 self.metrics.stale_tokens += 1;
                 continue;
             };
+            let t0 = self.prof_t0();
             {
                 let mut ctx = Ctx {
                     now: self.events.now(),
                     cfg: &self.cfg.engine,
                     catalog: &self.catalog,
-                    pes: &mut self.pes,
+                    pes: engine::ctx::PeSlice::full(&mut self.pes),
                     rng: &mut self.rng_coord,
                     out: &mut self.actions,
                     temp_counter: &mut self.temp_counter,
@@ -116,28 +117,33 @@ impl System {
             if let Some(slot) = self.jobs.get_mut(job) {
                 *slot = Some(body);
             }
+            self.prof_add(t0, crate::profile::Phase::SubEngineHandle);
+            let t1 = self.prof_t0();
             self.drain_actions();
+            self.prof_add(t1, crate::profile::Phase::SubExecActions);
         }
     }
 
     /// Execute queued engine actions against the hardware.
+    ///
+    /// Actions are moved into a scratch deque and consumed by value — no
+    /// per-action clone. The deque (not a Vec index loop) keeps the order
+    /// rule intact: nested actions pushed during execution (e.g. the
+    /// control reply) run after everything already queued.
     pub(crate) fn drain_actions(&mut self) {
         if self.actions.is_empty() {
             return;
         }
-        let mut actions = std::mem::take(&mut self.actions);
-        let mut i = 0;
-        while i < actions.len() {
-            let action = actions[i].clone();
-            i += 1;
+        let mut queue = std::mem::take(&mut self.action_scratch);
+        debug_assert!(queue.is_empty(), "drain_actions re-entered");
+        queue.extend(self.actions.drain(..));
+        while let Some(action) = queue.pop_front() {
             self.exec_action(action);
             if !self.actions.is_empty() {
-                // Nested actions (e.g. the control reply): append in order.
-                actions.append(&mut self.actions);
+                queue.extend(self.actions.drain(..));
             }
         }
-        actions.clear();
-        self.actions = actions;
+        self.action_scratch = queue;
     }
 
     fn exec_action(&mut self, action: Action) {
@@ -219,7 +225,7 @@ impl System {
                         job: msg.job,
                         task: msg.task,
                         step: Step::SendCpu,
-                        msg: Some(Box::new(msg)),
+                        msg: Some(msg),
                     };
                     if let Some(grant) = self.cpus[from as usize].request(now, instr, false, token)
                     {

@@ -8,6 +8,7 @@
 
 use crate::config::SimConfig;
 use crate::metrics::Summary;
+use crate::profile::ProfileReport;
 use crate::system::System;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
@@ -15,6 +16,18 @@ use std::sync::Mutex;
 /// Run one configuration to completion.
 pub fn run_one(cfg: SimConfig) -> Summary {
     System::new(cfg).run()
+}
+
+/// Run one configuration with wall-clock phase profiling enabled. The
+/// summary is bit-identical to [`run_one`] on the same configuration —
+/// profiling only reads the wall clock around phases.
+pub fn run_one_profiled(cfg: SimConfig) -> (Summary, ProfileReport) {
+    let t0 = std::time::Instant::now();
+    let mut sys = System::new(cfg);
+    sys.enable_profiling();
+    let summary = sys.run();
+    let report = sys.profile_report(t0.elapsed());
+    (summary, report)
 }
 
 /// Run `reps` replications with derived seeds and average the headline

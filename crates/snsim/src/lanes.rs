@@ -1,0 +1,794 @@
+//! Deterministic lane-parallel execution of the hot OLTP event stream.
+//!
+//! Builds the simulator side of `simkit::lanes`: between *barrier* events,
+//! the future event list consists purely of per-PE hardware completions
+//! (`CpuDone` / `IoDone` / `LogDone`), and — when every live job is an
+//! affinity-routed OLTP transaction — handling one of them touches only
+//! that PE's state (its CPU, disks, log disk, buffer, lock table) and
+//! schedules follow-ups only for the same PE. Such a prefix is a
+//! **window**: it is partitioned into contiguous-PE *lanes*, each lane is
+//! executed against its own slice of the hardware arrays (on scoped worker
+//! threads when `exec_threads > 1` and the window is large enough), and
+//! `simkit::merge_commit` then replays every event push and deferred
+//! effect in the global `(time, seq)` order, reproducing the sequential
+//! run **bit-identically** — same `Summary`, same residual event list,
+//! same RNG streams.
+//!
+//! What makes a window formable (checked before every attempt):
+//!
+//! * `nonlane_live == 0` — no query or migration job is live. Those jobs
+//!   send messages, place work across PEs and steal memory; their
+//!   completion events are not lane-local.
+//! * FCFS/MPL admission with an empty scheduler queue and empty per-PE
+//!   input queues — a `JobDone` inside the window then never starts
+//!   another job, so its whole effect (metrics, MPL slot release) can be
+//!   replayed at commit.
+//!
+//! Everything else — arrivals, retries, control/deadlock ticks, the
+//! warm-up mark, network traffic, alarms — is a **barrier**: it is
+//! handled by the ordinary sequential dispatch step between windows.
+//! Arrivals are deliberately barriers rather than pre-executed: spawning
+//! touches global state (placement RNG, admission, metrics) and schedules
+//! the class's next arrival, whose sequence number must be allocated in
+//! exactly the sequential order. In the OLTP soak scenarios this still
+//! leaves every hardware completion between consecutive arrivals to a
+//! window.
+//!
+//! The lane bodies below mirror `System::dispatch_event` /
+//! `System::drain` / `System::exec_action` (see `exec.rs`) restricted to
+//! the lane-safe subset; any action outside that subset panics, because it
+//! means a precondition was violated rather than a workload variation.
+
+use super::{Ev, System};
+use crate::profile::Phase;
+use dbmodel::catalog::Catalog;
+use engine::api::{Action, EngineConfig, InKind, Input, JobId, Step, Token, COORD_TASK};
+use engine::ctx::{Ctx, PeSlice};
+use engine::{Job, Pe, PeId};
+use hardware::{Cpu, DiskId, DiskSubsystem, IoKind, IoRequest};
+use simkit::slab::ParSlabView;
+use simkit::{ItemKey, LaneLog, SimDur, SimRng, SimTime, Simulation};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Formation stops after this many popped events even without a barrier,
+/// bounding per-window memory and merge-heap latency.
+const WINDOW_CAP: usize = 4096;
+
+/// Minimum window size (items formed) before scoped worker threads pay
+/// for themselves; smaller windows run the lanes inline.
+const PARALLEL_MIN_ITEMS: usize = 256;
+
+/// The PE whose state an event mutates, if the event is lane-local.
+/// Exhaustive on purpose: adding an `Ev` variant must force a decision
+/// about its window classification.
+fn lane_pe(ev: &Ev) -> Option<PeId> {
+    match ev {
+        Ev::CpuDone { pe, .. } | Ev::IoDone { pe, .. } | Ev::LogDone { pe, .. } => Some(*pe),
+        Ev::Arrival(_)
+        | Ev::Retry(..)
+        | Ev::Deliver(_)
+        | Ev::LinkFree { .. }
+        | Ev::ControlTick
+        | Ev::DeadlockTick
+        | Ev::WarmupMark
+        | Ev::Alarm { .. } => None,
+    }
+}
+
+/// One event popped at formation, carrying its original sequence number.
+struct WItem {
+    time: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+/// Per-lane mutable scratch, reused across windows (allocation-free in
+/// steady state).
+pub(crate) struct LaneScratch {
+    /// Consumed-push frontier: `(time, rank)`, min first. Originals win
+    /// same-time ties (their seqs predate the window).
+    gen: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Rank → the consumed event, taken when its item runs.
+    gen_ev: Vec<Option<Ev>>,
+    /// Lane-local (job, input) work queue (mirrors `System::pending`).
+    pending: VecDeque<(JobId, Input)>,
+    /// Lane-local action log (mirrors `System::actions`).
+    actions: Vec<Action>,
+    /// Mirrors `System::action_scratch` (order-preserving drain).
+    action_queue: VecDeque<Action>,
+    /// Jobs retired inside this window: later inputs for them are stale,
+    /// exactly as they would be after the sequential `jobs.remove`.
+    done: Vec<u64>,
+    /// Deferred `JobDone` effects: (lane item index, job), in lane order.
+    fx: Vec<(u32, JobId)>,
+    /// Stale-token count to fold into metrics at commit.
+    stale: u64,
+    /// Temp-file counter guard: OLTP never allocates temp objects, so a
+    /// nonzero value means a non-lane-safe job ran inside a window.
+    temp: u64,
+    /// Placeholder RNG for the `Ctx`; lane-safe handlers never draw from
+    /// it (OLTP tuple choice uses the job's own seed stream).
+    rng: SimRng,
+}
+
+impl LaneScratch {
+    fn new() -> LaneScratch {
+        LaneScratch {
+            gen: BinaryHeap::new(),
+            gen_ev: Vec::new(),
+            pending: VecDeque::new(),
+            actions: Vec::new(),
+            action_queue: VecDeque::new(),
+            done: Vec::new(),
+            fx: Vec::new(),
+            stale: 0,
+            temp: 0,
+            rng: SimRng::new(0),
+        }
+    }
+
+    fn reset(&mut self) {
+        debug_assert!(self.gen.is_empty());
+        debug_assert!(self.pending.is_empty());
+        debug_assert!(self.actions.is_empty());
+        debug_assert!(self.action_queue.is_empty());
+        self.gen_ev.clear();
+        self.done.clear();
+        self.fx.clear();
+    }
+}
+
+/// Per-run windowed-executor state (sized once from `exec_threads`).
+pub(crate) struct WindowState {
+    /// Number of lanes = min(exec_threads, n_pes), at least 1.
+    n_lanes: usize,
+    /// PEs per lane (contiguous chunks; lane = pe / chunk).
+    chunk: usize,
+    /// Per-lane formed items, in global `(time, seq)` order.
+    items: Vec<VecDeque<WItem>>,
+    logs: Vec<LaneLog<Ev>>,
+    scratch: Vec<LaneScratch>,
+    /// Lanes with at least one item this window, in first-touch order.
+    active: Vec<u32>,
+    /// Commit-ordered `(time, lane, item)` effect references.
+    effects: Vec<(SimTime, u32, u32)>,
+    /// Per-lane replay cursor into `scratch.fx`.
+    fx_cursor: Vec<usize>,
+}
+
+impl WindowState {
+    pub(crate) fn new(n_pes: usize, exec_threads: u32) -> WindowState {
+        let n_pes = n_pes.max(1);
+        let want = (exec_threads.max(1) as usize).min(n_pes);
+        let chunk = n_pes.div_ceil(want);
+        let n_lanes = n_pes.div_ceil(chunk);
+        WindowState {
+            n_lanes,
+            chunk,
+            items: (0..n_lanes).map(|_| VecDeque::new()).collect(),
+            logs: (0..n_lanes).map(|_| LaneLog::new()).collect(),
+            scratch: (0..n_lanes).map(|_| LaneScratch::new()).collect(),
+            active: Vec::new(),
+            effects: Vec::new(),
+            fx_cursor: vec![0; n_lanes],
+        }
+    }
+}
+
+/// Read-only state every lane shares. `ParSlabView` hands out disjoint
+/// `&mut` job slots by key; disjointness holds because an OLTP job's
+/// tokens and lock grants all carry its own PE, so only the lane owning
+/// that PE ever touches the job.
+struct LaneShared<'a> {
+    jobs: &'a ParSlabView<'a, Option<Job>>,
+    eng: &'a EngineConfig,
+    catalog: &'a Catalog,
+    control_pe: PeId,
+    horizon: SimTime,
+}
+
+/// One lane's slice of the hardware arrays (global ids `base..base+len`).
+struct LaneCtx<'a> {
+    base: usize,
+    pes: &'a mut [Pe],
+    cpus: &'a mut [Cpu<Token>],
+    disks: &'a mut [DiskSubsystem<Option<Token>>],
+    log_disks: &'a mut [DiskSubsystem<Option<Token>>],
+    shared: &'a LaneShared<'a>,
+}
+
+impl LaneCtx<'_> {
+    #[inline]
+    fn idx(&self, pe: PeId) -> usize {
+        let i = pe as usize - self.base;
+        debug_assert!(i < self.pes.len(), "event for PE {pe} escaped its lane");
+        i
+    }
+
+    /// Execute the lane: merge formed originals with consumed follow-ups
+    /// in `(time, seq)` order (originals win ties), logging every push.
+    fn run(&mut self, items: &mut VecDeque<WItem>, log: &mut LaneLog<Ev>, s: &mut LaneScratch) {
+        loop {
+            let take_orig = match (items.front(), s.gen.peek()) {
+                (Some(it), Some(Reverse((tg, _)))) => it.time <= *tg,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (t, key, ev) = if take_orig {
+                let it = items.pop_front().expect("checked front");
+                (it.time, ItemKey::Orig(it.seq), it.ev)
+            } else {
+                let Reverse((t, rank)) = s.gen.pop().expect("checked peek");
+                let ev = s.gen_ev[rank as usize]
+                    .take()
+                    .expect("consumed event stored");
+                (t, ItemKey::Gen(rank), ev)
+            };
+            log.begin_item(t, key);
+            self.handle_item(t, ev, log, s);
+            self.drain(t, log, s);
+        }
+        debug_assert!(s.pending.is_empty() && s.actions.is_empty());
+        assert_eq!(s.temp, 0, "a windowed job allocated a temp object");
+    }
+
+    /// Mirror of the lane-safe arms of `System::dispatch_event`.
+    fn handle_item(&mut self, t: SimTime, ev: Ev, log: &mut LaneLog<Ev>, s: &mut LaneScratch) {
+        match ev {
+            Ev::CpuDone { pe, token } => {
+                if let Some(next) = self.cpus[self.idx(pe)].complete(t) {
+                    self.emit(
+                        next.done,
+                        Ev::CpuDone {
+                            pe,
+                            token: next.tag,
+                        },
+                        log,
+                        s,
+                    );
+                }
+                match token.step {
+                    Step::SendCpu | Step::MsgCpu => {
+                        unreachable!("message token inside a window")
+                    }
+                    step => s.pending.push_back((
+                        token.job,
+                        Input {
+                            task: token.task,
+                            kind: InKind::Step(step),
+                        },
+                    )),
+                }
+            }
+            Ev::IoDone { pe, disk, token } => {
+                if let Some(next) = self.disks[self.idx(pe)].complete(t, DiskId(disk)) {
+                    self.emit(
+                        next.done,
+                        Ev::IoDone {
+                            pe,
+                            disk,
+                            token: next.tag,
+                        },
+                        log,
+                        s,
+                    );
+                }
+                if let Some(token) = token {
+                    s.pending.push_back((
+                        token.job,
+                        Input {
+                            task: token.task,
+                            kind: InKind::Step(token.step),
+                        },
+                    ));
+                }
+            }
+            Ev::LogDone { pe, token } => {
+                let i = self.idx(pe);
+                if let Some(next) = self.log_disks[i].complete(t, DiskId(0)) {
+                    self.emit(
+                        next.done,
+                        Ev::LogDone {
+                            pe,
+                            token: next.tag,
+                        },
+                        log,
+                        s,
+                    );
+                }
+                self.pes[i].log.write_done();
+                if let Some(token) = token {
+                    s.pending.push_back((
+                        token.job,
+                        Input {
+                            task: token.task,
+                            kind: InKind::Step(token.step),
+                        },
+                    ));
+                }
+                let waiters = std::mem::take(&mut self.pes[i].log_waiters);
+                for job in waiters {
+                    s.pending.push_back((
+                        job,
+                        Input {
+                            task: COORD_TASK,
+                            kind: InKind::Step(Step::LogIo),
+                        },
+                    ));
+                }
+            }
+            _ => unreachable!("barrier event formed into a window"),
+        }
+    }
+
+    /// Log a follow-up push: consumed in-window when it lands before the
+    /// horizon (it stays in this lane — OLTP follow-ups are same-PE),
+    /// deferred to commit otherwise.
+    fn emit(&mut self, tp: SimTime, ev: Ev, log: &mut LaneLog<Ev>, s: &mut LaneScratch) {
+        debug_assert!(lane_pe(&ev).map(|pe| self.idx(pe)).is_some());
+        if tp < self.shared.horizon {
+            let rank = log.push_consumed(tp);
+            debug_assert_eq!(rank as usize, s.gen_ev.len());
+            s.gen_ev.push(Some(ev));
+            s.gen.push(Reverse((tp, rank)));
+        } else {
+            log.push_defer(tp, ev);
+        }
+    }
+
+    /// Mirror of `System::drain`, against the lane's job slots.
+    fn drain(&mut self, t: SimTime, log: &mut LaneLog<Ev>, s: &mut LaneScratch) {
+        let mut guard = 0u64;
+        while let Some((job, input)) = s.pending.pop_front() {
+            guard += 1;
+            assert!(guard < 10_000_000, "lane dispatch loop does not converge");
+            if s.done.contains(&job.to_raw()) {
+                // Retired inside this window: the sequential run would
+                // have removed it from the slab already.
+                s.stale += 1;
+                continue;
+            }
+            // SAFETY: this lane is the only one that resolves `job` — an
+            // OLTP job's tokens, log wakeups and lock grants all carry
+            // its own PE, which lives in this lane's chunk.
+            let Some(slot) = (unsafe { self.shared.jobs.get_mut(job) }) else {
+                s.stale += 1;
+                continue;
+            };
+            let Some(mut body) = slot.take() else {
+                s.stale += 1;
+                continue;
+            };
+            debug_assert!(matches!(body, Job::Oltp(_)), "non-OLTP job in a window");
+            {
+                let mut ctx = Ctx {
+                    now: t,
+                    cfg: self.shared.eng,
+                    catalog: self.shared.catalog,
+                    pes: PeSlice::window(self.base, self.pes),
+                    rng: &mut s.rng,
+                    out: &mut s.actions,
+                    temp_counter: &mut s.temp,
+                    control_pe: self.shared.control_pe,
+                };
+                body.handle(job, input, &mut ctx);
+            }
+            *slot = Some(body);
+            self.drain_actions(t, log, s);
+        }
+    }
+
+    /// Mirror of `System::drain_actions` (nested pushes keep their order).
+    fn drain_actions(&mut self, t: SimTime, log: &mut LaneLog<Ev>, s: &mut LaneScratch) {
+        if s.actions.is_empty() {
+            return;
+        }
+        let mut queue = std::mem::take(&mut s.action_queue);
+        debug_assert!(queue.is_empty(), "lane drain_actions re-entered");
+        queue.extend(s.actions.drain(..));
+        while let Some(action) = queue.pop_front() {
+            self.exec_action(t, action, log, s);
+            if !s.actions.is_empty() {
+                queue.extend(s.actions.drain(..));
+            }
+        }
+        s.action_queue = queue;
+    }
+
+    /// Mirror of `System::exec_action`, restricted to the lane-safe
+    /// subset. Cross-lane actions are impossible for OLTP jobs; reaching
+    /// one means the window preconditions were violated.
+    fn exec_action(
+        &mut self,
+        t: SimTime,
+        action: Action,
+        log: &mut LaneLog<Ev>,
+        s: &mut LaneScratch,
+    ) {
+        match action {
+            Action::Cpu {
+                pe,
+                instr,
+                oltp,
+                token,
+            } => {
+                if let Some(grant) = self.cpus[self.idx(pe)].request(t, instr, oltp, token) {
+                    self.emit(
+                        grant.done,
+                        Ev::CpuDone {
+                            pe,
+                            token: grant.tag,
+                        },
+                        log,
+                        s,
+                    );
+                }
+            }
+            Action::Io {
+                pe,
+                disk,
+                req,
+                token,
+            } => {
+                if let Some(grant) =
+                    self.disks[self.idx(pe)].request(t, DiskId(disk), req, Some(token))
+                {
+                    self.emit(
+                        grant.done,
+                        Ev::IoDone {
+                            pe,
+                            disk,
+                            token: grant.tag,
+                        },
+                        log,
+                        s,
+                    );
+                }
+            }
+            Action::IoAsync { pe, disk, req } => {
+                if let Some(grant) = self.disks[self.idx(pe)].request(t, DiskId(disk), req, None) {
+                    self.emit(
+                        grant.done,
+                        Ev::IoDone {
+                            pe,
+                            disk,
+                            token: grant.tag,
+                        },
+                        log,
+                        s,
+                    );
+                }
+            }
+            Action::LogWrite { pe, pages, token } => {
+                let i = self.idx(pe);
+                let page = self.pes[i].log.alloc_pages(pages);
+                let req = IoRequest {
+                    object: u64::MAX,
+                    page,
+                    kind: IoKind::Write { pages },
+                };
+                if let Some(grant) = self.log_disks[i].request(t, DiskId(0), req, Some(token)) {
+                    self.emit(
+                        grant.done,
+                        Ev::LogDone {
+                            pe,
+                            token: grant.tag,
+                        },
+                        log,
+                        s,
+                    );
+                }
+            }
+            Action::JobDone { job } => {
+                // Retirement mutates global state (slab, metrics, MPL
+                // slot): defer to commit, in committed item order.
+                log.mark_effect();
+                s.fx.push((log.item_count() as u32 - 1, job));
+                s.done.push(job.to_raw());
+            }
+            Action::LockGranted { job, pe, object } => {
+                s.pending.push_back((
+                    job,
+                    Input {
+                        task: COORD_TASK,
+                        kind: InKind::LockGrant { pe, object },
+                    },
+                ));
+            }
+            Action::Send(_)
+            | Action::Alarm { .. }
+            | Action::MemoryGranted { .. }
+            | Action::MemoryStolen { .. } => {
+                unreachable!("window lane job emitted a cross-lane action")
+            }
+        }
+    }
+}
+
+impl System {
+    /// Whether a window may form right now (see module docs).
+    fn window_ready(&self) -> bool {
+        self.fcfs_admission
+            && self.nonlane_live == 0
+            && self.queued_inputs == 0
+            && self.sched.queue_len() == 0
+    }
+
+    /// One ordinary dispatch step (identical to the `Dispatcher` loop
+    /// body, including phase profiling). Returns false at the horizon.
+    fn step_sequential(&mut self, end: SimTime) -> bool {
+        match self.events.peek_time() {
+            Some(t) if t <= end => {}
+            _ => return false,
+        }
+        let (t, ev) = self.events.pop_next().expect("peeked event");
+        <Self as Simulation>::handle(self, t, ev);
+        <Self as Simulation>::quiesce(self);
+        true
+    }
+
+    /// Pop the maximal lane-local prefix into per-lane item lists.
+    /// Returns the number of events formed (0: the head is a barrier).
+    fn form_window(&mut self, end: SimTime) -> usize {
+        debug_assert!(self.pending.is_empty() && self.actions.is_empty());
+        self.win.active.clear();
+        let mut n = 0;
+        while n < WINDOW_CAP {
+            let pe = match self.events.peek() {
+                Some((t, ev)) if t <= end => match lane_pe(ev) {
+                    Some(pe) => pe,
+                    None => break,
+                },
+                _ => break,
+            };
+            let (time, seq, ev) = self.events.window_pop().expect("peeked event");
+            let lane = pe as usize / self.win.chunk;
+            if self.win.items[lane].is_empty() {
+                self.win.active.push(lane as u32);
+            }
+            self.win.items[lane].push_back(WItem { time, seq, ev });
+            n += 1;
+        }
+        n
+    }
+
+    /// Execute the formed window's lanes (inline, or on scoped worker
+    /// threads when the window is big enough to amortize them).
+    fn execute_window(&mut self, horizon: SimTime, formed: usize) {
+        for k in 0..self.win.active.len() {
+            let l = self.win.active[k] as usize;
+            self.win.logs[l].clear();
+            self.win.scratch[l].reset();
+            self.win.fx_cursor[l] = 0;
+        }
+        let jobs = self.jobs.par_view();
+        let shared = LaneShared {
+            jobs: &jobs,
+            eng: &self.cfg.engine,
+            catalog: &self.catalog,
+            control_pe: self.cfg.control_pe,
+            horizon,
+        };
+        let chunk = self.win.chunk;
+        if self.win.n_lanes > 1 && self.win.active.len() > 1 && formed >= PARALLEL_MIN_ITEMS {
+            let pes_c = self.pes.chunks_mut(chunk);
+            let cpus_c = self.cpus.chunks_mut(chunk);
+            let disks_c = self.disks.chunks_mut(chunk);
+            let logd_c = self.log_disks.chunks_mut(chunk);
+            let per_lane = self
+                .win
+                .items
+                .iter_mut()
+                .zip(self.win.logs.iter_mut())
+                .zip(self.win.scratch.iter_mut());
+            std::thread::scope(|sc| {
+                for (i, ((((pes, cpus), disks), log_disks), ((items, log), s))) in pes_c
+                    .zip(cpus_c)
+                    .zip(disks_c)
+                    .zip(logd_c)
+                    .zip(per_lane)
+                    .enumerate()
+                {
+                    if items.is_empty() {
+                        continue;
+                    }
+                    let shared = &shared;
+                    sc.spawn(move || {
+                        let mut lane = LaneCtx {
+                            base: i * chunk,
+                            pes,
+                            cpus,
+                            disks,
+                            log_disks,
+                            shared,
+                        };
+                        lane.run(items, log, s);
+                    });
+                }
+            });
+        } else {
+            for k in 0..self.win.active.len() {
+                let l = self.win.active[k] as usize;
+                let base = l * chunk;
+                let hi = (base + chunk).min(self.pes.len());
+                let mut lane = LaneCtx {
+                    base,
+                    pes: &mut self.pes[base..hi],
+                    cpus: &mut self.cpus[base..hi],
+                    disks: &mut self.disks[base..hi],
+                    log_disks: &mut self.log_disks[base..hi],
+                    shared: &shared,
+                };
+                lane.run(
+                    &mut self.win.items[l],
+                    &mut self.win.logs[l],
+                    &mut self.win.scratch[l],
+                );
+            }
+        }
+    }
+
+    /// Replay the window against the real FEL and run deferred effects
+    /// in committed order, leaving the clock where the sequential run
+    /// would have left it.
+    fn commit_window(&mut self) {
+        {
+            let w = &mut self.win;
+            w.effects.clear();
+            simkit::merge_commit(&mut self.events, &mut w.logs, &w.active, &mut w.effects);
+        }
+        let now_after = self.events.now();
+        let effects = std::mem::take(&mut self.win.effects);
+        for &(t, lane, idx) in &effects {
+            self.events.window_set_now(t);
+            let l = lane as usize;
+            loop {
+                let cur = self.win.fx_cursor[l];
+                let Some(&(item, job)) = self.win.scratch[l].fx.get(cur) else {
+                    break;
+                };
+                if item != idx {
+                    break;
+                }
+                self.win.fx_cursor[l] = cur + 1;
+                self.job_done(job);
+                // Under the window preconditions a completion never
+                // releases queued work (queues are empty and FCFS admits
+                // on arrival), so there is nothing to drain here.
+                debug_assert!(self.pending.is_empty() && self.actions.is_empty());
+            }
+        }
+        self.win.effects = effects;
+        let mut stale = 0;
+        for k in 0..self.win.active.len() {
+            let l = self.win.active[k] as usize;
+            stale += std::mem::take(&mut self.win.scratch[l].stale);
+            debug_assert_eq!(
+                self.win.fx_cursor[l],
+                self.win.scratch[l].fx.len(),
+                "every deferred JobDone must be replayed"
+            );
+        }
+        self.metrics.stale_tokens += stale;
+        self.events.window_set_now(now_after);
+    }
+
+    /// The windowed run loop (`exec_threads > 0`): alternate maximal
+    /// lane-local windows with ordinary sequential steps for barriers,
+    /// producing results bit-identical to `Dispatcher::run_until`.
+    pub(crate) fn run_windowed(&mut self, end: SimTime) {
+        loop {
+            if !self.window_ready() {
+                if !self.step_sequential(end) {
+                    break;
+                }
+                continue;
+            }
+            let t0 = self.prof_t0();
+            let formed = self.form_window(end);
+            self.prof_add(t0, Phase::WindowForm);
+            if formed == 0 {
+                if !self.step_sequential(end) {
+                    break;
+                }
+                continue;
+            }
+            // Everything strictly before the horizon that the window
+            // generates is handled in-window; at or past it is deferred.
+            // `run_until` handles events at `end` inclusively, hence the
+            // +1ns when the FEL is drained or beyond the end time.
+            let horizon = match self.events.peek_time() {
+                Some(t) if t <= end => t,
+                _ => end + SimDur::from_nanos(1),
+            };
+            let t1 = self.prof_t0();
+            self.execute_window(horizon, formed);
+            self.prof_add(t1, Phase::WindowLanes);
+            let t2 = self.prof_t0();
+            self.commit_window();
+            self.prof_add(t2, Phase::WindowCommit);
+        }
+        self.events.advance_to(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::api::{Msg, MsgKind};
+    use simkit::Slab;
+
+    /// Every `Ev` variant must have an explicit window classification:
+    /// hardware completions are lane-local on their PE, everything else
+    /// is a barrier. (The match in `lane_pe` is non-wildcard, so a new
+    /// variant fails compilation; this test pins the *decisions*.)
+    #[test]
+    fn lane_classification_is_exhaustive_and_correct() {
+        let mut slab: Slab<u8> = Slab::new();
+        let job = slab.insert(0);
+        let token = Token::new(job, COORD_TASK, Step::PageIo);
+        let msg = Box::new(Msg {
+            from: 0,
+            to: 1,
+            job,
+            task: COORD_TASK,
+            bytes: 128,
+            kind: MsgKind::JoinReady,
+        });
+        let cases: Vec<(Ev, Option<PeId>)> = vec![
+            (
+                Ev::CpuDone {
+                    pe: 3,
+                    token: token.clone(),
+                },
+                Some(3),
+            ),
+            (
+                Ev::IoDone {
+                    pe: 7,
+                    disk: 1,
+                    token: Some(token.clone()),
+                },
+                Some(7),
+            ),
+            (
+                Ev::LogDone {
+                    pe: 11,
+                    token: None,
+                },
+                Some(11),
+            ),
+            (Ev::Arrival(crate::system::ClassRef::Oltp(0)), None),
+            (Ev::Retry(crate::system::ClassRef::Oltp(0), 2), None),
+            (Ev::Deliver(msg), None),
+            (Ev::LinkFree { pe: 5 }, None),
+            (Ev::ControlTick, None),
+            (Ev::DeadlockTick, None),
+            (Ev::WarmupMark, None),
+            (Ev::Alarm { job, pe: 4 }, None),
+        ];
+        for (ev, want) in &cases {
+            assert_eq!(lane_pe(ev), *want);
+        }
+        // Barrier events must never be formed into a window.
+        assert_eq!(cases.iter().filter(|(_, w)| w.is_none()).count(), 8);
+    }
+
+    #[test]
+    fn window_state_covers_all_pes() {
+        for n_pes in [1usize, 2, 7, 64, 1000] {
+            for threads in [0u32, 1, 2, 8, 2000] {
+                let w = WindowState::new(n_pes, threads);
+                assert!(w.chunk >= 1);
+                assert_eq!(w.n_lanes, n_pes.div_ceil(w.chunk));
+                // Every PE maps to a valid lane.
+                assert!((n_pes - 1) / w.chunk < w.n_lanes);
+                assert_eq!(w.items.len(), w.n_lanes);
+                assert_eq!(w.logs.len(), w.n_lanes);
+                assert_eq!(w.scratch.len(), w.n_lanes);
+            }
+        }
+    }
+}

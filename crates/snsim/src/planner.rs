@@ -130,7 +130,7 @@ impl Planner {
                     outer_out,
                 );
                 jj.skew = skew;
-                Job::Join(jj)
+                Job::Join(Box::new(jj))
             }
             ClassPlan::MultiJoin {
                 outer,
@@ -152,7 +152,7 @@ impl Planner {
                     s0.inner_out,
                     outer_out,
                 );
-                Job::MultiJoin(MultiJoinJob::new(first, stages))
+                Job::MultiJoin(Box::new(MultiJoinJob::new(first, stages)))
             }
             ClassPlan::Scan {
                 relation,
@@ -183,7 +183,7 @@ impl Planner {
                 psu_opt,
                 psu_noio,
                 expected_out,
-            } => Job::SortQ(engine::sort::SortQueryJob::new(
+            } => Job::SortQ(Box::new(engine::sort::SortQueryJob::new(
                 class_idx,
                 coord,
                 relation,
@@ -193,7 +193,7 @@ impl Planner {
                 psu_opt,
                 psu_noio,
                 expected_out,
-            )),
+            ))),
         }
     }
 

@@ -31,6 +31,7 @@ pub fn build_config(knobs: &Knobs) -> SimConfig {
         .with_broker_reads(knobs.broker_reads)
         .with_event_queue(knobs.event_queue)
         .with_tick_threads(knobs.tick_threads)
+        .with_exec_threads(knobs.exec_threads)
         .with_broker(knobs.broker);
     if let Some(policies) = knobs.policies {
         cfg = cfg.with_policies(policies);

@@ -18,6 +18,7 @@
 use crate::config::SimConfig;
 use crate::metrics::{ClassSummary, Metrics, Summary};
 use crate::planner::Planner;
+use crate::profile::{Phase, ProfileAcc, ProfileReport};
 use dbmodel::catalog::Catalog;
 use dbmodel::deadlock;
 use dbmodel::log::LogParams;
@@ -37,6 +38,11 @@ use simkit::{Dispatcher, EventQueue, SimDur, SimRng, SimTime, Simulation, Slab};
 use std::collections::VecDeque;
 use workload::queries::CoordinatorPlacement;
 use workload::ArrivalSpec;
+
+/// Windowed lane-parallel executor (`exec_threads` knob). A child module
+/// so it can reach `System`'s private state without widening visibility.
+#[path = "lanes.rs"]
+mod lanes;
 
 /// Reference to a workload class (queries first, then OLTP).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,7 +82,10 @@ pub enum Ev {
     LinkFree {
         pe: PeId,
     },
-    Deliver(Msg),
+    // Boxed: keeps `Ev` (and every event-heap entry) at the size of the
+    // small hot variants; the box is the same allocation the engine made
+    // when the message was sent.
+    Deliver(Box<Msg>),
     ControlTick,
     DeadlockTick,
     WarmupMark,
@@ -125,7 +134,7 @@ pub struct System {
     pub(crate) cpus: Vec<Cpu<Token>>,
     pub(crate) disks: Vec<DiskSubsystem<Option<Token>>>,
     pub(crate) log_disks: Vec<DiskSubsystem<Option<Token>>>,
-    pub(crate) net: Network<Msg>,
+    pub(crate) net: Network<Box<Msg>>,
     /// Jobs are checked out (`Option::take`) during dispatch so handlers
     /// can borrow the rest of the system without aliasing the slab.
     pub(crate) jobs: Slab<Option<Job>>,
@@ -157,6 +166,18 @@ pub struct System {
     /// hand-off) so the per-arrival backlog watermark does not rescan
     /// every PE — at 1000 PEs that scan dominated the arrival path.
     queued_inputs: usize,
+    /// Live jobs that are not lane-safe (everything except `Job::Oltp`).
+    /// The windowed executor only forms windows while this is zero: query
+    /// and migration jobs send messages and place work across PEs, so
+    /// their completion events are not lane-local.
+    nonlane_live: usize,
+    /// Whether the admission policy is plain FCFS/MPL (admits
+    /// unconditionally, keeps the scheduler queue empty). The windowed
+    /// executor requires it: budget-based policies make admission depend
+    /// on release order, which a window defers.
+    fcfs_admission: bool,
+    /// Scratch state for the windowed executor (`exec_threads > 0`).
+    win: lanes::WindowState,
 
     pub(crate) rng_arrivals: Vec<SimRng>,
     pub(crate) rng_place: SimRng,
@@ -164,8 +185,15 @@ pub struct System {
     pub(crate) rng_seed_counter: u64,
 
     pub metrics: Metrics,
+    /// Wall-clock phase accumulators (`lab --profile`); `None` in normal
+    /// runs. Never serialized, never read by the model — cannot affect a
+    /// [`Summary`].
+    prof: Option<Box<ProfileAcc>>,
     pub(crate) temp_counter: u64,
     pub(crate) actions: Vec<Action>,
+    /// Reused by [`System::drain_actions`] so the by-value action loop
+    /// allocates nothing in steady state.
+    pub(crate) action_scratch: VecDeque<Action>,
     pub(crate) pending: VecDeque<(JobId, Input)>,
 
     // Utilization snapshots (taken at the warm-up mark).
@@ -236,6 +264,7 @@ impl System {
             d
         };
 
+        let fcfs_admission = sched.policy_name() == "fcfs";
         let mut sys = System {
             events: EventQueue::with_kind(cfg.event_queue, 1 << 16),
             pes: (0..n)
@@ -271,13 +300,18 @@ impl System {
             net_windows: vec![UtilizationWindow::default(); n],
             tick_scratch: vec![ResourceVector::default(); n],
             queued_inputs: 0,
+            nonlane_live: 0,
+            fcfs_admission,
+            win: lanes::WindowState::new(n, cfg.exec_threads),
             rng_arrivals,
             rng_place: root.fork(1),
             rng_coord: root.fork(2),
             rng_seed_counter: 0,
             metrics,
+            prof: None,
             temp_counter: 0,
             actions: Vec::with_capacity(64),
+            action_scratch: VecDeque::with_capacity(64),
             pending: VecDeque::new(),
             cpu_busy_at_warmup: vec![0; n],
             disk_busy_at_warmup: 0,
@@ -349,7 +383,7 @@ impl System {
                         CoordinatorPlacement::Random => {
                             let req =
                                 PlacementRequest::coordinator(WorkClass::Scan, 0, self.cfg.n_pes);
-                            self.broker.place(&req, &mut self.rng_coord).nodes[0]
+                            self.broker.place_one(&req, &mut self.rng_coord)
                         }
                     },
                 };
@@ -365,21 +399,29 @@ impl System {
                 job
             }
             ClassRef::Oltp(i) => {
-                let spec = self.cfg.workload.oltp[i].clone();
                 let pe = match pe_hint {
                     Some(pe) => pe,
                     None => {
-                        let (first, count) = spec.nodes.resolve(self.cfg.n_pes);
+                        let (first, count) =
+                            self.cfg.workload.oltp[i].nodes.resolve(self.cfg.n_pes);
                         let req = PlacementRequest::coordinator(WorkClass::Oltp, first, count);
-                        self.broker.place(&req, &mut self.rng_coord).nodes[0]
+                        self.broker
+                            .place_one(&req, &mut self.rng_coord)
                             .min(self.cfg.n_pes - 1)
                     }
                 };
                 let seed = self.next_seed();
-                Planner::make_oltp_job(&spec, class_idx, pe, now, seed)
+                // Borrow the spec in place — cloning it would allocate
+                // (the class name is a `String`) once per arrival.
+                let spec = &self.cfg.workload.oltp[i];
+                Planner::make_oltp_job(spec, class_idx, pe, now, seed)
             }
         };
         let coord = job.coord_pe();
+        let lane_safe = matches!(job, Job::Oltp(_));
+        if !lane_safe {
+            self.nonlane_live += 1;
+        }
         let id = self.jobs.insert(Some(job));
         // Admission: the ticket carries the class's cost-model estimates;
         // the scheduler decides now / shrunk / wait / reject. The default
@@ -407,6 +449,9 @@ impl System {
             // Queue bound exceeded: the query never enters the system
             // (the scheduler counted the rejection).
             self.jobs.remove(id);
+            if !lane_safe {
+                self.nonlane_live -= 1;
+            }
             return;
         }
         self.pump_admissions();
@@ -417,6 +462,7 @@ impl System {
     /// (or queues for) its coordinator's MPL slot exactly as before the
     /// admission layer existed.
     fn pump_admissions(&mut self) {
+        let t0 = self.prof_t0();
         let now = self.events.now();
         let mut ready = std::mem::take(&mut self.admit_scratch);
         self.sched.pump_into(now, &mut ready);
@@ -442,6 +488,7 @@ impl System {
         }
         ready.clear();
         self.admit_scratch = ready;
+        self.prof_add(t0, Phase::SubAdmissionPump);
     }
 
     /// Release a finished coordinator's MPL slot and start the next job
@@ -509,8 +556,44 @@ impl System {
     /// Run until the configured horizon; returns the summary.
     pub fn run(&mut self) -> Summary {
         let end = SimTime::ZERO + self.cfg.sim_time;
-        Dispatcher::run_until(self, end);
+        if self.cfg.exec_threads > 0 {
+            self.run_windowed(end);
+        } else {
+            Dispatcher::run_until(self, end);
+        }
         self.finalize()
+    }
+
+    /// Turn on wall-clock phase profiling (see [`crate::profile`]).
+    pub fn enable_profiling(&mut self) {
+        self.prof = Some(Box::default());
+    }
+
+    /// Freeze the profiling accumulators into a report; `wall` is the
+    /// run's total wall clock as measured by the caller.
+    pub fn profile_report(&self, wall: std::time::Duration) -> ProfileReport {
+        match &self.prof {
+            Some(acc) => acc.report(wall),
+            None => ProfileReport::empty(),
+        }
+    }
+
+    /// Start a phase timer (no-op unless profiling is enabled).
+    #[inline]
+    pub(crate) fn prof_t0(&self) -> Option<std::time::Instant> {
+        if self.prof.is_some() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Close a phase timer opened by [`System::prof_t0`].
+    #[inline]
+    pub(crate) fn prof_add(&mut self, t0: Option<std::time::Instant>, phase: Phase) {
+        if let (Some(t0), Some(p)) = (t0, self.prof.as_mut()) {
+            p.add(phase, t0.elapsed());
+        }
     }
 
     fn dispatch_event(&mut self, ev: Ev) {
@@ -659,7 +742,7 @@ impl System {
                 nodes: placement.nodes,
             },
         };
-        self.actions.push(Action::Send(reply));
+        self.actions.push(Action::Send(Box::new(reply)));
         self.drain_actions();
     }
 
@@ -668,6 +751,9 @@ impl System {
         let Some(body) = self.jobs.remove(job).flatten() else {
             return;
         };
+        if !matches!(body, Job::Oltp(_)) {
+            self.nonlane_live -= 1;
+        }
         // Migrations are system utilities, not workload: flip the
         // fragment's home (unless the move gave up on a busy fragment),
         // refresh the broker's locality view, count it.
@@ -751,11 +837,14 @@ impl System {
         // report stream (and thus every downstream ranking) is identical
         // at any thread count.
         let threads = (self.cfg.tick_threads as usize).min(self.cfg.n_pes as usize);
+        let t_sample = self.prof_t0();
         if threads > 1 {
             self.sample_all_parallel(now, threads);
         } else {
             self.sample_all_serial(now);
         }
+        self.prof_add(t_sample, Phase::SubBrokerSample);
+        let t_merge = self.prof_t0();
         for pe in 0..self.cfg.n_pes as usize {
             let v = self.tick_scratch[pe];
             self.broker.report(pe as u32, v);
@@ -764,6 +853,7 @@ impl System {
             }
         }
         self.broker.end_report_round();
+        self.prof_add(t_merge, Phase::SubBrokerMerge);
         if measuring {
             let mem: f64 = self.pes.iter().map(|p| p.buffer.utilization()).sum::<f64>()
                 / self.pes.len() as f64;
@@ -790,6 +880,7 @@ impl System {
         // controller observes. The fragment snapshot reuses a per-run
         // scratch vector: no allocation per round.
         if self.rebalancer.is_some() {
+            let t_plan = self.prof_t0();
             // Pinned relations (affinity-routed OLTP data) never move.
             self.frag_scratch.clear();
             for rel in 0..self.catalog.len() as u32 {
@@ -817,6 +908,7 @@ impl System {
             for plan in plans {
                 self.start_migration(plan);
             }
+            self.prof_add(t_plan, Phase::SubPlanning);
         }
     }
 
@@ -830,7 +922,7 @@ impl System {
         pe_idx: usize,
         cpus: &[Cpu<Token>],
         disks: &[DiskSubsystem<Option<Token>>],
-        net: &Network<Msg>,
+        net: &Network<Box<Msg>>,
         cpu_w: &mut UtilizationWindow,
         disk_w: &mut UtilizationWindow,
         net_w: &mut UtilizationWindow,
@@ -915,15 +1007,17 @@ impl System {
     /// Launch one fragment migration as an engine job (real disk/network
     /// traffic; bypasses MPL admission — it is a system utility).
     fn start_migration(&mut self, plan: MigrationPlan) {
+        let t0 = self.prof_t0();
         let now = self.events.now();
-        let job = Job::Migrate(MigrationJob::new(
+        let job = Job::Migrate(Box::new(MigrationJob::new(
             dbmodel::RelationId(plan.relation),
             plan.fragment,
             plan.from,
             plan.to,
             plan.tuples,
             now,
-        ));
+        )));
+        self.nonlane_live += 1;
         let id = self.jobs.insert(Some(job));
         self.pending.push_back((
             id,
@@ -932,6 +1026,7 @@ impl System {
                 kind: InKind::Start,
             },
         ));
+        self.prof_add(t0, Phase::SubMigration);
     }
 
     fn deadlock_tick(&mut self) {
@@ -958,6 +1053,9 @@ impl System {
         let Some(body) = self.jobs.remove(job).flatten() else {
             return;
         };
+        if !matches!(body, Job::Oltp(_)) {
+            self.nonlane_live -= 1;
+        }
         self.metrics.deadlock_victims += 1;
         self.metrics.aborted += 1;
         let (class, pe) = (body.class(), body.coord_pe());
@@ -1144,10 +1242,36 @@ impl Simulation for System {
     }
 
     fn handle(&mut self, _now: SimTime, ev: Ev) {
+        if self.prof.is_none() {
+            self.dispatch_event(ev);
+            return;
+        }
+        let phase = match &ev {
+            Ev::Arrival(_) | Ev::Retry(..) => Phase::Arrival,
+            Ev::CpuDone { .. } => Phase::CpuDone,
+            Ev::IoDone { .. } => Phase::IoDone,
+            Ev::LogDone { .. } => Phase::LogDone,
+            Ev::Deliver(_) | Ev::LinkFree { .. } => Phase::Network,
+            Ev::ControlTick => Phase::ControlTick,
+            Ev::DeadlockTick | Ev::WarmupMark | Ev::Alarm { .. } => Phase::OtherEvent,
+        };
+        let t0 = std::time::Instant::now();
         self.dispatch_event(ev);
+        let d = t0.elapsed();
+        self.prof.as_mut().expect("profiling enabled").add(phase, d);
     }
 
     fn quiesce(&mut self) {
+        if self.prof.is_none() {
+            self.drain();
+            return;
+        }
+        let t0 = std::time::Instant::now();
         self.drain();
+        let d = t0.elapsed();
+        self.prof
+            .as_mut()
+            .expect("profiling enabled")
+            .add(Phase::EngineDrain, d);
     }
 }

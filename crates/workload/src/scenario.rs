@@ -222,6 +222,10 @@ pub struct Knobs {
     /// Threads for the control tick's sampling phase (0/1 = serial;
     /// results are identical at any count).
     pub tick_threads: u32,
+    /// Threads for the windowed lane-parallel executor (0 = the plain
+    /// sequential dispatcher; ≥ 1 enables windowing, > 1 adds worker
+    /// threads). Results are bit-identical at any count.
+    pub exec_threads: u32,
     /// Control-plane implementation and fault model (report staleness,
     /// heartbeat loss, failure detection, rack aggregation). Absent in a
     /// spec = the clean central broker, byte-identical to pre-fault runs.
@@ -260,6 +264,7 @@ impl Default for Knobs {
             broker_reads: ReadMode::default(),
             event_queue: QueueKind::default(),
             tick_threads: 0,
+            exec_threads: 0,
             broker: BrokerConfig::default(),
             sim_secs: 40.0,
             warmup_secs: 8.0,
@@ -349,6 +354,8 @@ pub struct Patch {
     pub event_queue: Option<QueueKind>,
     /// Override [`Knobs::tick_threads`].
     pub tick_threads: Option<u32>,
+    /// Override [`Knobs::exec_threads`].
+    pub exec_threads: Option<u32>,
     /// Override [`Knobs::broker`].
     pub broker: Option<BrokerConfig>,
     /// Override [`Knobs::sim_secs`].
@@ -392,6 +399,7 @@ impl Patch {
             broker_reads,
             event_queue,
             tick_threads,
+            exec_threads,
             broker,
             sim_secs,
             warmup_secs,
@@ -474,6 +482,9 @@ impl Patch {
         if let Some(v) = self.tick_threads {
             parts.push(format!("tick_threads={v}"));
         }
+        if let Some(v) = self.exec_threads {
+            parts.push(format!("exec_threads={v}"));
+        }
         if let Some(v) = &self.broker {
             parts.push(format!("broker={}", v.label()));
         }
@@ -545,6 +556,10 @@ pub struct Sweep {
     pub mpl: Vec<u32>,
     /// Node-speed profiles.
     pub node_speed: Vec<NodeSpeed>,
+    /// Windowed-executor thread counts (0 = sequential dispatcher).
+    /// Sweeping this axis is a determinism check: every value must
+    /// produce the same results.
+    pub exec_threads: Vec<u32>,
     /// Control-plane configurations (broker kind + fault model) to
     /// compare.
     pub broker: Vec<BrokerConfig>,
@@ -619,6 +634,7 @@ impl ScenarioSpec {
             s.net_speed.len(),
             s.mpl.len(),
             s.node_speed.len(),
+            s.exec_threads.len(),
             s.broker.len(),
             s.seed.len(),
         ]
@@ -732,6 +748,13 @@ impl ScenarioSpec {
             &s.node_speed,
             NodeSpeed::label,
             |k, v| k.node_speed = v.clone(),
+        );
+        runs = expand(
+            runs,
+            "exec_threads",
+            &s.exec_threads,
+            u32::to_string,
+            |k, v| k.exec_threads = *v,
         );
         runs = expand(runs, "broker", &s.broker, BrokerConfig::label, |k, v| {
             k.broker = *v

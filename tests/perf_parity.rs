@@ -45,10 +45,31 @@ fn assert_parity(base: SimConfig, label: &str) {
             ..BrokerConfig::default()
         })
         .with_broker_reads(ReadMode::SortPerCall);
-    let hier = base.with_broker(BrokerConfig {
+    let hier = base.clone().with_broker(BrokerConfig {
         kind: BrokerKind::Hierarchical,
         ..BrokerConfig::default()
     });
+    // The windowed-executor axis: lane-parallel execution is a pure
+    // scheduling change, so it must be bit-identical at any thread count,
+    // crossed with the queue kind, the read mode, and the broker kind.
+    let exec2 = base.clone().with_exec_threads(2);
+    let exec8 = base.clone().with_exec_threads(8);
+    let exec2_calendar = base
+        .clone()
+        .with_event_queue(QueueKind::Calendar)
+        .with_exec_threads(2);
+    let exec2_sorted = base
+        .clone()
+        .with_broker_reads(ReadMode::SortPerCall)
+        .with_event_queue(QueueKind::BinaryHeap)
+        .with_tick_threads(0)
+        .with_exec_threads(2);
+    let exec2_lagged = base
+        .with_broker(BrokerConfig {
+            kind: BrokerKind::Lagged,
+            ..BrokerConfig::default()
+        })
+        .with_exec_threads(2);
     let j = |cfg: SimConfig| serde_json::to_string(&snsim::run_one(cfg)).expect("serialize");
     let want = j(reference);
     assert_eq!(want, j(incremental), "incremental reads diverged: {label}");
@@ -61,6 +82,38 @@ fn assert_parity(base: SimConfig, label: &str) {
         "clean lagged broker (sorted reads) diverged: {label}"
     );
     assert_eq!(want, j(hier), "one-rack hierarchical diverged: {label}");
+    assert_eq!(want, j(exec2), "windowed executor (2) diverged: {label}");
+    assert_eq!(want, j(exec8), "windowed executor (8) diverged: {label}");
+    assert_eq!(
+        want,
+        j(exec2_calendar),
+        "windowed executor on the calendar queue diverged: {label}"
+    );
+    assert_eq!(
+        want,
+        j(exec2_sorted),
+        "windowed executor under sort-per-call reads diverged: {label}"
+    );
+    assert_eq!(
+        want,
+        j(exec2_lagged),
+        "windowed executor under the lagged broker diverged: {label}"
+    );
+}
+
+/// Same configuration at `exec_threads` 0 / 2 / 8 must serialize the same
+/// summary — used where the *reference* configuration itself is not the
+/// comparison point (faulted brokers, the soak smoke).
+fn assert_exec_parity(base: SimConfig, label: &str) {
+    let j = |cfg: SimConfig| serde_json::to_string(&snsim::run_one(cfg)).expect("serialize");
+    let want = j(base.clone().with_exec_threads(0));
+    for threads in [2u32, 8] {
+        assert_eq!(
+            want,
+            j(base.clone().with_exec_threads(threads)),
+            "exec_threads={threads} diverged: {label}"
+        );
+    }
 }
 
 fn join_cfg(strat: Strategy, n: u32, rate: f64, seed: u64) -> SimConfig {
@@ -129,6 +182,56 @@ fn admission_parity() {
             ..sched::AdmissionConfig::default()
         });
     assert_parity(cfg, "admission");
+}
+
+/// Soak smoke: a 1000-PE pure-OLTP slice — the one workload shape where
+/// the windowed executor actually forms multi-event windows (FCFS
+/// admission, no live queries), so this is the real exercise of lane
+/// execution + merge commit rather than the barrier fallback path.
+#[test]
+fn soak_smoke_exec_parity() {
+    let cfg = SimConfig::paper_default(
+        1000,
+        WorkloadSpec::mixed(
+            0.01,
+            0.0,
+            dbmodel::RelationId(2),
+            100.0,
+            workload::NodeFilter::All,
+        ),
+        Strategy::OptIoCpu,
+    )
+    .with_seed(1)
+    .with_sim_time(SimDur::from_millis(300), SimDur::from_millis(50));
+    assert_exec_parity(cfg, "soak_smoke");
+}
+
+/// Broker-fault family: a lossy, stale broker with the failure detector
+/// armed draws from the fault RNG stream on the control clock. Windows
+/// must not perturb those draws (control ticks are barriers).
+#[test]
+fn broker_fault_exec_parity() {
+    let cfg = SimConfig::paper_default(
+        1000,
+        WorkloadSpec::mixed(
+            0.01,
+            0.0,
+            dbmodel::RelationId(2),
+            100.0,
+            workload::NodeFilter::All,
+        ),
+        Strategy::OptIoCpu,
+    )
+    .with_seed(9)
+    .with_sim_time(SimDur::from_millis(300), SimDur::from_millis(50))
+    .with_broker(BrokerConfig {
+        kind: BrokerKind::Lagged,
+        staleness_ms: 500.0,
+        heartbeat_loss: 0.2,
+        miss_threshold: 2,
+        ..BrokerConfig::default()
+    });
+    assert_exec_parity(cfg, "broker_faults");
 }
 
 /// Mixed OLTP workload: per-arrival coordinator picks exercise the
