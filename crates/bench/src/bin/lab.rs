@@ -14,6 +14,14 @@
 //!                    prints the breakdown per scenario and writes
 //!                    `results/<name>.profile.json` (mutually exclusive
 //!                    with --bench: profiled runs are serial by design)
+//!   --trace          run serially with the observability layer forced on;
+//!                    writes `results/<name>.timeseries.json`/`.csv`,
+//!                    `results/<name>.explain.json` and
+//!                    `results/<name>.trace.jsonl` (mutually exclusive with
+//!                    --bench and --profile)
+//!   --explain        like --trace, and also prints the placement-decision
+//!                    digest (per-policy decision counts, win margins,
+//!                    top-K winner nodes)
 //! ```
 //!
 //! Each spec file holds one scenario (see `scenarios/` and README.md for
@@ -36,18 +44,30 @@ fn main() {
     });
     if let Some(unknown) = args.iter().find(|a| {
         a.starts_with("--")
-            && !matches!(a.as_str(), "--dry-run" | "--full" | "--smoke" | "--profile")
+            && !matches!(
+                a.as_str(),
+                "--dry-run" | "--full" | "--smoke" | "--profile" | "--trace" | "--explain"
+            )
     }) {
         eprintln!("error: unknown flag `{unknown}`");
         eprintln!(
-            "usage: lab [--dry-run] [--full|--smoke] [--bench <file>] [--profile] <spec.json> ..."
+            "usage: lab [--dry-run] [--full|--smoke] [--bench <file>] [--profile] \
+             [--trace] [--explain] <spec.json> ..."
         );
         std::process::exit(2);
     }
     let dry_run = args.iter().any(|a| a == "--dry-run");
     let profile = args.iter().any(|a| a == "--profile");
+    let explain = args.iter().any(|a| a == "--explain");
+    let trace = explain || args.iter().any(|a| a == "--trace");
     if profile && bench_out.is_some() {
         eprintln!("error: --profile runs serially and would distort a --bench baseline");
+        std::process::exit(2);
+    }
+    if trace && (profile || bench_out.is_some()) {
+        eprintln!(
+            "error: --trace/--explain runs serially; combine with neither --profile nor --bench"
+        );
         std::process::exit(2);
     }
     let len = RunLength::from_args();
@@ -88,7 +108,25 @@ fn main() {
             continue;
         }
         let started = std::time::Instant::now();
-        let rows = if profile {
+        let rows = if trace {
+            let traced = lab::run_scenario_traced(&spec, len);
+            let wrote = [
+                lab::write_timeseries_json(&spec.name, &traced),
+                lab::write_timeseries_csv(&spec.name, &traced),
+                lab::write_explain_json(&spec.name, &traced),
+                lab::write_trace_jsonl(&spec.name, &traced),
+            ];
+            for path in wrote.iter().flatten() {
+                eprintln!("trace artifact written to {}", path.display());
+            }
+            if wrote.iter().any(Option::is_none) {
+                failed = true;
+            }
+            if explain {
+                lab::print_explain(&spec.name, &traced);
+            }
+            traced.into_iter().map(|(row, _)| row).collect()
+        } else if profile {
             let (rows, report) = lab::run_scenario_profiled(&spec, len);
             println!("{}", report.format_table(&spec.name));
             if let Some(path) = lab::write_profile_json(&spec.name, &report) {

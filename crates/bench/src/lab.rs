@@ -173,6 +173,223 @@ pub fn run_scenario_profiled(
     (rows, report)
 }
 
+/// Execute every run of a scenario **serially** with the observability
+/// layer forced on, returning each run's trace output alongside its row.
+/// Serial so a traced 1000-PE soak never holds more than one run's event
+/// buffer at a time; summaries stay bit-identical to [`run_scenario`]'s
+/// (the recorder only reads state — see `tests/obs_parity.rs`).
+pub fn run_scenario_traced(spec: &ScenarioSpec, len: RunLength) -> Vec<(LabRow, obs::TraceOutput)> {
+    let lowered = snsim::scenario::configs(spec);
+    lowered
+        .into_iter()
+        .map(|(run, cfg)| {
+            let mut cfg = len.apply(cfg);
+            cfg.trace.enabled = true;
+            let (summary, trace) = snsim::run_one_traced(cfg);
+            let trace = trace.expect("trace enabled");
+            let (strategy, x) = row_keys(&run);
+            (
+                LabRow {
+                    axes: run.axes,
+                    strategy,
+                    x,
+                    summary,
+                },
+                trace,
+            )
+        })
+        .collect()
+}
+
+fn write_results_file(path: &PathBuf, contents: String) -> Option<PathBuf> {
+    match std::fs::write(path, contents) {
+        Ok(()) => Some(path.clone()),
+        Err(e) => {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Serialize every traced run's round samples to
+/// `results/<name>.timeseries.json` (one entry per run, keyed by the
+/// run's series/x labels; schema documented in README.md).
+pub fn write_timeseries_json(name: &str, traced: &[(LabRow, obs::TraceOutput)]) -> Option<PathBuf> {
+    let runs: Vec<serde_json::Value> = traced
+        .iter()
+        .map(|(row, t)| {
+            serde_json::json!({
+                "strategy": row.strategy,
+                "x": row.x,
+                "rounds_seen": t.timeseries.rounds_seen,
+                "stride": t.timeseries.stride,
+                "samples": t.timeseries.samples,
+            })
+        })
+        .collect();
+    let payload = serde_json::json!({
+        "scenario": name,
+        "runs": serde_json::Value::Array(runs),
+    });
+    let dir = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.timeseries.json"));
+    match serde_json::to_string_pretty(&payload) {
+        Ok(json) => write_results_file(&path, json),
+        Err(e) => {
+            eprintln!("warning: could not serialize {name} timeseries: {e}");
+            None
+        }
+    }
+}
+
+/// Flatten every traced run's round samples to
+/// `results/<name>.timeseries.csv`, one row per retained sample.
+pub fn write_timeseries_csv(name: &str, traced: &[(LabRow, obs::TraceOutput)]) -> Option<PathBuf> {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(out, "scenario,strategy,x,round,t_ms");
+    for k in obs::KIND_NAMES {
+        let _ = write!(out, ",{k}_avg");
+    }
+    for k in obs::KIND_NAMES {
+        let _ = write!(out, ",{k}_p95");
+    }
+    let _ = writeln!(
+        out,
+        ",admission_backlog,mpl_backlog,oldest_wait_ms,live_nodes,suspected_nodes,\
+         inflight_migrations,arrivals,rejections,shrunk,completions,policy"
+    );
+    for (row, t) in traced {
+        for s in &t.timeseries.samples {
+            let _ = write!(
+                out,
+                "{},{},{},{},{:.3}",
+                csv_escape(name),
+                csv_escape(&row.strategy),
+                csv_escape(&row.x),
+                s.round,
+                s.t_ms,
+            );
+            for v in &s.util_avg {
+                let _ = write!(out, ",{v:.4}");
+            }
+            for v in &s.util_p95 {
+                let _ = write!(out, ",{v:.4}");
+            }
+            let _ = writeln!(
+                out,
+                ",{},{},{:.3},{},{},{},{},{},{},{},{}",
+                s.admission_backlog,
+                s.mpl_backlog,
+                s.oldest_wait_ms,
+                s.live_nodes,
+                s.suspected_nodes,
+                s.inflight_migrations,
+                s.arrivals,
+                s.rejections,
+                s.shrunk,
+                s.completions,
+                csv_escape(&s.policy),
+            );
+        }
+    }
+    let dir = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&dir);
+    write_results_file(&dir.join(format!("{name}.timeseries.csv")), out)
+}
+
+/// Serialize every traced run's placement-decision digest to
+/// `results/<name>.explain.json`.
+pub fn write_explain_json(name: &str, traced: &[(LabRow, obs::TraceOutput)]) -> Option<PathBuf> {
+    let runs: Vec<serde_json::Value> = traced
+        .iter()
+        .map(|(row, t)| {
+            serde_json::json!({
+                "strategy": row.strategy,
+                "x": row.x,
+                "events_dropped": t.events_dropped,
+                "explain": t.explain,
+            })
+        })
+        .collect();
+    let payload = serde_json::json!({
+        "scenario": name,
+        "runs": serde_json::Value::Array(runs),
+    });
+    let dir = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.explain.json"));
+    match serde_json::to_string_pretty(&payload) {
+        Ok(json) => write_results_file(&path, json),
+        Err(e) => {
+            eprintln!("warning: could not serialize {name} explain: {e}");
+            None
+        }
+    }
+}
+
+/// Write every traced run's lifecycle events to
+/// `results/<name>.trace.jsonl`. Runs are separated by a
+/// `{"ev":"run",...}` header line so the stream stays one valid JSONL
+/// file across a sweep.
+pub fn write_trace_jsonl(name: &str, traced: &[(LabRow, obs::TraceOutput)]) -> Option<PathBuf> {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (row, t) in traced {
+        let header = serde_json::json!({
+            "ev": "run",
+            "strategy": row.strategy,
+            "x": row.x,
+            "events": t.events.len() as u64,
+            "events_dropped": t.events_dropped,
+        });
+        let _ = writeln!(
+            out,
+            "{}",
+            serde_json::to_string(&header).unwrap_or_default()
+        );
+        for line in &t.events {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    let dir = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&dir);
+    write_results_file(&dir.join(format!("{name}.trace.jsonl")), out)
+}
+
+/// Print the `--explain` digest: per run, per policy — decision counts,
+/// win margins between the best and runner-up candidate scores, and the
+/// top-K "why node X" winner table.
+pub fn print_explain(name: &str, traced: &[(LabRow, obs::TraceOutput)]) {
+    for (row, t) in traced {
+        println!("== explain `{name}` {}@{}", row.strategy, row.x);
+        if t.explain.is_empty() {
+            println!("   (no placement decisions recorded)");
+            continue;
+        }
+        for e in &t.explain {
+            println!(
+                "   policy {:>12}: {} decisions, margin mean {:.4} (min {:.4}, max {:.4}), \
+                 {} clear wins",
+                e.policy, e.decisions, e.margin_mean, e.margin_min, e.margin_max, e.clear_wins
+            );
+            for n in &e.top_nodes {
+                println!(
+                    "      node {:>4}: {} wins, mean bottleneck at win {:.4}",
+                    n.node, n.wins, n.mean_score_at_win
+                );
+            }
+        }
+        if t.events_dropped > 0 {
+            println!(
+                "   ({} events dropped past the retention cap)",
+                t.events_dropped
+            );
+        }
+    }
+}
+
 /// Serialize a profile report to `results/<name>.profile.json`.
 pub fn write_profile_json(name: &str, report: &snsim::ProfileReport) -> Option<PathBuf> {
     let rows: Vec<serde_json::Value> = report

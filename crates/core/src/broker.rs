@@ -123,6 +123,16 @@ pub trait ResourceBroker {
     /// contiguous column per kind, no allocation per call).
     fn utils(&self, kind: ResourceKind) -> &[f64];
 
+    /// A node's bottleneck utilization in this broker's current view:
+    /// the maximum over all resource kinds, i.e. the quantity LUB-style
+    /// selection minimizes. Read-only — the observability layer samples
+    /// it per candidate to explain placement decisions.
+    fn bottleneck(&self, node: u32) -> f64 {
+        ResourceKind::ALL
+            .iter()
+            .fold(0.0_f64, |acc, &k| acc.max(self.util(node, k)))
+    }
+
     /// Cluster-average utilization of one resource.
     fn avg(&self, kind: ResourceKind) -> f64 {
         let col = self.utils(kind);

@@ -1,0 +1,166 @@
+//! Per-report-round cluster samples with a bounded deterministic
+//! reservoir.
+//!
+//! The time series is clocked by broker report rounds (the control
+//! cadence), not wall time: every round contributes at most one
+//! [`RoundSample`]. To keep 1000-PE soaks affordable the series holds at
+//! most `cap` samples; on overflow it drops every other retained sample
+//! and doubles its stride, so the survivors stay evenly spaced over the
+//! whole run and the result is a pure function of the offered sequence.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource-kind column names, in `ResourceKind` index order. The
+/// simulator fills [`RoundSample::util_avg`] / [`RoundSample::util_p95`]
+/// in this order.
+pub const KIND_NAMES: [&str; 4] = ["cpu", "mem", "disk", "net"];
+
+/// One cluster-wide sample, taken at the end of a broker report round.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RoundSample {
+    /// Simulated milliseconds since run start.
+    pub t_ms: f64,
+    /// Report-round ordinal (0-based).
+    pub round: u64,
+    /// Cluster-average utilization per resource kind ([`KIND_NAMES`] order).
+    pub util_avg: Vec<f64>,
+    /// Cross-node p95 utilization per resource kind ([`KIND_NAMES`] order).
+    pub util_p95: Vec<f64>,
+    /// Queries waiting in the admission queue.
+    pub admission_backlog: u32,
+    /// Admitted subqueries waiting for an MPL slot on their coordinator.
+    pub mpl_backlog: u32,
+    /// Age (ms) of the oldest ticket still waiting in the admission
+    /// queue — the backlog-knee signal (0 with an empty queue).
+    pub oldest_wait_ms: f64,
+    /// Nodes the control plane currently trusts.
+    pub live_nodes: u32,
+    /// Nodes the failure detector currently suspects.
+    pub suspected_nodes: u32,
+    /// Fragment migrations started but not yet committed.
+    pub inflight_migrations: u32,
+    /// Arrivals since the previous sample.
+    pub arrivals: u64,
+    /// Admission rejections since the previous sample.
+    pub rejections: u64,
+    /// Shrunk (degree-reduced) admissions since the previous sample.
+    pub shrunk: u64,
+    /// Query completions since the previous sample.
+    pub completions: u64,
+    /// Active placement policy name for complex queries.
+    pub policy: String,
+}
+
+/// Bounded, deterministic time series of [`RoundSample`]s.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Retained samples, oldest first.
+    pub samples: Vec<RoundSample>,
+    /// Rounds offered (retained + skipped + dropped by decimation).
+    pub rounds_seen: u64,
+    /// Current keep-stride: a sample is retained iff its round ordinal is
+    /// a multiple of this.
+    pub stride: u64,
+    cap: usize,
+}
+
+impl TimeSeries {
+    /// A series retaining at most `cap` samples (`cap` is clamped to ≥ 2
+    /// so decimation always makes progress).
+    pub fn new(cap: usize) -> TimeSeries {
+        TimeSeries {
+            samples: Vec::new(),
+            rounds_seen: 0,
+            stride: 1,
+            cap: cap.max(2),
+        }
+    }
+
+    /// Offer the next round's sample. `sample.round` must be the number
+    /// of samples offered so far (the caller's round counter); offers not
+    /// on the current stride are counted but not stored.
+    pub fn offer(&mut self, sample: RoundSample) {
+        let keep = self.rounds_seen.is_multiple_of(self.stride);
+        self.rounds_seen += 1;
+        if !keep {
+            return;
+        }
+        if self.samples.len() == self.cap {
+            // Keep indices 0, 2, 4, … — every survivor is still a
+            // multiple of the (doubled) stride.
+            let mut i = 0;
+            self.samples.retain(|_| {
+                let k = i % 2 == 0;
+                i += 1;
+                k
+            });
+            self.stride *= 2;
+            if self.samples.len() == self.cap {
+                // cap < 2 cannot happen (clamped), so decimation shrank us.
+                return;
+            }
+            // The freshly offered round may no longer sit on the doubled
+            // stride; drop it if so.
+            if !(self.rounds_seen - 1).is_multiple_of(self.stride) {
+                return;
+            }
+        }
+        self.samples.push(sample);
+    }
+
+    /// Retained-sample cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(round: u64) -> RoundSample {
+        RoundSample {
+            round,
+            t_ms: round as f64 * 100.0,
+            ..RoundSample::default()
+        }
+    }
+
+    #[test]
+    fn below_cap_keeps_everything() {
+        let mut ts = TimeSeries::new(8);
+        for r in 0..8 {
+            ts.offer(s(r));
+        }
+        assert_eq!(ts.samples.len(), 8);
+        assert_eq!(ts.stride, 1);
+        assert_eq!(ts.rounds_seen, 8);
+    }
+
+    #[test]
+    fn overflow_decimates_and_doubles_stride() {
+        let mut ts = TimeSeries::new(8);
+        for r in 0..64 {
+            ts.offer(s(r));
+        }
+        assert_eq!(ts.rounds_seen, 64);
+        assert!(ts.samples.len() <= 8, "len {} > cap", ts.samples.len());
+        // Survivors are evenly spaced on the final stride.
+        for w in ts.samples.windows(2) {
+            assert_eq!(w[1].round - w[0].round, ts.stride);
+        }
+        assert_eq!(ts.samples[0].round, 0);
+    }
+
+    #[test]
+    fn deterministic_for_same_sequence() {
+        let run = |n: u64| {
+            let mut ts = TimeSeries::new(16);
+            for r in 0..n {
+                ts.offer(s(r));
+            }
+            ts.samples.iter().map(|x| x.round).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1000), run(1000));
+    }
+}

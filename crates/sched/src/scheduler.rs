@@ -149,6 +149,16 @@ impl Scheduler {
         self.queue.iter().map(|w| w.ticket.cpu_work_ms).sum()
     }
 
+    /// Age (ms) at `now` of the oldest ticket still waiting, 0 with an
+    /// empty queue. Read-only; sampled per report round by the
+    /// observability layer as the backlog-knee signal.
+    pub fn oldest_waiting_ms(&self, now: SimTime) -> f64 {
+        self.queue
+            .iter()
+            .map(|w| now.since(w.ticket.submitted).as_millis_f64())
+            .fold(0.0, f64::max)
+    }
+
     /// Admissions whose degree was shrunk below the ticket's estimate.
     pub fn shrunk(&self) -> u64 {
         self.shrunk

@@ -120,6 +120,12 @@ pub struct SimConfig {
     /// byte-identically.
     #[serde(default)]
     pub broker: BrokerConfig,
+    /// Observability layer (time series, lifecycle tracing, placement
+    /// explain). Disabled by default; the disabled layer is inert — the
+    /// system holds no recorder, so the hot path costs one pointer test
+    /// and the [`crate::Summary`] stays bit-identical.
+    #[serde(default)]
+    pub trace: obs::TraceConfig,
 }
 
 impl SimConfig {
@@ -160,6 +166,7 @@ impl SimConfig {
             tick_threads: 0,
             exec_threads: 0,
             broker: BrokerConfig::default(),
+            trace: obs::TraceConfig::default(),
         }
     }
 
@@ -302,6 +309,13 @@ impl SimConfig {
     /// Set the lane-parallel executor thread count (0 = sequential loop).
     pub fn with_exec_threads(mut self, threads: u32) -> SimConfig {
         self.exec_threads = threads;
+        self
+    }
+
+    /// Select the observability layer (disabled by default; enabling it
+    /// never changes the [`crate::Summary`] — pinned by `obs_parity`).
+    pub fn with_trace(mut self, trace: obs::TraceConfig) -> SimConfig {
+        self.trace = trace;
         self
     }
 

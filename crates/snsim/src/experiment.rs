@@ -30,6 +30,17 @@ pub fn run_one_profiled(cfg: SimConfig) -> (Summary, ProfileReport) {
     (summary, report)
 }
 
+/// Run one configuration and extract its observability outputs. With the
+/// `trace` knob off this is exactly [`run_one`] (the trace half is
+/// `None`); with it on, the summary is still bit-identical to the
+/// untraced run — the recorder only reads state, never feeds back.
+pub fn run_one_traced(cfg: SimConfig) -> (Summary, Option<obs::TraceOutput>) {
+    let mut sys = System::new(cfg);
+    let summary = sys.run();
+    let trace = sys.take_trace();
+    (summary, trace)
+}
+
 /// Run `reps` replications with derived seeds and average the headline
 /// response times (common-random-number comparisons use the same `reps`).
 pub fn run_reps(cfg: &SimConfig, reps: u32) -> AggregateSummary {

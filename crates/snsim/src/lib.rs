@@ -56,7 +56,8 @@ pub mod system;
 
 pub use config::SimConfig;
 pub use experiment::{
-    format_table, run_one, run_one_profiled, run_parallel, run_reps, AggregateSummary,
+    format_table, run_one, run_one_profiled, run_one_traced, run_parallel, run_reps,
+    AggregateSummary,
 };
 pub use metrics::{Metrics, Summary};
 pub use profile::ProfileReport;

@@ -32,7 +32,8 @@ pub fn build_config(knobs: &Knobs) -> SimConfig {
         .with_event_queue(knobs.event_queue)
         .with_tick_threads(knobs.tick_threads)
         .with_exec_threads(knobs.exec_threads)
-        .with_broker(knobs.broker);
+        .with_broker(knobs.broker)
+        .with_trace(knobs.trace);
     if let Some(policies) = knobs.policies {
         cfg = cfg.with_policies(policies);
     }
@@ -148,6 +149,35 @@ mod tests {
         let a = serde_json::to_string(&build_config(&legacy)).unwrap();
         let b = serde_json::to_string(&build_config(&explicit)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn absent_trace_knob_lowers_byte_identically() {
+        // A legacy spec (no trace knob) and an explicit disabled-trace
+        // spec must produce the exact same serialized configuration.
+        let legacy: Knobs = serde_json::from_str(r#"{ "n_pes": 20 }"#).unwrap();
+        let explicit: Knobs = serde_json::from_str(
+            r#"{ "n_pes": 20, "trace": { "enabled": false, "max_rounds": 0 } }"#,
+        )
+        .unwrap();
+        let a = serde_json::to_string(&build_config(&legacy)).unwrap();
+        let b = serde_json::to_string(&build_config(&explicit)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_knob_lowers_into_config() {
+        let knobs = Knobs {
+            trace: obs::TraceConfig {
+                enabled: true,
+                max_rounds: 256,
+                ..obs::TraceConfig::default()
+            },
+            ..Knobs::default()
+        };
+        let cfg = build_config(&knobs);
+        assert!(cfg.trace.enabled);
+        assert_eq!(cfg.trace.rounds_cap(), 256);
     }
 
     #[test]

@@ -189,6 +189,15 @@ pub struct System {
     /// runs. Never serialized, never read by the model — cannot affect a
     /// [`Summary`].
     prof: Option<Box<ProfileAcc>>,
+    /// Observability recorder (`trace` knob); `None` when tracing is
+    /// disabled, so every hook site is a single pointer test. The
+    /// recorder only receives copies of values the round already
+    /// computed — it never draws from a sim RNG stream and never feeds
+    /// anything back into the model, so a [`Summary`] cannot depend on it.
+    obs: Option<Box<obs::Recorder>>,
+    /// Per-node bottleneck scores staged for the recorder at each
+    /// placement decision (empty unless tracing).
+    obs_scores: Vec<f64>,
     pub(crate) temp_counter: u64,
     pub(crate) actions: Vec<Action>,
     /// Reused by [`System::drain_actions`] so the by-value action loop
@@ -265,6 +274,10 @@ impl System {
         };
 
         let fcfs_admission = sched.policy_name() == "fcfs";
+        let obs = cfg
+            .trace
+            .enabled
+            .then(|| Box::new(obs::Recorder::new(cfg.trace, n)));
         let mut sys = System {
             events: EventQueue::with_kind(cfg.event_queue, 1 << 16),
             pes: (0..n)
@@ -309,6 +322,8 @@ impl System {
             rng_seed_counter: 0,
             metrics,
             prof: None,
+            obs,
+            obs_scores: Vec::new(),
             temp_counter: 0,
             actions: Vec::with_capacity(64),
             action_scratch: VecDeque::with_capacity(64),
@@ -423,6 +438,13 @@ impl System {
             self.nonlane_live += 1;
         }
         let id = self.jobs.insert(Some(job));
+        if let Some(o) = self.obs.as_mut() {
+            o.arrival(
+                Self::t_ms(now),
+                id.to_raw(),
+                self.metrics.class_name(class_idx),
+            );
+        }
         // Admission: the ticket carries the class's cost-model estimates;
         // the scheduler decides now / shrunk / wait / reject. The default
         // FcfsMpl policy admits unconditionally, which reduces to exactly
@@ -452,6 +474,9 @@ impl System {
             if !lane_safe {
                 self.nonlane_live -= 1;
             }
+            if let Some(o) = self.obs.as_mut() {
+                o.rejected(Self::t_ms(now), id.to_raw());
+            }
             return;
         }
         self.pump_admissions();
@@ -475,6 +500,14 @@ impl System {
             let submitted = body.submitted();
             if self.pes[coord].try_admit(id) {
                 self.metrics.record_queue_wait(now - submitted, now);
+                if let Some(o) = self.obs.as_mut() {
+                    o.admitted(
+                        Self::t_ms(now),
+                        raw,
+                        (now - submitted).as_millis_f64(),
+                        self.sched.degree_cap(raw),
+                    );
+                }
                 self.pending.push_back((
                     id,
                     Input {
@@ -498,7 +531,16 @@ impl System {
             self.queued_inputs -= 1;
             let now = self.events.now();
             if let Some(Some(body)) = self.jobs.get(next) {
-                self.metrics.record_queue_wait(now - body.submitted(), now);
+                let wait = now - body.submitted();
+                self.metrics.record_queue_wait(wait, now);
+                if let Some(o) = self.obs.as_mut() {
+                    o.admitted(
+                        Self::t_ms(now),
+                        next.to_raw(),
+                        wait.as_millis_f64(),
+                        self.sched.degree_cap(next.to_raw()),
+                    );
+                }
             }
             self.pending.push_back((
                 next,
@@ -730,7 +772,27 @@ impl System {
             },
             self.cfg.n_pes,
         );
+        // Tracing: snapshot every node's bottleneck score from the
+        // broker's *current* view before the decision consumes it, so the
+        // explain digest sees exactly what the policy saw. Pure `&self`
+        // reads — the placement RNG stream is untouched.
+        if self.obs.is_some() {
+            self.obs_scores.clear();
+            for node in 0..self.cfg.n_pes {
+                self.obs_scores.push(self.broker.bottleneck(node));
+            }
+        }
         let placement = self.broker.place(&req, &mut self.rng_place);
+        if let Some(o) = self.obs.as_mut() {
+            o.placement(
+                Self::t_ms(self.events.now()),
+                msg.job.to_raw(),
+                stage,
+                self.broker.policy_name(WorkClass::Join { stage }),
+                &self.obs_scores,
+                &placement.nodes,
+            );
+        }
         let bytes = self.cfg.engine.ctrl_msg_bytes + 4 * placement.nodes.len() as u32;
         let reply = Msg {
             from: self.cfg.control_pe,
@@ -767,6 +829,10 @@ impl System {
                 });
                 self.metrics.record_migration(m.tuples);
             }
+            if let Some(o) = self.obs.as_mut() {
+                let now = self.events.now();
+                o.migration_end(Self::t_ms(now), m.from, m.to, m.tuples, m.transferred());
+            }
             if let Some(rc) = &mut self.rebalancer {
                 rc.migration_finished(m.relation.0, m.fragment);
             }
@@ -776,6 +842,14 @@ impl System {
         let class = body.class();
         let submitted = body.submitted();
         self.metrics.record_completion(class, submitted, now);
+        if let Some(o) = self.obs.as_mut() {
+            o.completed(
+                Self::t_ms(now),
+                job.to_raw(),
+                self.metrics.class_name(class),
+                (now - submitted).as_millis_f64(),
+            );
+        }
         if let Job::Join(j) = &body {
             let o = j.outcome();
             self.metrics.record_join(
@@ -910,6 +984,60 @@ impl System {
             }
             self.prof_add(t_plan, Phase::SubPlanning);
         }
+        // Tracing: close the round with one cluster sample (the series is
+        // clocked by these report rounds, not wall time).
+        if self.obs.is_some() {
+            self.observe_round(now);
+        }
+    }
+
+    /// Sim time in milliseconds (observability timestamps only).
+    fn t_ms(now: SimTime) -> f64 {
+        now.as_nanos() as f64 / 1e6
+    }
+
+    /// End-of-round observability sample (tracing only): suspicion diffs,
+    /// per-kind average and cross-node p95 utilization, backlog gauges and
+    /// run-total counters. Pure reads of state the round already computed
+    /// — no RNG draws, no model mutation.
+    fn observe_round(&mut self, now: SimTime) {
+        let t = Self::t_ms(now);
+        let n = self.cfg.n_pes;
+        for node in 0..n {
+            let suspected = self.broker.control().is_suspected(node);
+            self.obs
+                .as_mut()
+                .expect("tracing enabled")
+                .suspicion(t, node, suspected);
+        }
+        let mut util_avg = [0.0; ResourceKind::COUNT];
+        let mut util_p95 = [0.0; ResourceKind::COUNT];
+        for kind in ResourceKind::ALL {
+            util_avg[kind.index()] = self.broker.avg(kind);
+            util_p95[kind.index()] = self
+                .obs
+                .as_mut()
+                .expect("tracing enabled")
+                .cross_node_p95(self.broker.utils(kind));
+        }
+        let completions_total: u64 = self.metrics.classes.iter().map(|c| c.completed).sum();
+        let input = obs::RoundInput {
+            t_ms: t,
+            util_avg,
+            util_p95,
+            admission_backlog: self.sched.queue_len() as u32,
+            mpl_backlog: self.queued_inputs as u32,
+            oldest_wait_ms: self.sched.oldest_waiting_ms(now),
+            suspected: self.broker.suspected_nodes(),
+            n_nodes: n,
+            policy: self.broker.policy_name(WorkClass::Join { stage: 0 }),
+            policy_switches: self.broker.policy_switches(),
+            arrivals_total: self.metrics.arrivals,
+            rejections_total: self.sched.rejected(),
+            shrunk_total: self.sched.shrunk(),
+            completions_total,
+        };
+        self.obs.as_mut().expect("tracing enabled").round(input);
     }
 
     /// Sample one PE's windowed per-resource state into a vector, rolling
@@ -1009,6 +1137,9 @@ impl System {
     fn start_migration(&mut self, plan: MigrationPlan) {
         let t0 = self.prof_t0();
         let now = self.events.now();
+        if let Some(o) = self.obs.as_mut() {
+            o.migration_start(Self::t_ms(now), plan.from, plan.to, plan.tuples);
+        }
         let job = Job::Migrate(Box::new(MigrationJob::new(
             dbmodel::RelationId(plan.relation),
             plan.fragment,
@@ -1058,6 +1189,9 @@ impl System {
         }
         self.metrics.deadlock_victims += 1;
         self.metrics.aborted += 1;
+        if let Some(o) = self.obs.as_mut() {
+            o.aborted(Self::t_ms(self.events.now()), job.to_raw());
+        }
         let (class, pe) = (body.class(), body.coord_pe());
         // Release everything it holds — at *every* PE: a parallel query's
         // scan locks live in the lock tables of the data PEs, not the
@@ -1231,6 +1365,13 @@ impl System {
     /// The broker (placement-layer diagnostics).
     pub fn broker(&self) -> &dyn ResourceBroker {
         &*self.broker
+    }
+
+    /// Extract a traced run's observability outputs (`None` when the
+    /// `trace` knob was off). Call after [`System::run`]; the recorder is
+    /// consumed.
+    pub fn take_trace(&mut self) -> Option<obs::TraceOutput> {
+        self.obs.take().map(|r| r.finish())
     }
 }
 

@@ -40,6 +40,7 @@ use crate::mix::WorkloadSpec;
 use crate::oltp::NodeFilter;
 use dbmodel::RelationId;
 use lb_core::{BrokerConfig, PolicyConfig, ReadMode, Strategy};
+use obs::TraceConfig;
 use sched::AdmissionConfig;
 use serde::{Deserialize, Serialize};
 use simkit::QueueKind;
@@ -230,6 +231,10 @@ pub struct Knobs {
     /// heartbeat loss, failure detection, rack aggregation). Absent in a
     /// spec = the clean central broker, byte-identical to pre-fault runs.
     pub broker: BrokerConfig,
+    /// Observability layer: per-round time series, lifecycle JSONL, and
+    /// the placement-explain digest. Absent in a spec = disabled, and the
+    /// disabled layer is provably inert (bit-identical `Summary`).
+    pub trace: TraceConfig,
     /// Simulated seconds.
     pub sim_secs: f64,
     /// Warm-up seconds discarded from statistics.
@@ -266,6 +271,7 @@ impl Default for Knobs {
             tick_threads: 0,
             exec_threads: 0,
             broker: BrokerConfig::default(),
+            trace: TraceConfig::default(),
             sim_secs: 40.0,
             warmup_secs: 8.0,
             seed: 0xC0FFEE,
@@ -358,6 +364,8 @@ pub struct Patch {
     pub exec_threads: Option<u32>,
     /// Override [`Knobs::broker`].
     pub broker: Option<BrokerConfig>,
+    /// Override [`Knobs::trace`].
+    pub trace: Option<TraceConfig>,
     /// Override [`Knobs::sim_secs`].
     pub sim_secs: Option<f64>,
     /// Override [`Knobs::warmup_secs`].
@@ -401,6 +409,7 @@ impl Patch {
             tick_threads,
             exec_threads,
             broker,
+            trace,
             sim_secs,
             warmup_secs,
             seed
@@ -488,6 +497,9 @@ impl Patch {
         if let Some(v) = &self.broker {
             parts.push(format!("broker={}", v.label()));
         }
+        if let Some(v) = &self.trace {
+            parts.push(format!("trace={}", v.label()));
+        }
         if let Some(v) = self.sim_secs {
             parts.push(format!("sim={v}"));
         }
@@ -563,6 +575,9 @@ pub struct Sweep {
     /// Control-plane configurations (broker kind + fault model) to
     /// compare.
     pub broker: Vec<BrokerConfig>,
+    /// Observability configurations. Sweeping trace on/off is an
+    /// inertness check: every value must produce the same `Summary`.
+    pub trace: Vec<TraceConfig>,
     /// Replication seeds.
     pub seed: Vec<u64>,
 }
@@ -636,6 +651,7 @@ impl ScenarioSpec {
             s.node_speed.len(),
             s.exec_threads.len(),
             s.broker.len(),
+            s.trace.len(),
             s.seed.len(),
         ]
         .iter()
@@ -758,6 +774,9 @@ impl ScenarioSpec {
         );
         runs = expand(runs, "broker", &s.broker, BrokerConfig::label, |k, v| {
             k.broker = *v
+        });
+        runs = expand(runs, "trace", &s.trace, TraceConfig::label, |k, v| {
+            k.trace = *v
         });
         runs = expand(runs, "seed", &s.seed, u64::to_string, |k, v| k.seed = *v);
         runs

@@ -27,6 +27,7 @@ pub use dbmodel;
 pub use engine;
 pub use hardware;
 pub use lb_core;
+pub use obs;
 pub use simkit;
 pub use snsim;
 pub use workload;

@@ -1,0 +1,121 @@
+//! Allocation audit of the disabled observability layer.
+//!
+//! The inertness claim for the `trace` knob has two halves. The
+//! bit-identical-summary half lives in `tests/obs_parity.rs`; this binary
+//! pins the allocation half:
+//!
+//! * the fixed-bucket [`WaitHist`] behind `queue_wait_ms_p95` is
+//!   *strictly* allocation-free to record and to query — replacing the
+//!   Vec-backed histogram was the point of the swap;
+//! * `run_one_traced` with the knob off allocates **exactly** as much as
+//!   `run_one` on the same configuration — the `Option<Box<Recorder>>`
+//!   hooks compile to pointer tests, and the disabled layer adds zero
+//!   allocator traffic to the soak hot path.
+//!
+//! Lives in its own integration-test binary because a
+//! `#[global_allocator]` is process-wide; every test takes the SERIAL
+//! lock for its whole measurement window. Simulations here run with
+//! `tick_threads`/`exec_threads` at 0 so no worker-thread allocations
+//! pollute the counts.
+
+use parallel_lb::prelude::*;
+use snsim::metrics::WaitHist;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The counter is process-wide, so tests must not overlap: each takes
+/// this lock for its whole measurement window.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = f();
+    (r, ALLOCS.load(Ordering::Relaxed) - before)
+}
+
+/// Recording and querying the queue-wait histogram never touches the
+/// heap: the buckets are a fixed inline array.
+#[test]
+fn wait_hist_is_strictly_allocation_free() {
+    let _serial = SERIAL.lock().unwrap();
+    let mut hist = WaitHist::default();
+    let (_, n) = allocs_during(|| {
+        for i in 0..10_000u64 {
+            hist.record(SimDur::from_micros(1 + (i * 37) % 1_000_000));
+        }
+        let _ = hist.quantile(0.95);
+        let _ = hist.count();
+    });
+    assert_eq!(n, 0, "WaitHist allocated {n} times over 10k records");
+}
+
+fn soak_cfg() -> SimConfig {
+    SimConfig::paper_default(
+        1000,
+        WorkloadSpec::mixed(
+            0.01,
+            0.0,
+            dbmodel::RelationId(2),
+            100.0,
+            workload::NodeFilter::All,
+        ),
+        Strategy::OptIoCpu,
+    )
+    .with_seed(1)
+    .with_sim_time(SimDur::from_millis(300), SimDur::from_millis(50))
+    .with_tick_threads(0)
+    .with_exec_threads(0)
+}
+
+/// The disabled trace layer adds zero allocations to the soak hot path:
+/// the traced entry point with the knob off allocates exactly as much as
+/// the plain entry point (and identical runs allocate identically, so
+/// the comparison is exact, not statistical).
+#[test]
+fn disabled_trace_layer_allocates_nothing_extra() {
+    let _serial = SERIAL.lock().unwrap();
+    // Warm-up run so lazily initialized process state (malloc arenas,
+    // stdio locks) does not skew the first measurement.
+    let _ = snsim::run_one(soak_cfg());
+    let (s1, plain_a) = allocs_during(|| snsim::run_one(soak_cfg()));
+    let (s2, plain_b) = allocs_during(|| snsim::run_one(soak_cfg()));
+    assert_eq!(
+        plain_a, plain_b,
+        "identical untraced runs allocated differently — counter polluted?"
+    );
+    let ((s3, trace), traced_n) = allocs_during(|| snsim::run_one_traced(soak_cfg()));
+    assert!(trace.is_none(), "trace off must produce no output");
+    assert_eq!(
+        plain_a,
+        traced_n,
+        "disabled trace layer allocated {} extra times on the soak hot path",
+        traced_n.abs_diff(plain_a)
+    );
+    // Same bits, too (the cheap end-to-end cross-check).
+    let j = |s: &Summary| serde_json::to_string(s).expect("serialize");
+    assert_eq!(j(&s1), j(&s2));
+    assert_eq!(j(&s1), j(&s3));
+}
