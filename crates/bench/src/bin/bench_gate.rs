@@ -46,6 +46,7 @@ const FLOORS: &[(&str, f64)] = &[
     ("thousand_pe_soak", 0.75),
     ("thousand_pe_soak_smoke", 0.75),
     ("thousand_pe_soak_shuffle", 0.75),
+    ("thousand_pe_soak_joins", 0.75),
     ("thousand_pe_soak_baseline", 0.75),
 ];
 

@@ -158,6 +158,11 @@ impl<T> CalendarQueue<T> {
         Some((e.time, &e.payload))
     }
 
+    /// `(time, seq)` key of the next event without popping it.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.cached_min.map(|m| (m.time, m.seq))
+    }
+
     /// Pop the earliest event **without** advancing the causality
     /// watermark (or the scan day), exposing its sequence number. The
     /// windowed executor re-traverses the popped prefix, so later pushes

@@ -167,6 +167,16 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// `(time, seq)` key of the next pending event without popping it.
+    /// The commit pass merges the FEL head against lane-log replays and
+    /// residual events by this key.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        match &self.fel {
+            Fel::Heap(h) => h.peek_key(),
+            Fel::Calendar(c) => c.peek_key(),
+        }
+    }
+
     /// Pop the next event with its sequence number, advancing neither the
     /// clock, the processed counter, nor the FEL causality watermark.
     pub fn window_pop(&mut self) -> Option<(SimTime, u64, E)> {

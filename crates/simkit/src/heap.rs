@@ -105,6 +105,11 @@ impl<T> EventHeap<T> {
         self.heap.peek().map(|e| (e.time, &e.payload))
     }
 
+    /// `(time, seq)` key of the next event without popping it.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|e| (e.time, e.seq))
+    }
+
     /// Pop the earliest event **without** advancing the causality
     /// watermark, exposing its sequence number. Used by the windowed
     /// executor, which re-traverses the popped prefix and must still be

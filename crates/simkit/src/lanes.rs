@@ -172,38 +172,85 @@ impl<E> LaneLog<E> {
     }
 }
 
-/// Re-traverse one window in global `(time, seq)` order, replaying every
-/// recorded push against `q` (allocating real sequence numbers in exactly
-/// the order a sequential run would have) and counting each item as
-/// processed. The clock is left at the last item's timestamp.
+/// One lane item replayed by [`MergeCursor::replay_next`]: where it lived
+/// (`lane`, `idx`), its committed timestamp, and whether the lane flagged
+/// a deferred cross-lane effect for it.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeStep {
+    pub lane: u32,
+    pub idx: u32,
+    pub time: SimTime,
+    pub effect: bool,
+}
+
+/// Incremental merge over one window's lane logs in global `(time, seq)`
+/// order.
 ///
-/// Items flagged with [`LaneLog::mark_effect`] are appended to
-/// `effects_out` as `(time, lane, item_idx)` in commit order; the caller
-/// replays their simulation-level effects afterwards (they must not touch
-/// the FEL).
-pub fn merge_commit<E>(
-    q: &mut EventQueue<E>,
-    lanes: &mut [LaneLog<E>],
-    active: &[u32],
-    effects_out: &mut Vec<(SimTime, u32, u32)>,
-) {
-    // (key, lane) min-heap over each active lane's next unmerged item.
-    // Sequence numbers are globally unique, so keys never tie.
-    let mut heads: BinaryHeap<Reverse<((SimTime, u64), u32)>> =
-        BinaryHeap::with_capacity(active.len());
-    let mut cursors = vec![0usize; lanes.len()];
-    for &lane in active {
-        let log = &lanes[lane as usize];
-        if !log.is_empty() {
-            // A lane's first item is always an original (consumed pushes
-            // are produced by earlier items of the same lane), so its key
-            // is resolvable up front.
-            heads.push(Reverse((log.committed_key(0), lane)));
+/// [`merge_commit`] drives it to exhaustion for the simple case where the
+/// whole window replays back-to-back. Simulations that must *interleave*
+/// the replay with other event streams (residual events handled serially,
+/// fresh FEL pushes landing below the horizon) instead step it manually:
+/// [`MergeCursor::peek_key`] exposes the next item's committed key so the
+/// caller can pick the global minimum across streams, and
+/// [`MergeCursor::replay_next`] commits exactly one item.
+///
+/// Reusable across windows ([`MergeCursor::begin`] keeps the backing
+/// buffers), so steady-state commits allocate nothing.
+pub struct MergeCursor {
+    /// (key, lane) min-heap over each active lane's next unmerged item.
+    /// Sequence numbers are globally unique, so keys never tie.
+    heads: BinaryHeap<Reverse<((SimTime, u64), u32)>>,
+    cursors: Vec<usize>,
+}
+
+impl Default for MergeCursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MergeCursor {
+    pub fn new() -> MergeCursor {
+        MergeCursor {
+            heads: BinaryHeap::new(),
+            cursors: Vec::new(),
         }
     }
-    while let Some(Reverse(((t, _seq), lane))) = heads.pop() {
-        let idx = cursors[lane as usize];
-        cursors[lane as usize] += 1;
+
+    /// Start merging a freshly executed window. Only lanes listed in
+    /// `active` are visited.
+    pub fn begin<E>(&mut self, lanes: &[LaneLog<E>], active: &[u32]) {
+        self.heads.clear();
+        self.cursors.clear();
+        self.cursors.resize(lanes.len(), 0);
+        for &lane in active {
+            let log = &lanes[lane as usize];
+            if !log.is_empty() {
+                // A lane's first item is always an original (consumed
+                // pushes are produced by earlier items of the same lane),
+                // so its key is resolvable up front.
+                self.heads.push(Reverse((log.committed_key(0), lane)));
+            }
+        }
+    }
+
+    /// Committed `(time, seq)` key of the next unmerged item, if any.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heads.peek().map(|Reverse((key, _))| *key)
+    }
+
+    /// Replay the next item in `(time, seq)` order: set the clock to its
+    /// timestamp, count it as processed, and replay its pushes against
+    /// `q` (allocating real sequence numbers in exactly the order a
+    /// sequential run would have).
+    pub fn replay_next<E>(
+        &mut self,
+        q: &mut EventQueue<E>,
+        lanes: &mut [LaneLog<E>],
+    ) -> Option<MergeStep> {
+        let Reverse(((t, _seq), lane)) = self.heads.pop()?;
+        let idx = self.cursors[lane as usize];
+        self.cursors[lane as usize] += 1;
         q.window_set_now(t);
         q.note_processed();
         let log = &mut lanes[lane as usize];
@@ -228,12 +275,39 @@ pub fn merge_commit<E>(
                 }
             }
         }
-        if effect {
-            effects_out.push((t, lane, idx as u32));
-        }
-        let next = cursors[lane as usize];
+        let next = self.cursors[lane as usize];
         if next < log.item_count() {
-            heads.push(Reverse((log.committed_key(next), lane)));
+            self.heads.push(Reverse((log.committed_key(next), lane)));
+        }
+        Some(MergeStep {
+            lane,
+            idx: idx as u32,
+            time: t,
+            effect,
+        })
+    }
+}
+
+/// Re-traverse one window in global `(time, seq)` order, replaying every
+/// recorded push against `q` (allocating real sequence numbers in exactly
+/// the order a sequential run would have) and counting each item as
+/// processed. The clock is left at the last item's timestamp.
+///
+/// Items flagged with [`LaneLog::mark_effect`] are appended to
+/// `effects_out` as `(time, lane, item_idx)` in commit order; the caller
+/// replays their simulation-level effects afterwards (they must not touch
+/// the FEL).
+pub fn merge_commit<E>(
+    q: &mut EventQueue<E>,
+    lanes: &mut [LaneLog<E>],
+    active: &[u32],
+    effects_out: &mut Vec<(SimTime, u32, u32)>,
+) {
+    let mut cursor = MergeCursor::new();
+    cursor.begin(lanes, active);
+    while let Some(step) = cursor.replay_next(q, lanes) {
+        if step.effect {
+            effects_out.push((step.time, step.lane, step.idx));
         }
     }
 }

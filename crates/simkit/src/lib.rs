@@ -35,7 +35,7 @@ pub use calendar::CalendarQueue;
 pub use dispatch::{Dispatcher, EventQueue, QueueKind, Simulation};
 pub use fxhash::{FxBuildHasher, FxHashMap};
 pub use heap::EventHeap;
-pub use lanes::{merge_commit, ItemKey, LaneLog};
+pub use lanes::{merge_commit, ItemKey, LaneLog, MergeCursor, MergeStep};
 pub use lru::LruMap;
 pub use rng::SimRng;
 pub use server::{FcfsServer, Priority};

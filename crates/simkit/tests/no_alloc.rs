@@ -11,7 +11,7 @@
 //! Lives in its own integration-test binary because a
 //! `#[global_allocator]` is process-wide.
 
-use simkit::{EventQueue, QueueKind, SimDur, SimTime};
+use simkit::{EventQueue, ItemKey, LaneLog, MergeCursor, QueueKind, SimDur, SimTime};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -89,6 +89,78 @@ fn event_heap_steady_state_is_allocation_free() {
 /// per-day occupancy distribution is unbounded). Pin the rate at ≤ 0.25%
 /// of events after warm-up; the strict-zero claim belongs to the heap,
 /// which is the default (and the soak's) FEL.
+/// The windowed executor's per-window machinery — formation item lists,
+/// lane logs, and the merge cursor — reuses its backing storage, so a
+/// steady-state form/execute/commit cycle allocates nothing once warm.
+/// Windows now form during query operator phases too (not just pure-OLTP
+/// stretches), so this loop runs millions of times per mixed-workload
+/// soak; every item both defers a follow-up past the horizon and
+/// consumes one in-window, covering both push paths and the commit-time
+/// sequence burn.
+#[test]
+fn window_machinery_steady_state_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap();
+    const LANES: usize = 4;
+    const WINDOW: usize = 32;
+    let mut q: EventQueue<u64> = EventQueue::with_kind(QueueKind::BinaryHeap, 1 << 10);
+    for i in 0..128u64 {
+        q.at(SimTime::ZERO + SimDur::from_micros(i * 100), i);
+    }
+    let mut logs: Vec<LaneLog<u64>> = (0..LANES).map(|_| LaneLog::new()).collect();
+    let mut items: Vec<Vec<(SimTime, u64, u64)>> = (0..LANES).map(|_| Vec::new()).collect();
+    let mut active: Vec<u32> = Vec::new();
+    let mut merge = MergeCursor::new();
+    let mut cycle = |q: &mut EventQueue<u64>, windows: usize| -> u64 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..windows {
+            active.clear();
+            for it in items.iter_mut() {
+                it.clear();
+            }
+            for log in logs.iter_mut() {
+                log.clear();
+            }
+            // Formation: route a fixed-size window into per-lane lists.
+            for _ in 0..WINDOW {
+                let Some((t, seq, ev)) = q.window_pop() else {
+                    break;
+                };
+                let lane = (ev % LANES as u64) as usize;
+                if items[lane].is_empty() {
+                    active.push(lane as u32);
+                }
+                items[lane].push((t, seq, ev));
+            }
+            // Lane execution: one deferred push (keeps the FEL at
+            // constant depth) plus one consumed same-time follow-up per
+            // item, handled as its own Gen-keyed item.
+            for &lane in &active {
+                let l = lane as usize;
+                let log = &mut logs[l];
+                for k in 0..items[l].len() {
+                    let (t, seq, ev) = items[l][k];
+                    log.begin_item(t, ItemKey::Orig(seq));
+                    log.push_defer(t + SimDur::from_micros(12_800), ev);
+                    let rank = log.push_consumed(t + SimDur::from_nanos(1));
+                    log.begin_item(t + SimDur::from_nanos(1), ItemKey::Gen(rank));
+                }
+            }
+            // Merge commit, stepped through the incremental cursor as the
+            // simulator does when interleaving residual streams.
+            merge.begin(&logs, &active);
+            while merge.replay_next(q, &mut logs).is_some() {}
+        }
+        ALLOCS.load(Ordering::Relaxed) - before
+    };
+    let _warm = cycle(&mut q, 64);
+    let steady = cycle(&mut q, 2048);
+    assert_eq!(
+        steady, 0,
+        "window machinery allocated {steady} times over 2048 steady-state windows"
+    );
+    assert_eq!(q.len(), 128);
+}
+
 #[test]
 fn calendar_queue_steady_state_allocations_amortize_away() {
     let _serial = SERIAL.lock().unwrap();

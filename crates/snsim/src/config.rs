@@ -108,10 +108,16 @@ pub struct SimConfig {
     /// Worker threads for the lane-parallel event executor (0 = the
     /// plain sequential dispatch loop, byte-identical lowering; 1 =
     /// windowed executor on the calling thread; >1 = windows of
-    /// lane-local events run on scoped worker threads). Every setting
-    /// produces a bit-identical [`crate::Summary`] — the merge commit
-    /// replays the sequential `(time, seq)` order exactly — so this is a
-    /// pure throughput knob.
+    /// lane-local events run on scoped worker threads). Windows form on
+    /// pure-OLTP stretches *and* inside query operator phases: per-PE
+    /// operator completions between shuffle points ride the lanes,
+    /// while cross-PE events and spanning-job bookkeeping interleave
+    /// serially at commit. Every setting produces a bit-identical
+    /// [`crate::Summary`] on every workload — the commit replays the
+    /// sequential `(time, seq)` order exactly — so this is a pure
+    /// throughput knob; only the window-shape counters
+    /// (`windows_formed`, `windowed_events`, `barrier_events`) reveal
+    /// which executor ran.
     #[serde(default)]
     pub exec_threads: u32,
     /// Control-plane implementation and fault model (staleness, heartbeat

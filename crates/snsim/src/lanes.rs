@@ -1,38 +1,64 @@
-//! Deterministic lane-parallel execution of the hot OLTP event stream.
+//! Deterministic lane-parallel execution of per-PE event streams —
+//! including query operator phases.
 //!
-//! Builds the simulator side of `simkit::lanes`: between *barrier* events,
-//! the future event list consists purely of per-PE hardware completions
-//! (`CpuDone` / `IoDone` / `LogDone`), and — when every live job is an
-//! affinity-routed OLTP transaction — handling one of them touches only
-//! that PE's state (its CPU, disks, log disk, buffer, lock table) and
-//! schedules follow-ups only for the same PE. Such a prefix is a
-//! **window**: it is partitioned into contiguous-PE *lanes*, each lane is
-//! executed against its own slice of the hardware arrays (on scoped worker
-//! threads when `exec_threads > 1` and the window is large enough), and
-//! `simkit::merge_commit` then replays every event push and deferred
-//! effect in the global `(time, seq)` order, reproducing the sequential
-//! run **bit-identically** — same `Summary`, same residual event list,
-//! same RNG streams.
+//! Builds the simulator side of `simkit::lanes`. The unit of parallelism
+//! is the paper's own: between shuffle/exchange points, a join, scan or
+//! sort subtask on PE *p* only mutates PE-*p* state (its CPU, disks, log
+//! disk, buffer, lock table) — and so does every OLTP transaction and
+//! single-site update query. A prefix of the future event list whose
+//! events all have that shape is a **window**: it is partitioned into
+//! contiguous-PE *lanes*, each lane is executed against its own slice of
+//! the hardware arrays (on scoped worker threads when `exec_threads > 1`
+//! and the window is large enough), and the commit pass replays every
+//! event push and deferred effect in the global `(time, seq)` order,
+//! reproducing the sequential run **bit-identically** — same `Summary`,
+//! same residual event list, same RNG streams.
 //!
-//! What makes a window formable (checked before every attempt):
+//! Formation classifies each event head into one of three classes:
 //!
-//! * `nonlane_live == 0` — no query or migration job is live. Those jobs
-//!   send messages, place work across PEs and steal memory; their
-//!   completion events are not lane-local.
-//! * FCFS/MPL admission with an empty scheduler queue and empty per-PE
-//!   input queues — a `JobDone` inside the window then never starts
-//!   another job, so its whole effect (metrics, MPL slot release) can be
-//!   replayed at commit.
+//! * **Lane-local** — a hardware completion (`CpuDone`/`IoDone`/
+//!   `LogDone`) whose token belongs to a *confined* job (OLTP or a
+//!   single-site update query; stale tokens count too) on a PE with no
+//!   standing hazard. It joins the window and runs inside its PE's lane.
+//! * **Residual** — a genuinely cross-PE event: network traffic
+//!   (`Deliver`, `LinkFree`), alarms, send/receive CPU completions, and
+//!   completions belonging to *spanning* jobs (joins, scans, sorts,
+//!   migrations), whose handlers talk to the coordinator, the broker or
+//!   other PEs. Residuals are popped into a side list and handled by the
+//!   ordinary sequential dispatch path **interleaved into the commit at
+//!   their exact `(time, seq)` position**. A residual on PE *p* also
+//!   *freezes* *p* at its timestamp: later events on *p* residualize too,
+//!   and *p*'s lane defers follow-ups past the freeze, so every touch of
+//!   *p*'s state still happens in sequential order.
+//! * **Barrier** — events whose handlers touch global state on arbitrary
+//!   PEs (arrivals, retries, control/deadlock ticks, the warm-up mark).
+//!   A barrier ends formation; it is handled by a plain sequential step
+//!   between windows.
 //!
-//! Everything else — arrivals, retries, control/deadlock ticks, the
-//! warm-up mark, network traffic, alarms — is a **barrier**: it is
-//! handled by the ordinary sequential dispatch step between windows.
-//! Arrivals are deliberately barriers rather than pre-executed: spawning
-//! touches global state (placement RNG, admission, metrics) and schedules
-//! the class's next arrival, whose sequence number must be allocated in
-//! exactly the sequential order. In the OLTP soak scenarios this still
-//! leaves every hardware completion between consecutive arrivals to a
-//! window.
+//! The window **horizon** bounds what lanes may consume in-window. It is
+//! capped at `first_residual_time + network_latency`: every message sent
+//! while the commit replays (all replayed work is at or after the first
+//! residual's time) then delivers at or past the horizon, i.e. outside
+//! the window, where the next formation classifies it afresh. Shuffle
+//! edges are barriers in effect: an exchange is a `Deliver` per receiving
+//! PE, each of which freezes its target.
+//!
+//! Two hazards make an otherwise-confined completion residual at
+//! formation time, checked once per PE per window:
+//!
+//! * a CPU/disk queue on the PE holds a non-confined token (e.g. a scan's
+//!   send-CPU request queued behind OLTP bursts) — an in-lane completion
+//!   could grant it, and its follow-up must not be handled in-lane;
+//! * some join working space on the PE holds pages above its registered
+//!   minimum — a priority OLTP page fix could steal from it, which is a
+//!   cross-job interaction the lane cannot replay.
+//!
+//! Windows are only attempted while the admission queue and every MPL
+//! input queue are empty (a `JobDone` replayed at commit then never
+//! launches follow-on work) and no query class is closed-loop
+//! (single-user completions respawn instantly on an arbitrary PE). Any
+//! violation of the formation predicate degrades to the sequential path;
+//! nothing panics on workload shape.
 //!
 //! The lane bodies below mirror `System::dispatch_event` /
 //! `System::drain` / `System::exec_action` (see `exec.rs`) restricted to
@@ -47,7 +73,7 @@ use engine::ctx::{Ctx, PeSlice};
 use engine::{Job, Pe, PeId};
 use hardware::{Cpu, DiskId, DiskSubsystem, IoKind, IoRequest};
 use simkit::slab::ParSlabView;
-use simkit::{ItemKey, LaneLog, SimDur, SimRng, SimTime, Simulation};
+use simkit::{ItemKey, LaneLog, MergeCursor, SimDur, SimRng, SimTime, Simulation};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -59,20 +85,48 @@ const WINDOW_CAP: usize = 4096;
 /// for themselves; smaller windows run the lanes inline.
 const PARALLEL_MIN_ITEMS: usize = 256;
 
-/// The PE whose state an event mutates, if the event is lane-local.
-/// Exhaustive on purpose: adding an `Ev` variant must force a decision
-/// about its window classification.
-fn lane_pe(ev: &Ev) -> Option<PeId> {
+/// Event-kind-level window classification. Exhaustive on purpose: adding
+/// an `Ev` variant must force a decision. `Completion` is refined at
+/// formation time by the token's job kind and the PE's freeze/hazard
+/// state; the other two classes are final.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StaticClass {
+    /// Hardware completion on this PE: lane-local if the token's job is
+    /// confined and the PE is unfrozen and hazard-free.
+    Completion(PeId),
+    /// Cross-PE event, handled sequentially inside the commit; freezes
+    /// the given PE (None for `LinkFree`: its handler only touches the
+    /// network, which lanes never do, and re-delivery lands at or past
+    /// the horizon).
+    Residual(Option<PeId>),
+    /// Ends formation; handled by a plain sequential step.
+    Barrier,
+}
+
+fn static_class(ev: &Ev) -> StaticClass {
     match ev {
-        Ev::CpuDone { pe, .. } | Ev::IoDone { pe, .. } | Ev::LogDone { pe, .. } => Some(*pe),
-        Ev::Arrival(_)
-        | Ev::Retry(..)
-        | Ev::Deliver(_)
-        | Ev::LinkFree { .. }
-        | Ev::ControlTick
-        | Ev::DeadlockTick
-        | Ev::WarmupMark
-        | Ev::Alarm { .. } => None,
+        Ev::CpuDone { pe, token } if matches!(token.step, Step::SendCpu | Step::MsgCpu) => {
+            StaticClass::Residual(Some(*pe))
+        }
+        Ev::CpuDone { pe, .. } | Ev::IoDone { pe, .. } | Ev::LogDone { pe, .. } => {
+            StaticClass::Completion(*pe)
+        }
+        Ev::Deliver(msg) => StaticClass::Residual(Some(msg.to)),
+        Ev::Alarm { pe, .. } => StaticClass::Residual(Some(*pe)),
+        Ev::LinkFree { .. } => StaticClass::Residual(None),
+        Ev::Arrival(_) | Ev::Retry(..) | Ev::ControlTick | Ev::DeadlockTick | Ev::WarmupMark => {
+            StaticClass::Barrier
+        }
+    }
+}
+
+/// The job a completion's token belongs to (None for tokenless
+/// completions: async write-backs and group-commit log writes).
+fn completion_job(ev: &Ev) -> Option<JobId> {
+    match ev {
+        Ev::CpuDone { token, .. } => Some(token.job),
+        Ev::IoDone { token, .. } | Ev::LogDone { token, .. } => token.as_ref().map(|t| t.job),
+        _ => None,
     }
 }
 
@@ -81,6 +135,44 @@ struct WItem {
     time: SimTime,
     seq: u64,
     ev: Ev,
+}
+
+/// Per-PE formation state, versioned by window epoch so windows never pay
+/// an O(n_pes) reset. An entry is live only while its `epoch` matches the
+/// window's; a stale entry reads as unfrozen and unchecked.
+#[derive(Clone, Copy)]
+struct PeWin {
+    epoch: u64,
+    /// Hazard check (queued foreign tokens, stealable buffer excess)
+    /// memoized for this window.
+    checked: bool,
+    hazard: bool,
+    frozen: bool,
+    /// Timestamp of the residual that froze the PE; the PE's lane only
+    /// consumes follow-ups strictly before it.
+    frozen_at: SimTime,
+}
+
+impl PeWin {
+    const CLEAR: PeWin = PeWin {
+        epoch: 0,
+        checked: false,
+        hazard: false,
+        frozen: false,
+        frozen_at: SimTime::ZERO,
+    };
+}
+
+/// Live view of a PE's entry for `epoch`, lazily resetting stale state.
+fn pe_entry(pe_win: &mut [PeWin], epoch: u64, pe: PeId) -> &mut PeWin {
+    let e = &mut pe_win[pe as usize];
+    if e.epoch != epoch {
+        *e = PeWin {
+            epoch,
+            ..PeWin::CLEAR
+        };
+    }
+    e
 }
 
 /// Per-lane mutable scratch, reused across windows (allocation-free in
@@ -104,11 +196,11 @@ pub(crate) struct LaneScratch {
     fx: Vec<(u32, JobId)>,
     /// Stale-token count to fold into metrics at commit.
     stale: u64,
-    /// Temp-file counter guard: OLTP never allocates temp objects, so a
-    /// nonzero value means a non-lane-safe job ran inside a window.
+    /// Temp-file counter guard: confined jobs never allocate temp
+    /// objects, so a nonzero value means a spanning job ran in a window.
     temp: u64,
     /// Placeholder RNG for the `Ctx`; lane-safe handlers never draw from
-    /// it (OLTP tuple choice uses the job's own seed stream).
+    /// it (OLTP/update tuple choice uses the job's own seed stream).
     rng: SimRng,
 }
 
@@ -151,10 +243,16 @@ pub(crate) struct WindowState {
     scratch: Vec<LaneScratch>,
     /// Lanes with at least one item this window, in first-touch order.
     active: Vec<u32>,
-    /// Commit-ordered `(time, lane, item)` effect references.
-    effects: Vec<(SimTime, u32, u32)>,
     /// Per-lane replay cursor into `scratch.fx`.
     fx_cursor: Vec<usize>,
+    /// Reusable lane-log merge cursor for the commit pass.
+    merge: MergeCursor,
+    /// Residual events popped at formation, in `(time, seq)` order,
+    /// handled sequentially inside the commit.
+    residuals: VecDeque<(SimTime, u64, Ev)>,
+    /// Per-PE freeze/hazard state, epoch-versioned (see [`PeWin`]).
+    pe_win: Vec<PeWin>,
+    epoch: u64,
 }
 
 impl WindowState {
@@ -170,22 +268,42 @@ impl WindowState {
             logs: (0..n_lanes).map(|_| LaneLog::new()).collect(),
             scratch: (0..n_lanes).map(|_| LaneScratch::new()).collect(),
             active: Vec::new(),
-            effects: Vec::new(),
             fx_cursor: vec![0; n_lanes],
+            merge: MergeCursor::new(),
+            residuals: VecDeque::new(),
+            pe_win: vec![PeWin::CLEAR; n_pes],
+            epoch: 0,
         }
     }
 }
 
 /// Read-only state every lane shares. `ParSlabView` hands out disjoint
-/// `&mut` job slots by key; disjointness holds because an OLTP job's
-/// tokens and lock grants all carry its own PE, so only the lane owning
-/// that PE ever touches the job.
+/// `&mut` job slots by key; disjointness holds because a confined job's
+/// tokens, log wakeups and lock grants all carry its own PE, so only the
+/// lane owning that PE ever touches the job.
 struct LaneShared<'a> {
     jobs: &'a ParSlabView<'a, Option<Job>>,
     eng: &'a EngineConfig,
     catalog: &'a Catalog,
     control_pe: PeId,
     horizon: SimTime,
+    /// Formation's per-PE freeze state (read-only during lane execution).
+    pe_win: &'a [PeWin],
+    epoch: u64,
+}
+
+impl LaneShared<'_> {
+    /// The time bound below which PE-`pe` follow-ups may be consumed
+    /// in-window: the PE's freeze point if frozen, else the horizon.
+    #[inline]
+    fn consume_limit(&self, pe: PeId) -> SimTime {
+        let e = &self.pe_win[pe as usize];
+        if e.epoch == self.epoch && e.frozen {
+            e.frozen_at
+        } else {
+            self.horizon
+        }
+    }
 }
 
 /// One lane's slice of the hardware arrays (global ids `base..base+len`).
@@ -240,6 +358,7 @@ impl LaneCtx<'_> {
             Ev::CpuDone { pe, token } => {
                 if let Some(next) = self.cpus[self.idx(pe)].complete(t) {
                     self.emit(
+                        pe,
                         next.done,
                         Ev::CpuDone {
                             pe,
@@ -265,6 +384,7 @@ impl LaneCtx<'_> {
             Ev::IoDone { pe, disk, token } => {
                 if let Some(next) = self.disks[self.idx(pe)].complete(t, DiskId(disk)) {
                     self.emit(
+                        pe,
                         next.done,
                         Ev::IoDone {
                             pe,
@@ -289,6 +409,7 @@ impl LaneCtx<'_> {
                 let i = self.idx(pe);
                 if let Some(next) = self.log_disks[i].complete(t, DiskId(0)) {
                     self.emit(
+                        pe,
                         next.done,
                         Ev::LogDone {
                             pe,
@@ -324,11 +445,15 @@ impl LaneCtx<'_> {
     }
 
     /// Log a follow-up push: consumed in-window when it lands before the
-    /// horizon (it stays in this lane — OLTP follow-ups are same-PE),
-    /// deferred to commit otherwise.
-    fn emit(&mut self, tp: SimTime, ev: Ev, log: &mut LaneLog<Ev>, s: &mut LaneScratch) {
-        debug_assert!(lane_pe(&ev).map(|pe| self.idx(pe)).is_some());
-        if tp < self.shared.horizon {
+    /// PE's consume limit (its freeze point, or the horizon — confined
+    /// follow-ups are same-PE), deferred to commit otherwise.
+    fn emit(&mut self, pe: PeId, tp: SimTime, ev: Ev, log: &mut LaneLog<Ev>, s: &mut LaneScratch) {
+        debug_assert_eq!(
+            static_class(&ev),
+            StaticClass::Completion(pe),
+            "lane emitted a non-completion follow-up (formation hazard check failed)"
+        );
+        if tp < self.shared.consume_limit(pe) {
             let rank = log.push_consumed(tp);
             debug_assert_eq!(rank as usize, s.gen_ev.len());
             s.gen_ev.push(Some(ev));
@@ -350,9 +475,9 @@ impl LaneCtx<'_> {
                 s.stale += 1;
                 continue;
             }
-            // SAFETY: this lane is the only one that resolves `job` — an
-            // OLTP job's tokens, log wakeups and lock grants all carry
-            // its own PE, which lives in this lane's chunk.
+            // SAFETY: this lane is the only one that resolves `job` — a
+            // confined job's tokens, log wakeups and lock grants all
+            // carry its own PE, which lives in this lane's chunk.
             let Some(slot) = (unsafe { self.shared.jobs.get_mut(job) }) else {
                 s.stale += 1;
                 continue;
@@ -361,7 +486,10 @@ impl LaneCtx<'_> {
                 s.stale += 1;
                 continue;
             };
-            debug_assert!(matches!(body, Job::Oltp(_)), "non-OLTP job in a window");
+            debug_assert!(
+                matches!(body, Job::Oltp(_) | Job::UpdateQ(_)),
+                "spanning job in a window"
+            );
             {
                 let mut ctx = Ctx {
                     now: t,
@@ -398,8 +526,8 @@ impl LaneCtx<'_> {
     }
 
     /// Mirror of `System::exec_action`, restricted to the lane-safe
-    /// subset. Cross-lane actions are impossible for OLTP jobs; reaching
-    /// one means the window preconditions were violated.
+    /// subset. Cross-lane actions are impossible for confined jobs;
+    /// reaching one means the window preconditions were violated.
     fn exec_action(
         &mut self,
         t: SimTime,
@@ -416,6 +544,7 @@ impl LaneCtx<'_> {
             } => {
                 if let Some(grant) = self.cpus[self.idx(pe)].request(t, instr, oltp, token) {
                     self.emit(
+                        pe,
                         grant.done,
                         Ev::CpuDone {
                             pe,
@@ -436,6 +565,7 @@ impl LaneCtx<'_> {
                     self.disks[self.idx(pe)].request(t, DiskId(disk), req, Some(token))
                 {
                     self.emit(
+                        pe,
                         grant.done,
                         Ev::IoDone {
                             pe,
@@ -450,6 +580,7 @@ impl LaneCtx<'_> {
             Action::IoAsync { pe, disk, req } => {
                 if let Some(grant) = self.disks[self.idx(pe)].request(t, DiskId(disk), req, None) {
                     self.emit(
+                        pe,
                         grant.done,
                         Ev::IoDone {
                             pe,
@@ -471,6 +602,7 @@ impl LaneCtx<'_> {
                 };
                 if let Some(grant) = self.log_disks[i].request(t, DiskId(0), req, Some(token)) {
                     self.emit(
+                        pe,
                         grant.done,
                         Ev::LogDone {
                             pe,
@@ -507,13 +639,48 @@ impl LaneCtx<'_> {
     }
 }
 
+/// Formation-time routing decision for one event head.
+enum Route {
+    Lane(PeId),
+    Resid(Option<PeId>),
+}
+
 impl System {
-    /// Whether a window may form right now (see module docs).
+    /// Whether a window may form right now (see module docs): no
+    /// closed-loop class, and nothing queued that a replayed `JobDone`
+    /// could launch mid-window.
     fn window_ready(&self) -> bool {
-        self.fcfs_admission
-            && self.nonlane_live == 0
-            && self.queued_inputs == 0
-            && self.sched.queue_len() == 0
+        !self.has_single_user && self.queued_inputs == 0 && self.sched.queue_len() == 0
+    }
+
+    /// Is `job` confined to a single PE for its whole life? OLTP and
+    /// single-site update queries are; stale ids (already retired) are
+    /// trivially safe — the lane's stale path mirrors the sequential one.
+    fn job_confined(&self, job: JobId) -> bool {
+        match self.jobs.get(job) {
+            Some(Some(j)) => matches!(j, Job::Oltp(_) | Job::UpdateQ(_)),
+            _ => true,
+        }
+    }
+
+    /// Formation-time hazard check for one PE (memoized per window):
+    /// true if a lane on this PE could interact with non-lane state —
+    /// a queued CPU/disk token it must not grant (message work, spanning
+    /// jobs), or join working-space excess a priority OLTP fix could
+    /// steal.
+    fn pe_hazard(&self, pe: PeId) -> bool {
+        let p = pe as usize;
+        if self.pes[p].buffer.has_stealable_excess() {
+            return true;
+        }
+        if self.cpus[p]
+            .queued_tags()
+            .any(|t| matches!(t.step, Step::SendCpu | Step::MsgCpu) || !self.job_confined(t.job))
+        {
+            return true;
+        }
+        let foreign = |t: &Option<Token>| t.as_ref().is_some_and(|t| !self.job_confined(t.job));
+        self.disks[p].queued_tags().any(foreign) || self.log_disks[p].queued_tags().any(foreign)
     }
 
     /// One ordinary dispatch step (identical to the `Dispatcher` loop
@@ -526,32 +693,124 @@ impl System {
         let (t, ev) = self.events.pop_next().expect("peeked event");
         <Self as Simulation>::handle(self, t, ev);
         <Self as Simulation>::quiesce(self);
+        self.metrics.barrier_events += 1;
         true
     }
 
-    /// Pop the maximal lane-local prefix into per-lane item lists.
-    /// Returns the number of events formed (0: the head is a barrier).
-    fn form_window(&mut self, end: SimTime) -> usize {
+    /// One sequential dispatch step *inside* a commit, for an event the
+    /// window could not take into a lane. The clock and processed-count
+    /// bookkeeping mirror `pop_next` exactly; the event itself runs
+    /// through the ordinary dispatch + drain path.
+    fn step_window_serial(&mut self, t: SimTime, ev: Ev) {
+        self.events.window_set_now(t);
+        self.events.note_processed();
+        self.metrics.barrier_events += 1;
+        let t0 = self.prof_t0();
+        self.dispatch_event(ev);
+        self.drain();
+        self.prof_add(t0, Phase::WindowSerial);
+    }
+
+    /// Pop the maximal window prefix: lane-local completions into
+    /// per-lane item lists, residuals into the side list (freezing their
+    /// PEs). Returns `(lane items formed, horizon)`; everything the
+    /// window generates strictly before the horizon is handled inside
+    /// this window, at or past it is left to the next iteration.
+    fn form_window(&mut self, end: SimTime) -> (usize, SimTime) {
         debug_assert!(self.pending.is_empty() && self.actions.is_empty());
         self.win.active.clear();
-        let mut n = 0;
-        while n < WINDOW_CAP {
-            let pe = match self.events.peek() {
-                Some((t, ev)) if t <= end => match lane_pe(ev) {
-                    Some(pe) => pe,
-                    None => break,
+        debug_assert!(self.win.residuals.is_empty());
+        self.win.epoch = self.win.epoch.wrapping_add(1);
+        let epoch = self.win.epoch;
+        let latency = self.net.latency();
+        // Exclusive upper bound on the window. `run_until` handles events
+        // at `end` inclusively, hence the +1ns start. Shrinks to the
+        // first barrier, to `first_residual + latency`, and to the FEL
+        // head at the size cap.
+        let mut cap = end + SimDur::from_nanos(1);
+        let mut formed = 0usize;
+        let mut popped = 0usize;
+        loop {
+            enum Head {
+                Resid(Option<PeId>),
+                Hw(PeId, Option<JobId>),
+            }
+            let (t, head) = match self.events.peek() {
+                Some((t, ev)) if t < cap => match static_class(ev) {
+                    StaticClass::Barrier => {
+                        cap = t;
+                        break;
+                    }
+                    StaticClass::Residual(p) => (t, Head::Resid(p)),
+                    StaticClass::Completion(pe) => (t, Head::Hw(pe, completion_job(ev))),
                 },
                 _ => break,
             };
+            let route = match head {
+                Head::Resid(p) => Route::Resid(p),
+                Head::Hw(pe, job) => {
+                    let e = pe_entry(&mut self.win.pe_win, epoch, pe);
+                    if e.frozen {
+                        // Events on a frozen PE stay in sequential order
+                        // behind the residual that froze it.
+                        Route::Resid(None)
+                    } else {
+                        if !e.checked {
+                            let hazard = self.pe_hazard(pe);
+                            let e = pe_entry(&mut self.win.pe_win, epoch, pe);
+                            e.checked = true;
+                            e.hazard = hazard;
+                        }
+                        let confined = job.is_none_or(|j| self.job_confined(j));
+                        if self.win.pe_win[pe as usize].hazard || !confined {
+                            Route::Resid(Some(pe))
+                        } else {
+                            Route::Lane(pe)
+                        }
+                    }
+                }
+            };
             let (time, seq, ev) = self.events.window_pop().expect("peeked event");
-            let lane = pe as usize / self.win.chunk;
-            if self.win.items[lane].is_empty() {
-                self.win.active.push(lane as u32);
+            debug_assert_eq!(time, t);
+            match route {
+                Route::Lane(pe) => {
+                    let lane = pe as usize / self.win.chunk;
+                    if self.win.items[lane].is_empty() {
+                        self.win.active.push(lane as u32);
+                    }
+                    self.win.items[lane].push_back(WItem { time, seq, ev });
+                    formed += 1;
+                }
+                Route::Resid(freeze) => {
+                    if self.win.residuals.is_empty() {
+                        // All commit-time work happens at or after this
+                        // first residual's time, so every message it (or
+                        // anything after it) sends lands at or past
+                        // `time + latency`: cap the horizon there and
+                        // those deliveries fall outside the window.
+                        cap = cap.min(time + latency);
+                    }
+                    if let Some(pe) = freeze {
+                        let e = pe_entry(&mut self.win.pe_win, epoch, pe);
+                        if !e.frozen {
+                            e.frozen = true;
+                            e.frozen_at = time;
+                        }
+                    }
+                    self.win.residuals.push_back((time, seq, ev));
+                }
             }
-            self.win.items[lane].push_back(WItem { time, seq, ev });
-            n += 1;
+            popped += 1;
+            if popped >= WINDOW_CAP {
+                // The unpopped FEL head must stay outside the window:
+                // it may be anything, including a barrier.
+                if let Some(t) = self.events.peek_time() {
+                    cap = cap.min(t);
+                }
+                break;
+            }
         }
-        n
+        (formed, cap)
     }
 
     /// Execute the formed window's lanes (inline, or on scoped worker
@@ -570,6 +829,8 @@ impl System {
             catalog: &self.catalog,
             control_pe: self.cfg.control_pe,
             horizon,
+            pe_win: &self.win.pe_win,
+            epoch: self.win.epoch,
         };
         let chunk = self.win.chunk;
         if self.win.n_lanes > 1 && self.win.active.len() > 1 && formed >= PARALLEL_MIN_ITEMS {
@@ -630,37 +891,69 @@ impl System {
         }
     }
 
-    /// Replay the window against the real FEL and run deferred effects
-    /// in committed order, leaving the clock where the sequential run
-    /// would have left it.
-    fn commit_window(&mut self) {
-        {
-            let w = &mut self.win;
-            w.effects.clear();
-            simkit::merge_commit(&mut self.events, &mut w.logs, &w.active, &mut w.effects);
-        }
-        let now_after = self.events.now();
-        let effects = std::mem::take(&mut self.win.effects);
-        for &(t, lane, idx) in &effects {
-            self.events.window_set_now(t);
-            let l = lane as usize;
-            loop {
-                let cur = self.win.fx_cursor[l];
-                let Some(&(item, job)) = self.win.scratch[l].fx.get(cur) else {
-                    break;
-                };
-                if item != idx {
-                    break;
+    /// Commit the window: a three-way merge in global `(time, seq)` order
+    /// between (a) lane-log replays, (b) residual events handled
+    /// sequentially, and (c) FEL events landing below the horizon
+    /// (deferred lane pushes past a freeze point, and anything the serial
+    /// handlers schedule). Streams (b) and (c) run through the ordinary
+    /// dispatch path at their exact position, so sequence allocation,
+    /// RNG draws and metrics all match the sequential run bit-for-bit.
+    fn commit_window(&mut self, horizon: SimTime) {
+        let mut merge = std::mem::take(&mut self.win.merge);
+        let mut logs = std::mem::take(&mut self.win.logs);
+        let mut residuals = std::mem::take(&mut self.win.residuals);
+        merge.begin(&logs, &self.win.active);
+        loop {
+            let lane_k = merge.peek_key();
+            let res_k = residuals.front().map(|r| (r.0, r.1));
+            let fel_k = self.events.peek_key().filter(|&(t, _)| t < horizon);
+            // Sequence numbers are globally unique, so the source tag
+            // never decides a tie.
+            let next = [
+                lane_k.map(|k| (k, 0u8)),
+                res_k.map(|k| (k, 1u8)),
+                fel_k.map(|k| (k, 2u8)),
+            ]
+            .into_iter()
+            .flatten()
+            .min();
+            let Some((_, src)) = next else { break };
+            match src {
+                0 => {
+                    let step = merge
+                        .replay_next(&mut self.events, &mut logs)
+                        .expect("peeked lane item");
+                    self.metrics.windowed_events += 1;
+                    if step.effect {
+                        let l = step.lane as usize;
+                        loop {
+                            let cur = self.win.fx_cursor[l];
+                            let Some(&(item, job)) = self.win.scratch[l].fx.get(cur) else {
+                                break;
+                            };
+                            if item != step.idx {
+                                break;
+                            }
+                            self.win.fx_cursor[l] = cur + 1;
+                            self.job_done(job);
+                            // Under the formation predicate a completion
+                            // never releases queued work (queues are
+                            // empty and stay empty mid-window), so there
+                            // is nothing to drain here.
+                            debug_assert!(self.pending.is_empty() && self.actions.is_empty());
+                        }
+                    }
                 }
-                self.win.fx_cursor[l] = cur + 1;
-                self.job_done(job);
-                // Under the window preconditions a completion never
-                // releases queued work (queues are empty and FCFS admits
-                // on arrival), so there is nothing to drain here.
-                debug_assert!(self.pending.is_empty() && self.actions.is_empty());
+                1 => {
+                    let (t, _seq, ev) = residuals.pop_front().expect("peeked residual");
+                    self.step_window_serial(t, ev);
+                }
+                _ => {
+                    let (t, _seq, ev) = self.events.window_pop().expect("peeked FEL head");
+                    self.step_window_serial(t, ev);
+                }
             }
         }
-        self.win.effects = effects;
         let mut stale = 0;
         for k in 0..self.win.active.len() {
             let l = self.win.active[k] as usize;
@@ -672,12 +965,14 @@ impl System {
             );
         }
         self.metrics.stale_tokens += stale;
-        self.events.window_set_now(now_after);
+        self.win.merge = merge;
+        self.win.logs = logs;
+        self.win.residuals = residuals;
     }
 
     /// The windowed run loop (`exec_threads > 0`): alternate maximal
-    /// lane-local windows with ordinary sequential steps for barriers,
-    /// producing results bit-identical to `Dispatcher::run_until`.
+    /// windows with ordinary sequential steps for barriers, producing
+    /// results bit-identical to `Dispatcher::run_until`.
     pub(crate) fn run_windowed(&mut self, end: SimTime) {
         loop {
             if !self.window_ready() {
@@ -687,27 +982,23 @@ impl System {
                 continue;
             }
             let t0 = self.prof_t0();
-            let formed = self.form_window(end);
+            let (formed, horizon) = self.form_window(end);
             self.prof_add(t0, Phase::WindowForm);
-            if formed == 0 {
+            if formed == 0 && self.win.residuals.is_empty() {
+                // Barrier at the head (or the FEL is drained past `end`).
                 if !self.step_sequential(end) {
                     break;
                 }
                 continue;
             }
-            // Everything strictly before the horizon that the window
-            // generates is handled in-window; at or past it is deferred.
-            // `run_until` handles events at `end` inclusively, hence the
-            // +1ns when the FEL is drained or beyond the end time.
-            let horizon = match self.events.peek_time() {
-                Some(t) if t <= end => t,
-                _ => end + SimDur::from_nanos(1),
-            };
-            let t1 = self.prof_t0();
-            self.execute_window(horizon, formed);
-            self.prof_add(t1, Phase::WindowLanes);
+            if formed > 0 {
+                let t1 = self.prof_t0();
+                self.execute_window(horizon, formed);
+                self.prof_add(t1, Phase::WindowLanes);
+                self.metrics.windows_formed += 1;
+            }
             let t2 = self.prof_t0();
-            self.commit_window();
+            self.commit_window(horizon);
             self.prof_add(t2, Phase::WindowCommit);
         }
         self.events.advance_to(end);
@@ -721,14 +1012,19 @@ mod tests {
     use simkit::Slab;
 
     /// Every `Ev` variant must have an explicit window classification:
-    /// hardware completions are lane-local on their PE, everything else
-    /// is a barrier. (The match in `lane_pe` is non-wildcard, so a new
-    /// variant fails compilation; this test pins the *decisions*.)
+    /// hardware completions are candidates on their PE (refined by job
+    /// kind at formation), network traffic / alarms / message-CPU work
+    /// are residuals (freezing their PE, where they have one), and the
+    /// global services are barriers. (The match in `static_class` is
+    /// non-wildcard, so a new variant fails compilation; this test pins
+    /// the *decisions*.)
     #[test]
-    fn lane_classification_is_exhaustive_and_correct() {
+    fn static_classification_is_exhaustive_and_correct() {
         let mut slab: Slab<u8> = Slab::new();
         let job = slab.insert(0);
         let token = Token::new(job, COORD_TASK, Step::PageIo);
+        let send_token = Token::new(job, COORD_TASK, Step::SendCpu);
+        let msg_token = Token::new(job, COORD_TASK, Step::MsgCpu);
         let msg = Box::new(Msg {
             from: 0,
             to: 1,
@@ -737,13 +1033,28 @@ mod tests {
             bytes: 128,
             kind: MsgKind::JoinReady,
         });
-        let cases: Vec<(Ev, Option<PeId>)> = vec![
+        use StaticClass::{Barrier, Completion, Residual};
+        let cases: Vec<(Ev, StaticClass)> = vec![
             (
                 Ev::CpuDone {
                     pe: 3,
                     token: token.clone(),
                 },
-                Some(3),
+                Completion(3),
+            ),
+            (
+                Ev::CpuDone {
+                    pe: 3,
+                    token: send_token,
+                },
+                Residual(Some(3)),
+            ),
+            (
+                Ev::CpuDone {
+                    pe: 9,
+                    token: msg_token,
+                },
+                Residual(Some(9)),
             ),
             (
                 Ev::IoDone {
@@ -751,29 +1062,62 @@ mod tests {
                     disk: 1,
                     token: Some(token.clone()),
                 },
-                Some(7),
+                Completion(7),
             ),
             (
                 Ev::LogDone {
                     pe: 11,
                     token: None,
                 },
-                Some(11),
+                Completion(11),
             ),
-            (Ev::Arrival(crate::system::ClassRef::Oltp(0)), None),
-            (Ev::Retry(crate::system::ClassRef::Oltp(0), 2), None),
-            (Ev::Deliver(msg), None),
-            (Ev::LinkFree { pe: 5 }, None),
-            (Ev::ControlTick, None),
-            (Ev::DeadlockTick, None),
-            (Ev::WarmupMark, None),
-            (Ev::Alarm { job, pe: 4 }, None),
+            (Ev::Deliver(msg), Residual(Some(1))),
+            (Ev::LinkFree { pe: 5 }, Residual(None)),
+            (Ev::Alarm { job, pe: 4 }, Residual(Some(4))),
+            (Ev::Arrival(crate::system::ClassRef::Oltp(0)), Barrier),
+            (Ev::Retry(crate::system::ClassRef::Oltp(0), 2), Barrier),
+            (Ev::ControlTick, Barrier),
+            (Ev::DeadlockTick, Barrier),
+            (Ev::WarmupMark, Barrier),
         ];
         for (ev, want) in &cases {
-            assert_eq!(lane_pe(ev), *want);
+            assert_eq!(static_class(ev), *want);
         }
-        // Barrier events must never be formed into a window.
-        assert_eq!(cases.iter().filter(|(_, w)| w.is_none()).count(), 8);
+        assert_eq!(
+            cases.iter().filter(|(_, w)| matches!(w, Barrier)).count(),
+            5,
+            "exactly the five global services are barriers"
+        );
+    }
+
+    #[test]
+    fn completion_job_extracts_tokens() {
+        let mut slab: Slab<u8> = Slab::new();
+        let job = slab.insert(0);
+        let token = Token::new(job, COORD_TASK, Step::PageIo);
+        assert_eq!(
+            completion_job(&Ev::CpuDone {
+                pe: 0,
+                token: token.clone()
+            }),
+            Some(job)
+        );
+        assert_eq!(
+            completion_job(&Ev::IoDone {
+                pe: 0,
+                disk: 0,
+                token: None
+            }),
+            None
+        );
+        assert_eq!(
+            completion_job(&Ev::LogDone {
+                pe: 0,
+                token: Some(token)
+            }),
+            Some(job)
+        );
+        assert_eq!(completion_job(&Ev::ControlTick), None);
     }
 
     #[test]
@@ -788,7 +1132,23 @@ mod tests {
                 assert_eq!(w.items.len(), w.n_lanes);
                 assert_eq!(w.logs.len(), w.n_lanes);
                 assert_eq!(w.scratch.len(), w.n_lanes);
+                assert_eq!(w.pe_win.len(), n_pes);
             }
         }
+    }
+
+    /// Epoch-versioned per-PE state resets lazily: a new epoch sees a
+    /// clean entry without any O(n_pes) sweep.
+    #[test]
+    fn pe_entries_reset_by_epoch() {
+        let mut pe_win = vec![PeWin::CLEAR; 4];
+        let e = pe_entry(&mut pe_win, 1, 2);
+        e.frozen = true;
+        e.frozen_at = SimTime(99);
+        e.checked = true;
+        e.hazard = true;
+        assert!(pe_entry(&mut pe_win, 1, 2).frozen, "same epoch persists");
+        let e = pe_entry(&mut pe_win, 2, 2);
+        assert!(!e.frozen && !e.checked && !e.hazard, "new epoch resets");
     }
 }

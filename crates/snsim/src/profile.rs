@@ -62,10 +62,13 @@ pub enum Phase {
     WindowLanes,
     /// Windowed executor: serial merge commit + deferred effects.
     WindowCommit,
+    /// Windowed executor: serial handling of residual (cross-PE) events
+    /// interleaved into the merge commit at their `(time, seq)` position.
+    WindowSerial,
 }
 
 impl Phase {
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 19;
 
     pub const ALL: [Phase; Phase::COUNT] = [
         Phase::Arrival,
@@ -86,6 +89,7 @@ impl Phase {
         Phase::WindowForm,
         Phase::WindowLanes,
         Phase::WindowCommit,
+        Phase::WindowSerial,
     ];
 
     pub fn name(self) -> &'static str {
@@ -108,6 +112,7 @@ impl Phase {
             Phase::WindowForm => "window:form",
             Phase::WindowLanes => "window:lanes",
             Phase::WindowCommit => "window:commit",
+            Phase::WindowSerial => "window:serial",
         }
     }
 

@@ -166,16 +166,12 @@ pub struct System {
     /// hand-off) so the per-arrival backlog watermark does not rescan
     /// every PE — at 1000 PEs that scan dominated the arrival path.
     queued_inputs: usize,
-    /// Live jobs that are not lane-safe (everything except `Job::Oltp`).
-    /// The windowed executor only forms windows while this is zero: query
-    /// and migration jobs send messages and place work across PEs, so
-    /// their completion events are not lane-local.
-    nonlane_live: usize,
-    /// Whether the admission policy is plain FCFS/MPL (admits
-    /// unconditionally, keeps the scheduler queue empty). The windowed
-    /// executor requires it: budget-based policies make admission depend
-    /// on release order, which a window defers.
-    fcfs_admission: bool,
+    /// Whether any query class is closed-loop (single-user). Completing
+    /// such a query relaunches it immediately — placement RNG plus fresh
+    /// hardware requests on an arbitrary PE — so a `JobDone` replayed at
+    /// commit could touch a lane mid-window. The windowed executor stays
+    /// off for those workloads (they are tiny single-stream runs anyway).
+    has_single_user: bool,
     /// Scratch state for the windowed executor (`exec_threads > 0`).
     win: lanes::WindowState,
 
@@ -273,7 +269,11 @@ impl System {
             d
         };
 
-        let fcfs_admission = sched.policy_name() == "fcfs";
+        let has_single_user = cfg
+            .workload
+            .queries
+            .iter()
+            .any(|q| q.arrival.is_single_user());
         let obs = cfg
             .trace
             .enabled
@@ -313,8 +313,7 @@ impl System {
             net_windows: vec![UtilizationWindow::default(); n],
             tick_scratch: vec![ResourceVector::default(); n],
             queued_inputs: 0,
-            nonlane_live: 0,
-            fcfs_admission,
+            has_single_user,
             win: lanes::WindowState::new(n, cfg.exec_threads),
             rng_arrivals,
             rng_place: root.fork(1),
@@ -433,10 +432,6 @@ impl System {
             }
         };
         let coord = job.coord_pe();
-        let lane_safe = matches!(job, Job::Oltp(_));
-        if !lane_safe {
-            self.nonlane_live += 1;
-        }
         let id = self.jobs.insert(Some(job));
         if let Some(o) = self.obs.as_mut() {
             o.arrival(
@@ -471,9 +466,6 @@ impl System {
             // Queue bound exceeded: the query never enters the system
             // (the scheduler counted the rejection).
             self.jobs.remove(id);
-            if !lane_safe {
-                self.nonlane_live -= 1;
-            }
             if let Some(o) = self.obs.as_mut() {
                 o.rejected(Self::t_ms(now), id.to_raw());
             }
@@ -638,7 +630,7 @@ impl System {
         }
     }
 
-    fn dispatch_event(&mut self, ev: Ev) {
+    pub(crate) fn dispatch_event(&mut self, ev: Ev) {
         let now = self.events.now();
         match ev {
             Ev::Arrival(class) => {
@@ -813,9 +805,6 @@ impl System {
         let Some(body) = self.jobs.remove(job).flatten() else {
             return;
         };
-        if !matches!(body, Job::Oltp(_)) {
-            self.nonlane_live -= 1;
-        }
         // Migrations are system utilities, not workload: flip the
         // fragment's home (unless the move gave up on a busy fragment),
         // refresh the broker's locality view, count it.
@@ -1148,7 +1137,6 @@ impl System {
             plan.tuples,
             now,
         )));
-        self.nonlane_live += 1;
         let id = self.jobs.insert(Some(job));
         self.pending.push_back((
             id,
@@ -1184,9 +1172,6 @@ impl System {
         let Some(body) = self.jobs.remove(job).flatten() else {
             return;
         };
-        if !matches!(body, Job::Oltp(_)) {
-            self.nonlane_live -= 1;
-        }
         self.metrics.deadlock_victims += 1;
         self.metrics.aborted += 1;
         if let Some(o) = self.obs.as_mut() {
@@ -1332,6 +1317,9 @@ impl System {
             stale_reads_p95_ms: fault_stats.stale_reads_p95_ms,
             false_suspicions: fault_stats.false_suspicions,
             suspected_node_rounds: fault_stats.suspected_node_rounds,
+            windows_formed: self.metrics.windows_formed,
+            windowed_events: self.metrics.windowed_events,
+            barrier_events: self.metrics.barrier_events,
         }
     }
 

@@ -1,25 +1,45 @@
 //! Perf-parity properties: the hot-path engine alternatives — incremental
 //! broker order statistics, the calendar event queue, the parallel
-//! control-tick sampling phase, and the clean-configured control-plane
+//! control-tick sampling phase, the clean-configured control-plane
 //! decorators (lagged broker at zero staleness/loss, single-rack
-//! hierarchical broker) — are pure cost/structure changes. Each must
-//! produce a [`Summary`] **bit-identical** to its reference
-//! implementation (central broker, sort-per-call reads, the binary heap,
-//! serial sampling) on the same configuration, across the Fig. 6
-//! strategy set and the network / placement / admission scenario
-//! families.
+//! hierarchical broker), and the windowed lane executor (including query
+//! operator phases) — are pure cost/structure changes. Each must produce
+//! a [`Summary`] **bit-identical** to its reference implementation
+//! (central broker, sort-per-call reads, the binary heap, serial
+//! sampling, sequential dispatch) on the same configuration, across the
+//! Fig. 6 strategy set and the network / placement / admission / mixed
+//! query scenario families.
 //!
 //! "Bit-identical" is checked on the serialized summary, covering every
-//! counter and every float bit pattern.
+//! counter and every float bit pattern. The three executor counters
+//! (`windows_formed`, `windowed_events`, `barrier_events`) are zeroed
+//! before comparison: they describe *how* the run was scheduled, which
+//! legitimately differs between `exec_threads = 0` (all zero) and `> 0`
+//! — everything else must not.
 
 use lb_core::{BrokerConfig, BrokerKind, ReadMode};
 use parallel_lb::prelude::*;
 use proptest::prelude::{proptest, ProptestConfig};
 use simkit::QueueKind;
 
+/// Run one configuration and return `(scrubbed summary JSON,
+/// windows_formed)`: the executor counters are zeroed in the JSON so
+/// schedule-shape metadata never masks (or fakes) a real divergence.
+fn run_scrubbed(cfg: SimConfig) -> (String, u64) {
+    let mut s = snsim::run_one(cfg);
+    let windows = s.windows_formed;
+    s.windows_formed = 0;
+    s.windowed_events = 0;
+    s.barrier_events = 0;
+    (serde_json::to_string(&s).expect("serialize"), windows)
+}
+
 /// Run `base` under the reference engine configuration and under one
-/// alternative, asserting byte-equal summaries.
-fn assert_parity(base: SimConfig, label: &str) {
+/// alternative, asserting byte-equal summaries. With `expect_windows`,
+/// additionally require that the windowed executor actually formed
+/// multi-event windows on this workload (rather than silently degrading
+/// to the sequential path everywhere).
+fn assert_parity(base: SimConfig, label: &str, expect_windows: bool) {
     let reference = base
         .clone()
         .with_broker_reads(ReadMode::SortPerCall)
@@ -70,7 +90,7 @@ fn assert_parity(base: SimConfig, label: &str) {
             ..BrokerConfig::default()
         })
         .with_exec_threads(2);
-    let j = |cfg: SimConfig| serde_json::to_string(&snsim::run_one(cfg)).expect("serialize");
+    let j = |cfg: SimConfig| run_scrubbed(cfg).0;
     let want = j(reference);
     assert_eq!(want, j(incremental), "incremental reads diverged: {label}");
     assert_eq!(want, j(calendar), "calendar queue diverged: {label}");
@@ -82,8 +102,16 @@ fn assert_parity(base: SimConfig, label: &str) {
         "clean lagged broker (sorted reads) diverged: {label}"
     );
     assert_eq!(want, j(hier), "one-rack hierarchical diverged: {label}");
-    assert_eq!(want, j(exec2), "windowed executor (2) diverged: {label}");
-    assert_eq!(want, j(exec8), "windowed executor (8) diverged: {label}");
+    let (got, windows) = run_scrubbed(exec2);
+    assert_eq!(want, got, "windowed executor (2) diverged: {label}");
+    if expect_windows {
+        assert!(windows > 0, "no windows formed on {label}");
+    }
+    assert_eq!(
+        want,
+        run_scrubbed(exec8).0,
+        "windowed executor (8) diverged: {label}"
+    );
     assert_eq!(
         want,
         j(exec2_calendar),
@@ -103,16 +131,18 @@ fn assert_parity(base: SimConfig, label: &str) {
 
 /// Same configuration at `exec_threads` 0 / 2 / 8 must serialize the same
 /// summary — used where the *reference* configuration itself is not the
-/// comparison point (faulted brokers, the soak smoke).
-fn assert_exec_parity(base: SimConfig, label: &str) {
-    let j = |cfg: SimConfig| serde_json::to_string(&snsim::run_one(cfg)).expect("serialize");
-    let want = j(base.clone().with_exec_threads(0));
+/// comparison point (faulted brokers, the soak smokes, the mixed query
+/// families). With `expect_windows`, the threaded runs must actually
+/// form windows.
+fn assert_exec_parity(base: SimConfig, label: &str, expect_windows: bool) {
+    let (want, windows0) = run_scrubbed(base.clone().with_exec_threads(0));
+    assert_eq!(windows0, 0, "sequential run reported windows: {label}");
     for threads in [2u32, 8] {
-        assert_eq!(
-            want,
-            j(base.clone().with_exec_threads(threads)),
-            "exec_threads={threads} diverged: {label}"
-        );
+        let (got, windows) = run_scrubbed(base.clone().with_exec_threads(threads));
+        assert_eq!(want, got, "exec_threads={threads} diverged: {label}");
+        if expect_windows {
+            assert!(windows > 0, "no windows at exec_threads={threads}: {label}");
+        }
     }
 }
 
@@ -120,6 +150,22 @@ fn join_cfg(strat: Strategy, n: u32, rate: f64, seed: u64) -> SimConfig {
     SimConfig::paper_default(n, WorkloadSpec::homogeneous_join(0.01, rate), strat)
         .with_seed(seed)
         .with_sim_time(SimDur::from_secs(5), SimDur::from_secs(1))
+}
+
+fn mixed_cfg(strat: Strategy, n: u32, join_rate: f64, tps: f64, seed: u64) -> SimConfig {
+    SimConfig::paper_default(
+        n,
+        WorkloadSpec::mixed(
+            0.01,
+            join_rate,
+            dbmodel::RelationId(2),
+            tps,
+            workload::NodeFilter::BNodes,
+        ),
+        strat,
+    )
+    .with_seed(seed)
+    .with_sim_time(SimDur::from_secs(5), SimDur::from_secs(1))
 }
 
 proptest! {
@@ -138,7 +184,7 @@ proptest! {
         let mut strategies = Strategy::fig6_set();
         strategies.push(Strategy::Adaptive);
         for strat in strategies {
-            assert_parity(join_cfg(strat, n, rate, seed), strat.name());
+            assert_parity(join_cfg(strat, n, rate, seed), strat.name(), false);
         }
     }
 }
@@ -148,7 +194,7 @@ proptest! {
 #[test]
 fn network_bound_parity() {
     let cfg = join_cfg(Strategy::OptIoCpu, 12, 0.15, 7).with_net_speed(0.1);
-    assert_parity(cfg, "network_bound");
+    assert_parity(cfg, "network_bound", false);
 }
 
 /// Placement family: skewed fragments with the online rebalancer moving
@@ -167,7 +213,7 @@ fn rebalance_parity() {
         fragment_count: 48,
         rebalance: Some(lb_core::RebalanceConfig::default()),
     };
-    assert_parity(cfg, "rebalance");
+    assert_parity(cfg, "rebalance", false);
 }
 
 /// Admission family: the malleable policy reacts to the broker's
@@ -181,13 +227,12 @@ fn admission_parity() {
             max_queue: 128,
             ..sched::AdmissionConfig::default()
         });
-    assert_parity(cfg, "admission");
+    assert_parity(cfg, "admission", false);
 }
 
-/// Soak smoke: a 1000-PE pure-OLTP slice — the one workload shape where
-/// the windowed executor actually forms multi-event windows (FCFS
-/// admission, no live queries), so this is the real exercise of lane
-/// execution + merge commit rather than the barrier fallback path.
+/// Soak smoke: a 1000-PE pure-OLTP slice — multi-event windows form
+/// between consecutive arrivals, so this exercises lane execution + the
+/// interleaved merge commit rather than the barrier fallback path.
 #[test]
 fn soak_smoke_exec_parity() {
     let cfg = SimConfig::paper_default(
@@ -203,7 +248,7 @@ fn soak_smoke_exec_parity() {
     )
     .with_seed(1)
     .with_sim_time(SimDur::from_millis(300), SimDur::from_millis(50));
-    assert_exec_parity(cfg, "soak_smoke");
+    assert_exec_parity(cfg, "soak_smoke", true);
 }
 
 /// Broker-fault family: a lossy, stale broker with the failure detector
@@ -231,25 +276,72 @@ fn broker_fault_exec_parity() {
         miss_threshold: 2,
         ..BrokerConfig::default()
     });
-    assert_exec_parity(cfg, "broker_faults");
+    assert_exec_parity(cfg, "broker_faults", true);
 }
 
 /// Mixed OLTP workload: per-arrival coordinator picks exercise the
-/// ranked reads at the highest call rate.
+/// ranked reads at the highest call rate, and windows must form *while
+/// joins are live* — the query-operator-phase extension at work.
 #[test]
 fn mixed_oltp_parity() {
-    let cfg = SimConfig::paper_default(
-        10,
+    let cfg = mixed_cfg(Strategy::OptIoCpu, 10, 0.075, 60.0, 5);
+    assert_parity(cfg, "mixed_oltp", true);
+}
+
+/// Query-phase windows across the Fig. 6 strategy set: joins and OLTP
+/// live together, every strategy must stay bit-identical at exec_threads
+/// 0 / 2 / 8 with windows actually forming between shuffle points.
+#[test]
+fn fig6_mixed_query_windows_parity() {
+    for strat in Strategy::fig6_set() {
+        assert_exec_parity(mixed_cfg(strat, 10, 0.075, 60.0, 21), strat.name(), true);
+    }
+}
+
+/// Query-phase windows under the malleable admission policy *and* the
+/// online rebalancer at once: JobDone replay interacts with the budget
+/// bookkeeping, migrations freeze their PEs, windows still form and the
+/// summaries still match bit-for-bit.
+#[test]
+fn mixed_admission_rebalance_exec_parity() {
+    let mut cfg = SimConfig::paper_default(
+        12,
         WorkloadSpec::mixed(
-            0.01,
-            0.075,
+            0.05,
+            0.02,
             dbmodel::RelationId(2),
             60.0,
-            workload::NodeFilter::BNodes,
+            workload::NodeFilter::All,
         ),
         Strategy::OptIoCpu,
     )
-    .with_seed(5)
-    .with_sim_time(SimDur::from_secs(5), SimDur::from_secs(1));
-    assert_parity(cfg, "mixed_oltp");
+    .with_seed(13)
+    .with_sim_time(SimDur::from_secs(6), SimDur::from_secs(2))
+    .with_mpl(4)
+    .with_admission(sched::AdmissionConfig {
+        policy: sched::AdmissionPolicyKind::Malleable,
+        max_queue: 128,
+        ..sched::AdmissionConfig::default()
+    });
+    cfg.placement = snsim::config::DataPlacementConfig {
+        data_skew: 0.6,
+        fragment_count: 48,
+        rebalance: Some(lb_core::RebalanceConfig::default()),
+    };
+    assert_exec_parity(cfg, "mixed_admission_rebalance", true);
+}
+
+/// Query-phase windows under a faulted broker: joins live, heartbeats
+/// lost, detector armed — the fault RNG stream must stay untouched by
+/// the window schedule.
+#[test]
+fn mixed_broker_fault_exec_parity() {
+    let cfg = mixed_cfg(Strategy::OptIoCpu, 10, 0.05, 60.0, 17).with_broker(BrokerConfig {
+        kind: BrokerKind::Lagged,
+        staleness_ms: 500.0,
+        heartbeat_loss: 0.2,
+        miss_threshold: 2,
+        ..BrokerConfig::default()
+    });
+    assert_exec_parity(cfg, "mixed_broker_faults", true);
 }
